@@ -1,0 +1,57 @@
+// Shared helpers for the figure/table bench binaries.
+//
+// Each binary (a) registers google-benchmark timings for the computation that
+// regenerates its figure — workflow runs are registered with Iterations(1)
+// since one deterministic run IS the experiment — and (b) prints the
+// reproduced series in the paper's layout after the benchmarks finish.
+// Results are cached so the benchmark pass and the table printer share one
+// execution per configuration.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/table.hpp"
+#include "workflow/coupled_workflow.hpp"
+#include "workflow/experiment.hpp"
+
+namespace xl::bench {
+
+/// Run-once cache keyed by a config label.
+class RunCache {
+ public:
+  const workflow::WorkflowResult& get(const std::string& key,
+                                      const std::function<workflow::WorkflowConfig()>& make) {
+    auto it = results_.find(key);
+    if (it == results_.end()) {
+      workflow::CoupledWorkflow wf(make());
+      it = results_.emplace(key, wf.run()).first;
+    }
+    return it->second;
+  }
+
+  static RunCache& instance() {
+    static RunCache cache;
+    return cache;
+  }
+
+ private:
+  std::map<std::string, workflow::WorkflowResult> results_;
+};
+
+/// Register a benchmark that executes (and caches) one workflow run.
+inline void run_workflow_benchmark(benchmark::State& state, const std::string& key,
+                                   const std::function<workflow::WorkflowConfig()>& make) {
+  for (auto _ : state) {
+    const workflow::WorkflowResult& r = RunCache::instance().get(key, make);
+    benchmark::DoNotOptimize(r.end_to_end_seconds);
+    state.counters["sim_s"] = r.pure_sim_seconds;
+    state.counters["overhead_s"] = r.overhead_seconds;
+    state.counters["moved_GB"] = static_cast<double>(r.bytes_moved) / 1e9;
+  }
+}
+
+}  // namespace xl::bench

@@ -1,0 +1,96 @@
+// Machine-scale experiment driver: reproduce one of the paper's §5 runs from
+// the command line. Wraps the experiment factories so a user can rerun any
+// figure's configuration and inspect the per-step trace.
+//
+//   ./machine_scale_experiment middleware <scale 0-3> <insitu|intransit|adaptive>
+//   ./machine_scale_experiment global     <scale 0-3> <local|global>
+//   ./machine_scale_experiment resource   <static|adaptive>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "workflow/coupled_workflow.hpp"
+#include "workflow/experiment.hpp"
+
+using namespace xl;
+using namespace xl::workflow;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  machine_scale_experiment middleware <0-3> <insitu|intransit|adaptive>\n"
+            << "  machine_scale_experiment global <0-3> <local|global>\n"
+            << "  machine_scale_experiment resource <static|adaptive>\n";
+  return 2;
+}
+
+void print_result(const WorkflowConfig& config, const WorkflowResult& r) {
+  std::cout << "mode " << mode_name(config.mode) << " on " << config.machine.name
+            << ": N=" << config.sim_cores << " M=" << config.staging_cores
+            << " steps=" << config.steps << "\n\n";
+  Table per_step({"step", "cells", "X", "placement", "M", "sim", "wait", "moved"});
+  for (const StepRecord& s : r.steps) {
+    per_step.row()
+        .cell(s.step)
+        .cell(s.total_cells)
+        .cell(s.factor)
+        .cell(runtime::placement_name(s.placement))
+        .cell(s.intransit_cores)
+        .cell(format_seconds(s.sim_seconds))
+        .cell(format_seconds(s.wait_seconds))
+        .cell(format_bytes(static_cast<double>(s.moved_bytes)));
+  }
+  std::cout << per_step.to_string() << "\n";
+  std::cout << "time-to-solution: " << format_seconds(r.end_to_end_seconds)
+            << "  (sim " << format_seconds(r.pure_sim_seconds) << " + overhead "
+            << format_seconds(r.overhead_seconds) << ")\n"
+            << "data moved:       " << format_bytes(static_cast<double>(r.bytes_moved))
+            << "\nplacements:       " << r.insitu_count << " in-situ / "
+            << r.intransit_count << " in-transit\n"
+            << "staging util:     " << format_percent(r.utilization_efficiency)
+            << " (eq. 12)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string experiment = argv[1];
+
+  WorkflowConfig config;
+  if (experiment == "middleware" || experiment == "global") {
+    if (argc < 4) return usage();
+    const int scale = std::atoi(argv[2]);
+    if (scale < 0 || scale > 3) return usage();
+    const std::string variant = argv[3];
+    if (experiment == "middleware") {
+      Mode mode;
+      if (variant == "insitu") mode = Mode::StaticInSitu;
+      else if (variant == "intransit") mode = Mode::StaticInTransit;
+      else if (variant == "adaptive") mode = Mode::AdaptiveMiddleware;
+      else return usage();
+      config = titan_middleware_experiment(scale, mode);
+    } else {
+      if (variant == "local") {
+        config = titan_global_experiment(scale, Mode::AdaptiveMiddleware);
+      } else if (variant == "global") {
+        config = titan_global_experiment(scale, Mode::Global);
+      } else {
+        return usage();
+      }
+    }
+  } else if (experiment == "resource") {
+    const std::string variant = argv[2];
+    if (variant == "static") config = intrepid_resource_experiment(Mode::StaticInTransit);
+    else if (variant == "adaptive") config = intrepid_resource_experiment(Mode::AdaptiveResource);
+    else return usage();
+  } else {
+    return usage();
+  }
+
+  const WorkflowResult r = CoupledWorkflow(config).run();
+  print_result(config, r);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: run the coupled AMR-simulation + visualization workflow on the
+// simulated cluster under the three placement strategies of the paper's
+// Fig. 7 (static in-situ, static in-transit, adaptive middleware placement)
+// and print the end-to-end comparison.
+//
+//   ./quickstart
+//
+// This exercises the top of the public API: WorkflowConfig -> CoupledWorkflow
+// -> WorkflowResult. See coupled_insitu_intransit.cpp for the in-process
+// (real data, real kernels) variant.
+#include <iostream>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "workflow/coupled_workflow.hpp"
+
+using namespace xl;
+using workflow::CoupledWorkflow;
+using workflow::Mode;
+using workflow::WorkflowConfig;
+using workflow::WorkflowResult;
+
+namespace {
+
+WorkflowConfig make_config(Mode mode) {
+  WorkflowConfig c;
+  c.machine = cluster::titan();
+  c.sim_cores = 512;        // simulation partition N
+  c.staging_cores = 32;     // staging partition M (16:1, like the paper)
+  c.steps = 30;
+  c.mode = mode;
+  c.euler = false;          // AMR Advection-Diffusion workload
+  c.ncomp = 1;
+
+  // Problem geometry: a 512x256x256 base grid, 3 AMR levels, an expanding
+  // refinement front plus drifting blobs.
+  c.geometry.base_domain = mesh::Box::domain({512, 256, 256});
+  c.geometry.max_levels = 3;
+  c.geometry.nranks = c.sim_cores;
+  c.geometry.front_radius0 = 0.12;
+  c.geometry.front_speed = 0.008;
+  c.geometry.front_decay = 0.8;
+  c.geometry.front_decay_onset = 24;
+  c.memory_model.ncomp = c.ncomp;
+
+  // Staging memory is the scarce resource that makes placement interesting.
+  c.staging_usable_fraction = 0.004;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  log::set_threshold(log::Level::Info);
+  std::cout << "Cross-layer adaptive data management - quickstart\n"
+            << "Workload: AMR Advection-Diffusion + marching-cubes visualization\n"
+            << "Machine:  simulated Titan XK7, 512 simulation / 32 staging cores\n\n";
+
+  Table table({"placement", "time-to-solution", "sim time", "overhead",
+               "data moved", "in-situ/in-transit"});
+  for (Mode mode : {Mode::StaticInSitu, Mode::StaticInTransit,
+                    Mode::StaticHybrid, Mode::AdaptiveMiddleware}) {
+    const WorkflowResult r = CoupledWorkflow(make_config(mode)).run();
+    table.row()
+        .cell(workflow::mode_name(mode))
+        .cell(format_seconds(r.end_to_end_seconds))
+        .cell(format_seconds(r.pure_sim_seconds))
+        .cell(format_seconds(r.overhead_seconds))
+        .cell(format_bytes(static_cast<double>(r.bytes_moved)))
+        .cell(std::to_string(r.insitu_count) + "/" + std::to_string(r.intransit_count));
+  }
+  std::cout << table.to_string() << "\n"
+            << "The adaptive run places each step's analysis where the\n"
+            << "middleware policy (paper eq. 4-8) predicts the smaller\n"
+            << "time-to-solution: in-transit while staging keeps up, in-situ\n"
+            << "when the staging backlog exceeds the in-situ estimate.\n";
+  return 0;
+}

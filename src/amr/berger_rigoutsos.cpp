@@ -1,0 +1,166 @@
+#include "amr/berger_rigoutsos.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "mesh/layout.hpp"
+
+namespace xl::amr {
+
+using mesh::Box;
+using mesh::IntVect;
+using mesh::kDim;
+
+namespace {
+
+/// Minimal box containing all tags.
+Box bounding_box(const std::vector<IntVect>& tags) {
+  XL_CHECK(!tags.empty(), "bounding box of no tags");
+  IntVect lo = tags[0], hi = tags[0];
+  for (const IntVect& t : tags) {
+    lo = lo.min(t);
+    hi = hi.max(t);
+  }
+  return Box(lo, hi);
+}
+
+/// Signature: tag count per plane along dimension `dim` of `box`.
+std::vector<int> signature(const std::vector<IntVect>& tags, const Box& box, int dim) {
+  std::vector<int> sig(static_cast<std::size_t>(box.size()[dim]), 0);
+  for (const IntVect& t : tags) {
+    ++sig[static_cast<std::size_t>(t[dim] - box.lo()[dim])];
+  }
+  return sig;
+}
+
+struct Cut {
+  int dim = -1;
+  int at = 0;       ///< absolute coordinate; cells < at go left.
+  int quality = -1; ///< larger is better.
+};
+
+/// Look for a zero plane (hole) in any signature — the best possible cut.
+Cut find_hole(const std::vector<std::vector<int>>& sigs, const Box& box, int min_size) {
+  Cut best;
+  for (int d = 0; d < kDim; ++d) {
+    const auto& sig = sigs[static_cast<std::size_t>(d)];
+    for (std::size_t i = 0; i < sig.size(); ++i) {
+      if (sig[i] != 0) continue;
+      const int at = box.lo()[d] + static_cast<int>(i);
+      const int left = at - box.lo()[d];
+      const int right = box.hi()[d] - at;
+      if (left < min_size || right + 1 < min_size) continue;
+      // Prefer the hole most central in its dimension.
+      const int quality = std::min(left, right + 1);
+      if (quality > best.quality) best = Cut{d, at, quality};
+    }
+  }
+  return best;
+}
+
+/// Otherwise cut at the strongest inflection of the signature Laplacian.
+Cut find_inflection(const std::vector<std::vector<int>>& sigs, const Box& box,
+                    int min_size) {
+  Cut best;
+  for (int d = 0; d < kDim; ++d) {
+    const auto& sig = sigs[static_cast<std::size_t>(d)];
+    const int n = static_cast<int>(sig.size());
+    // Second derivative of the signature; a sign change with large magnitude
+    // marks the edge of a tag cluster.
+    for (int i = 1; i + 2 < n; ++i) {
+      const int d2a = sig[static_cast<std::size_t>(i - 1)] - 2 * sig[static_cast<std::size_t>(i)] +
+                      sig[static_cast<std::size_t>(i + 1)];
+      const int d2b = sig[static_cast<std::size_t>(i)] - 2 * sig[static_cast<std::size_t>(i + 1)] +
+                      sig[static_cast<std::size_t>(i + 2)];
+      if (static_cast<long>(d2a) * d2b >= 0) continue;
+      const int strength = std::abs(d2a - d2b);
+      const int at = box.lo()[d] + i + 1;
+      const int left = at - box.lo()[d];
+      const int right = box.hi()[d] - at;
+      if (left < min_size || right + 1 < min_size) continue;
+      if (strength > best.quality) best = Cut{d, at, strength};
+    }
+  }
+  return best;
+}
+
+/// Fallback: bisect the longest splittable dimension.
+Cut find_bisection(const Box& box, int min_size) {
+  Cut best;
+  for (int d = 0; d < kDim; ++d) {
+    const int len = box.size()[d];
+    if (len < 2 * min_size) continue;
+    if (best.dim < 0 || len > box.size()[best.dim]) {
+      best = Cut{d, box.lo()[d] + len / 2, len};
+    }
+  }
+  return best;
+}
+
+void cluster(std::vector<IntVect> tags, const Box& domain, const BrConfig& config,
+             std::vector<Box>& out) {
+  if (tags.empty()) return;
+  const Box bb = bounding_box(tags) & domain;
+  const double fill = static_cast<double>(tags.size()) /
+                      static_cast<double>(bb.num_cells());
+  const bool small_enough = bb.size()[bb.longest_dim()] <= config.max_box_size;
+  if (small_enough && fill >= config.fill_ratio) {
+    out.push_back(bb);
+    return;
+  }
+  // Cannot split further -> accept regardless of fill.
+  const bool splittable = bb.size()[bb.longest_dim()] >= 2 * config.min_box_size;
+  if (!splittable) {
+    out.push_back(bb);
+    return;
+  }
+
+  std::vector<std::vector<int>> sigs;
+  sigs.reserve(kDim);
+  for (int d = 0; d < kDim; ++d) sigs.push_back(signature(tags, bb, d));
+
+  Cut cut = find_hole(sigs, bb, config.min_box_size);
+  if (cut.dim < 0) cut = find_inflection(sigs, bb, config.min_box_size);
+  if (cut.dim < 0) cut = find_bisection(bb, config.min_box_size);
+  if (cut.dim < 0) {
+    out.push_back(bb);  // genuinely unsplittable
+    return;
+  }
+
+  std::vector<IntVect> left, right;
+  left.reserve(tags.size());
+  right.reserve(tags.size());
+  for (const IntVect& t : tags) {
+    (t[cut.dim] < cut.at ? left : right).push_back(t);
+  }
+  XL_CHECK(!left.empty() || !right.empty(), "cut lost all tags");
+  cluster(std::move(left), domain, config, out);
+  cluster(std::move(right), domain, config, out);
+}
+
+}  // namespace
+
+std::vector<Box> berger_rigoutsos(const std::vector<IntVect>& tags, const Box& domain,
+                                  const BrConfig& config) {
+  XL_REQUIRE(config.fill_ratio > 0.0 && config.fill_ratio <= 1.0,
+             "fill ratio must be in (0,1]");
+  XL_REQUIRE(config.min_box_size >= 1, "min box size must be positive");
+  std::vector<Box> out;
+  std::vector<IntVect> inside;
+  inside.reserve(tags.size());
+  for (const IntVect& t : tags) {
+    if (domain.contains(t)) inside.push_back(t);
+  }
+  cluster(std::move(inside), domain, config, out);
+  // Guarantee max_box_size: the fill-ratio early-accept can return oversized
+  // boxes only when they were unsplittable, but decompose() enforces the cap.
+  std::vector<Box> sized;
+  for (const Box& b : out) {
+    auto pieces = mesh::decompose(b, config.max_box_size);
+    sized.insert(sized.end(), pieces.begin(), pieces.end());
+  }
+  return sized;
+}
+
+}  // namespace xl::amr

@@ -1,0 +1,89 @@
+#include "amr/interp.hpp"
+
+namespace xl::amr {
+
+using mesh::BoxIterator;
+using mesh::Fab;
+
+void prolong_constant(const AmrLevel& coarse, AmrLevel& fine, int ratio) {
+  const IntVect rvec = IntVect::uniform(ratio);
+  for (std::size_t fi = 0; fi < fine.layout.num_boxes(); ++fi) {
+    Fab& ffab = fine.data[fi];
+    const Box fvalid = fine.layout.box(fi);
+    const Box cneeded = fvalid.coarsen(rvec);
+    for (std::size_t ci = 0; ci < coarse.layout.num_boxes(); ++ci) {
+      const Box coverlap = cneeded & coarse.layout.box(ci);
+      if (coverlap.empty()) continue;
+      const Fab& cfab = coarse.data[ci];
+      const Box ftarget = coverlap.refine(rvec) & fvalid;
+      for (int c = 0; c < ffab.ncomp(); ++c) {
+        for (BoxIterator it(ftarget); it.ok(); ++it) {
+          ffab(*it, c) = cfab((*it).coarsen(rvec), c);
+        }
+      }
+    }
+  }
+}
+
+void restrict_average(const AmrLevel& fine, AmrLevel& coarse, int ratio) {
+  const IntVect rvec = IntVect::uniform(ratio);
+  const double inv_vol = 1.0 / static_cast<double>(ratio * ratio * ratio);
+  for (std::size_t ci = 0; ci < coarse.layout.num_boxes(); ++ci) {
+    Fab& cfab = coarse.data[ci];
+    const Box cvalid = coarse.layout.box(ci);
+    for (std::size_t fi = 0; fi < fine.layout.num_boxes(); ++fi) {
+      const Box covered = fine.layout.box(fi).coarsen(rvec) & cvalid;
+      if (covered.empty()) continue;
+      const Fab& ffab = fine.data[fi];
+      for (int c = 0; c < cfab.ncomp(); ++c) {
+        for (BoxIterator it(covered); it.ok(); ++it) {
+          const Box children((*it).refine(rvec), (*it).refine(rvec) + (ratio - 1));
+          double sum = 0.0;
+          for (BoxIterator fit(children); fit.ok(); ++fit) sum += ffab(*fit, c);
+          cfab(*it, c) = sum * inv_vol;
+        }
+      }
+    }
+  }
+}
+
+void fill_cf_ghosts(const AmrLevel& coarse, AmrLevel& fine, int ratio, int nghost) {
+  const IntVect rvec = IntVect::uniform(ratio);
+  for (std::size_t fi = 0; fi < fine.layout.num_boxes(); ++fi) {
+    Fab& ffab = fine.data[fi];
+    const Box ghosted = fine.layout.box(fi).grow(nghost);
+    // Cells of the ghost halo not covered by any fine valid box.
+    std::vector<Box> halo;
+    ghosted.subtract(fine.layout.box(fi), halo);
+    for (const Box& piece : halo) {
+      // Remove parts covered by other fine boxes (exchange handles those).
+      std::vector<Box> uncovered{piece};
+      for (std::size_t fj = 0; fj < fine.layout.num_boxes(); ++fj) {
+        if (fj == fi) continue;
+        std::vector<Box> next;
+        for (const Box& u : uncovered) u.subtract(fine.layout.box(fj), next);
+        uncovered = std::move(next);
+        if (uncovered.empty()) break;
+      }
+      for (const Box& u : uncovered) {
+        const Box cneeded = u.coarsen(rvec);
+        for (std::size_t ci = 0; ci < coarse.layout.num_boxes(); ++ci) {
+          // Read through the coarse fab's own ghosts so domain-boundary fine
+          // ghosts get filled too (coarse ghosts were filled by exchange).
+          const Box creadable = coarse.data[ci].box();
+          const Box coverlap = cneeded & creadable;
+          if (coverlap.empty()) continue;
+          const Fab& cfab = coarse.data[ci];
+          const Box ftarget = coverlap.refine(rvec) & u;
+          for (int c = 0; c < ffab.ncomp(); ++c) {
+            for (BoxIterator it(ftarget); it.ok(); ++it) {
+              ffab(*it, c) = cfab((*it).coarsen(rvec), c);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace xl::amr

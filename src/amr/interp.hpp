@@ -1,0 +1,21 @@
+// Inter-level data transfer: prolongation (coarse -> fine) and restriction
+// (fine -> coarse volume average), plus coarse-fine ghost filling.
+#pragma once
+
+#include "amr/hierarchy.hpp"
+
+namespace xl::amr {
+
+/// Piecewise-constant prolongation of the overlap of `coarse` onto `fine`'s
+/// valid regions (each fine cell copies its coarse parent).
+void prolong_constant(const AmrLevel& coarse, AmrLevel& fine, int ratio);
+
+/// Volume-average restriction of `fine`'s valid regions onto `coarse`.
+void restrict_average(const AmrLevel& fine, AmrLevel& coarse, int ratio);
+
+/// Fill `fine`'s ghost cells that lie outside the fine level's valid union by
+/// piecewise-constant interpolation from `coarse`. Ghosts interior to the
+/// fine level must already be filled by exchange().
+void fill_cf_ghosts(const AmrLevel& coarse, AmrLevel& fine, int ratio, int nghost);
+
+}  // namespace xl::amr

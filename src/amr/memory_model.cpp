@@ -1,0 +1,39 @@
+#include "amr/memory_model.hpp"
+
+#include "common/error.hpp"
+
+namespace xl::amr {
+
+std::vector<std::size_t> per_rank_peak_bytes(const std::vector<mesh::BoxLayout>& levels,
+                                             const MemoryModelConfig& config) {
+  XL_REQUIRE(!levels.empty(), "memory model needs at least one level");
+  const int nranks = levels.front().num_ranks();
+  std::vector<double> bytes(static_cast<std::size_t>(nranks),
+                            static_cast<double>(config.base_runtime_bytes));
+  const double per_cell =
+      static_cast<double>(config.ncomp) * sizeof(double) * (1.0 + config.solver_overhead) +
+      config.analysis_bytes_per_cell;
+  for (const mesh::BoxLayout& layout : levels) {
+    XL_REQUIRE(layout.num_ranks() == nranks, "levels balanced over different rank counts");
+    for (std::size_t i = 0; i < layout.num_boxes(); ++i) {
+      const auto ghosted_cells =
+          static_cast<double>(layout.box(i).grow(config.nghost).num_cells());
+      bytes[static_cast<std::size_t>(layout.rank_of(i))] += ghosted_cells * per_cell;
+    }
+  }
+  std::vector<std::size_t> out(bytes.size());
+  for (std::size_t r = 0; r < bytes.size(); ++r) out[r] = static_cast<std::size_t>(bytes[r]);
+  return out;
+}
+
+std::vector<std::size_t> per_rank_available_bytes(
+    const std::vector<mesh::BoxLayout>& levels, const MemoryModelConfig& config,
+    std::size_t capacity_per_rank) {
+  std::vector<std::size_t> used = per_rank_peak_bytes(levels, config);
+  for (std::size_t& u : used) {
+    u = u >= capacity_per_rank ? 0 : capacity_per_rank - u;
+  }
+  return used;
+}
+
+}  // namespace xl::amr

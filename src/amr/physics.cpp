@@ -1,0 +1,37 @@
+#include "amr/physics.hpp"
+
+#include "common/error.hpp"
+
+namespace xl::amr {
+
+using mesh::BoxIterator;
+
+void godunov_update(const Physics& physics, const Fab& u, const Box& valid, double dx,
+                    double dt, Fab& u_new) {
+  const int nc = physics.ncomp();
+  XL_REQUIRE(u.ncomp() == nc && u_new.ncomp() == nc, "component mismatch");
+  XL_REQUIRE(u_new.box().contains(valid), "destination does not cover valid box");
+  const double lambda = dt / dx;
+
+  // Copy current state, then apply the flux differences of each dimension —
+  // the "unsplit" update uses one state for all directional fluxes.
+  u_new.copy_from(u, valid);
+  for (int d = 0; d < mesh::kDim; ++d) {
+    // Faces needed: low faces of every valid cell plus the face one past the
+    // high end (hi+1 stores the high face of the last cell).
+    IntVect hi = valid.hi();
+    hi[d] += 1;
+    const Box faces(valid.lo(), hi);
+    Fab flux(faces, nc);
+    physics.face_flux(u, faces, d, dx, flux);
+    for (int c = 0; c < nc; ++c) {
+      for (BoxIterator it(valid); it.ok(); ++it) {
+        IntVect up = *it;
+        up[d] += 1;
+        u_new(*it, c) -= lambda * (flux(up, c) - flux(*it, c));
+      }
+    }
+  }
+}
+
+}  // namespace xl::amr

@@ -1,0 +1,127 @@
+#include "amr/polytropic_gas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xl::amr {
+
+using mesh::BoxIterator;
+
+namespace {
+
+/// Minmod slope limiter.
+double minmod(double a, double b) {
+  if (a * b <= 0.0) return 0.0;
+  return std::fabs(a) < std::fabs(b) ? a : b;
+}
+
+}  // namespace
+
+PolytropicGas::PolytropicGas(const PolytropicGasConfig& config) : config_(config) {
+  XL_REQUIRE(config.gamma > 1.0, "polytropic gamma must exceed 1");
+  XL_REQUIRE(config.p_inside > 0 && config.p_outside > 0, "pressure must be positive");
+  XL_REQUIRE(config.rho_inside > 0 && config.rho_outside > 0, "density must be positive");
+}
+
+void PolytropicGas::initial_value(const IntVect& p, double dx, double* out) const {
+  const double x = (p[0] + 0.5) * dx;
+  const double y = (p[1] + 0.5) * dx;
+  const double z = (p[2] + 0.5) * dx;
+  const double dx0 = x - config_.center[0] * config_.extent;
+  const double dy0 = y - config_.center[1] * config_.extent;
+  const double dz0 = z - config_.center[2] * config_.extent;
+  const double r = std::sqrt(dx0 * dx0 + dy0 * dy0 + dz0 * dz0);
+  // Smooth the interface over one coarse cell so tagging sees a gradient
+  // rather than a jump aligned to the grid.
+  const double s = 1.0 / (1.0 + std::exp((r - config_.radius * config_.extent) / (0.5 * dx + 1e-300)));
+  const double rho = config_.rho_outside + (config_.rho_inside - config_.rho_outside) * s;
+  const double pr = config_.p_outside + (config_.p_inside - config_.p_outside) * s;
+  out[kRho] = rho;
+  out[kMomX] = 0.0;
+  out[kMomY] = 0.0;
+  out[kMomZ] = 0.0;
+  out[kEnergy] = pr / (config_.gamma - 1.0);
+}
+
+double PolytropicGas::pressure(const double* cons) const {
+  const double rho = std::max(cons[kRho], 1e-12);
+  const double ke = 0.5 *
+                    (cons[kMomX] * cons[kMomX] + cons[kMomY] * cons[kMomY] +
+                     cons[kMomZ] * cons[kMomZ]) /
+                    rho;
+  return std::max((config_.gamma - 1.0) * (cons[kEnergy] - ke), 1e-12);
+}
+
+double PolytropicGas::sound_speed(const double* cons) const {
+  const double rho = std::max(cons[kRho], 1e-12);
+  return std::sqrt(config_.gamma * pressure(cons) / rho);
+}
+
+void PolytropicGas::physical_flux(const double* cons, int dim, double* out) const {
+  const double rho = std::max(cons[kRho], 1e-12);
+  const double vel = cons[kMomX + dim] / rho;
+  const double p = pressure(cons);
+  out[kRho] = cons[kRho] * vel;
+  out[kMomX] = cons[kMomX] * vel;
+  out[kMomY] = cons[kMomY] * vel;
+  out[kMomZ] = cons[kMomZ] * vel;
+  out[kMomX + dim] += p;
+  out[kEnergy] = (cons[kEnergy] + p) * vel;
+}
+
+double PolytropicGas::max_wave_speed(const Fab& u, const Box& valid, double /*dx*/) const {
+  double speed = 0.0;
+  double cons[kNcomp];
+  for (BoxIterator it(valid); it.ok(); ++it) {
+    for (int c = 0; c < kNcomp; ++c) cons[c] = u(*it, c);
+    const double rho = std::max(cons[kRho], 1e-12);
+    const double cs = sound_speed(cons);
+    for (int d = 0; d < mesh::kDim; ++d) {
+      speed = std::max(speed, std::fabs(cons[kMomX + d] / rho) + cs);
+    }
+  }
+  return speed;
+}
+
+void PolytropicGas::face_flux(const Fab& u, const Box& faces, int dim, double /*dx*/,
+                              Fab& flux) const {
+  XL_REQUIRE(flux.box().contains(faces), "flux fab does not cover faces");
+  double left[kNcomp], right[kNcomp], fl[kNcomp], fr[kNcomp];
+  for (BoxIterator it(faces); it.ok(); ++it) {
+    // Face between cells lo = p - e_dim and hi = p.
+    IntVect lo = *it;
+    lo[dim] -= 1;
+    IntVect lolo = lo;
+    lolo[dim] -= 1;
+    IntVect hihi = *it;
+    hihi[dim] += 1;
+
+    // Limited linear reconstruction of the conserved state on both sides.
+    for (int c = 0; c < kNcomp; ++c) {
+      const double ull = u(lolo, c);
+      const double ul = u(lo, c);
+      const double ur = u(*it, c);
+      const double urr = u(hihi, c);
+      const double slope_l = minmod(ul - ull, ur - ul);
+      const double slope_r = minmod(ur - ul, urr - ur);
+      left[c] = ul + 0.5 * slope_l;
+      right[c] = ur - 0.5 * slope_r;
+    }
+
+    // Rusanov flux: 0.5 (F(L)+F(R)) - 0.5 smax (R - L).
+    physical_flux(left, dim, fl);
+    physical_flux(right, dim, fr);
+    const double rho_l = std::max(left[kRho], 1e-12);
+    const double rho_r = std::max(right[kRho], 1e-12);
+    const double smax =
+        std::max(std::fabs(left[kMomX + dim] / rho_l) + sound_speed(left),
+                 std::fabs(right[kMomX + dim] / rho_r) + sound_speed(right));
+    for (int c = 0; c < kNcomp; ++c) {
+      flux(*it, c) = 0.5 * (fl[c] + fr[c]) - 0.5 * smax * (right[c] - left[c]);
+    }
+  }
+}
+
+}  // namespace xl::amr

@@ -1,0 +1,48 @@
+#include "amr/tagging.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace xl::amr {
+
+using mesh::BoxIterator;
+using mesh::IntVectHash;
+
+std::vector<IntVect> tag_cells(const AmrLevel& level, const TagCriterion& criterion) {
+  std::vector<IntVect> tags;
+  for (std::size_t i = 0; i < level.layout.num_boxes(); ++i) {
+    const mesh::Fab& fab = level.data[i];
+    const Box valid = level.layout.box(i);
+    for (BoxIterator it(valid); it.ok(); ++it) {
+      const IntVect& p = *it;
+      const double center = fab(p, criterion.comp);
+      double grad = 0.0;
+      for (int d = 0; d < mesh::kDim; ++d) {
+        IntVect lo = p, hi = p;
+        lo[d] -= 1;
+        hi[d] += 1;
+        // Fab includes ghosts, so neighbours are always readable.
+        const double diff = 0.5 * (fab(hi, criterion.comp) - fab(lo, criterion.comp));
+        grad += diff * diff;
+      }
+      grad = std::sqrt(grad);
+      const double scale = std::max(std::fabs(center), criterion.abs_floor);
+      if (grad / scale > criterion.rel_threshold) tags.push_back(p);
+    }
+  }
+  return tags;
+}
+
+std::vector<IntVect> buffer_tags(const std::vector<IntVect>& tags, int buffer,
+                                 const Box& domain) {
+  XL_REQUIRE(buffer >= 0, "tag buffer must be non-negative");
+  std::unordered_set<IntVect, IntVectHash> grown;
+  grown.reserve(tags.size() * 4);
+  for (const IntVect& t : tags) {
+    const Box b = Box(t, t).grow(buffer) & domain;
+    for (BoxIterator it(b); it.ok(); ++it) grown.insert(*it);
+  }
+  return {grown.begin(), grown.end()};
+}
+
+}  // namespace xl::amr

@@ -1,0 +1,25 @@
+// Refinement tagging: mark the cells whose solution gradient exceeds a
+// threshold, the standard Chombo criterion for the Godunov examples.
+#pragma once
+
+#include <vector>
+
+#include "amr/hierarchy.hpp"
+
+namespace xl::amr {
+
+struct TagCriterion {
+  int comp = 0;              ///< component to examine (density for Euler).
+  double rel_threshold = 0.1;  ///< tag when |undivided gradient| / |value| exceeds this.
+  double abs_floor = 1e-12;    ///< values below this never tag (avoid 0/0).
+};
+
+/// Tag cells of `level` (valid regions only; ghosts must be filled first so
+/// the one-sided differences at box edges see neighbour data).
+std::vector<IntVect> tag_cells(const AmrLevel& level, const TagCriterion& criterion);
+
+/// Grow each tag by `buffer` cells (clipped to `domain`), deduplicated.
+std::vector<IntVect> buffer_tags(const std::vector<IntVect>& tags, int buffer,
+                                 const Box& domain);
+
+}  // namespace xl::amr

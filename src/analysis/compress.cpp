@@ -1,0 +1,170 @@
+#include "analysis/compress.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace xl::analysis {
+
+namespace {
+
+constexpr std::size_t kBlockHeaderBytes = 4 * sizeof(double);  // a, b, rmin, step
+
+std::size_t block_payload_bytes(std::size_t n, int bits) {
+  return (n * static_cast<std::size_t>(bits) + 7) / 8;
+}
+
+void append_double(std::vector<std::uint8_t>& out, double v) {
+  std::uint8_t raw[sizeof(double)];
+  std::memcpy(raw, &v, sizeof(double));
+  out.insert(out.end(), raw, raw + sizeof(double));
+}
+
+double read_double(const std::uint8_t*& p) {
+  double v;
+  std::memcpy(&v, p, sizeof(double));
+  p += sizeof(double);
+  return v;
+}
+
+/// Least-squares linear fit v ~ a + b*i over the block.
+void linear_fit(const double* v, std::size_t n, double& a, double& b) {
+  if (n == 1) {
+    a = v[0];
+    b = 0.0;
+    return;
+  }
+  double sum_v = 0.0, sum_iv = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_v += v[i];
+    sum_iv += static_cast<double>(i) * v[i];
+  }
+  const double nn = static_cast<double>(n);
+  const double sum_i = nn * (nn - 1.0) / 2.0;
+  const double sum_ii = (nn - 1.0) * nn * (2.0 * nn - 1.0) / 6.0;
+  const double denom = nn * sum_ii - sum_i * sum_i;
+  b = denom != 0.0 ? (nn * sum_iv - sum_i * sum_v) / denom : 0.0;
+  a = (sum_v - b * sum_i) / nn;
+}
+
+void validate(const CompressConfig& config) {
+  XL_REQUIRE(config.residual_bits >= 1 && config.residual_bits <= 16,
+             "residual bits must be in [1,16]");
+  XL_REQUIRE(config.block >= 2, "compression block must hold at least 2 values");
+}
+
+}  // namespace
+
+CompressedField compress(const mesh::Fab& fab, const CompressConfig& config) {
+  validate(config);
+  CompressedField out;
+  out.config = config;
+  out.box = fab.box();
+  out.ncomp = fab.ncomp();
+
+  const std::span<const double> data = fab.flat();
+  const auto levels = (1u << config.residual_bits) - 1u;
+  std::vector<std::uint32_t> q(static_cast<std::size_t>(config.block));
+
+  for (std::size_t start = 0; start < data.size();
+       start += static_cast<std::size_t>(config.block)) {
+    const std::size_t n =
+        std::min<std::size_t>(config.block, data.size() - start);
+    const double* v = data.data() + start;
+    double a, b;
+    linear_fit(v, n, a, b);
+    double rmin = 0.0, rmax = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = v[i] - (a + b * static_cast<double>(i));
+      rmin = i == 0 ? r : std::min(rmin, r);
+      rmax = i == 0 ? r : std::max(rmax, r);
+    }
+    const double step = rmax > rmin ? (rmax - rmin) / levels : 0.0;
+    append_double(out.payload, a);
+    append_double(out.payload, b);
+    append_double(out.payload, rmin);
+    append_double(out.payload, step);
+    // Quantize then bit-pack.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = v[i] - (a + b * static_cast<double>(i));
+      q[i] = step > 0.0
+                 ? static_cast<std::uint32_t>(std::lround((r - rmin) / step))
+                 : 0u;
+      if (q[i] > levels) q[i] = levels;
+    }
+    const std::size_t packed = block_payload_bytes(n, config.residual_bits);
+    const std::size_t base = out.payload.size();
+    out.payload.resize(base + packed, 0);
+    std::size_t bitpos = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int bit = 0; bit < config.residual_bits; ++bit, ++bitpos) {
+        if (q[i] & (1u << bit)) {
+          out.payload[base + bitpos / 8] |= static_cast<std::uint8_t>(1u << (bitpos % 8));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+mesh::Fab decompress(const CompressedField& field) {
+  validate(field.config);
+  mesh::Fab out(field.box, field.ncomp);
+  std::span<double> data = out.flat();
+  const std::uint8_t* p = field.payload.data();
+  const std::uint8_t* end = p + field.payload.size();
+
+  for (std::size_t start = 0; start < data.size();
+       start += static_cast<std::size_t>(field.config.block)) {
+    const std::size_t n =
+        std::min<std::size_t>(field.config.block, data.size() - start);
+    XL_REQUIRE(p + kBlockHeaderBytes <= end, "truncated compressed stream");
+    const double a = read_double(p);
+    const double b = read_double(p);
+    const double rmin = read_double(p);
+    const double step = read_double(p);
+    const std::size_t packed = block_payload_bytes(n, field.config.residual_bits);
+    XL_REQUIRE(p + packed <= end, "truncated compressed block payload");
+    std::size_t bitpos = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t q = 0;
+      for (int bit = 0; bit < field.config.residual_bits; ++bit, ++bitpos) {
+        if (p[bitpos / 8] & (1u << (bitpos % 8))) q |= 1u << bit;
+      }
+      data[start + i] = a + b * static_cast<double>(i) + rmin + step * q;
+    }
+    p += packed;
+  }
+  XL_CHECK(p == end, "compressed stream has trailing bytes");
+  return out;
+}
+
+std::size_t compressed_bytes(std::size_t cells, int ncomp, const CompressConfig& config) {
+  validate(config);
+  const std::size_t values = cells * static_cast<std::size_t>(ncomp);
+  const auto block = static_cast<std::size_t>(config.block);
+  const std::size_t full_blocks = values / block;
+  const std::size_t tail = values % block;
+  std::size_t bytes = full_blocks *
+                      (kBlockHeaderBytes + block_payload_bytes(block, config.residual_bits));
+  if (tail > 0) {
+    bytes += kBlockHeaderBytes + block_payload_bytes(tail, config.residual_bits);
+  }
+  return bytes + sizeof(CompressConfig) + sizeof(mesh::Box) + sizeof(int);
+}
+
+std::size_t compression_scratch_bytes(std::size_t cells, int ncomp,
+                                      const CompressConfig& config) {
+  // Output stream plus one block of residuals/quantized values.
+  return compressed_bytes(cells, ncomp, config) +
+         static_cast<std::size_t>(config.block) * (sizeof(double) + sizeof(std::uint32_t));
+}
+
+double max_error_for_range(double residual_range, const CompressConfig& config) {
+  validate(config);
+  const auto levels = (1u << config.residual_bits) - 1u;
+  return residual_range > 0.0 ? 0.5 * residual_range / levels : 0.0;
+}
+
+}  // namespace xl::analysis

@@ -1,0 +1,85 @@
+#include "analysis/downsample.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xl::analysis {
+
+using mesh::Box;
+using mesh::BoxIterator;
+using mesh::Fab;
+using mesh::IntVect;
+
+Fab downsample(const Fab& src, int factor, DownsampleMethod method) {
+  XL_REQUIRE(factor >= 1, "downsample factor must be >= 1");
+  if (factor == 1) {
+    Fab copy(src.box(), src.ncomp());
+    copy.copy_from(src, src.box());
+    return copy;
+  }
+  const IntVect rvec = IntVect::uniform(factor);
+  const Box coarse_box = src.box().coarsen(rvec);
+  Fab out(coarse_box, src.ncomp());
+  const double inv_vol = 1.0 / static_cast<double>(factor) / factor / factor;
+  for (int c = 0; c < src.ncomp(); ++c) {
+    for (BoxIterator it(coarse_box); it.ok(); ++it) {
+      const IntVect base = (*it).refine(rvec);
+      switch (method) {
+        case DownsampleMethod::Stride: {
+          // Sample the first child cell that lies inside the source box (the
+          // coarsened box can overhang when sizes are not multiples of X).
+          const IntVect probe = base.max(src.box().lo()).min(src.box().hi());
+          out(*it, c) = src(probe, c);
+          break;
+        }
+        case DownsampleMethod::Average: {
+          const Box children = Box(base, base + (factor - 1)) & src.box();
+          double sum = 0.0;
+          for (BoxIterator fit(children); fit.ok(); ++fit) sum += src(*fit, c);
+          out(*it, c) = children.num_cells() == factor * factor * factor
+                            ? sum * inv_vol
+                            : sum / static_cast<double>(children.num_cells());
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Fab upsample_constant(const Fab& coarse, const Box& target, int factor) {
+  XL_REQUIRE(factor >= 1, "upsample factor must be >= 1");
+  Fab out(target, coarse.ncomp());
+  const IntVect rvec = IntVect::uniform(factor);
+  for (int c = 0; c < coarse.ncomp(); ++c) {
+    for (BoxIterator it(target); it.ok(); ++it) {
+      const IntVect parent = (*it).coarsen(rvec).max(coarse.box().lo()).min(coarse.box().hi());
+      out(*it, c) = coarse(parent, c);
+    }
+  }
+  return out;
+}
+
+std::size_t reduced_bytes(std::size_t raw_cells, int ncomp, int factor) {
+  XL_REQUIRE(factor >= 1, "factor must be >= 1");
+  const std::size_t f3 = static_cast<std::size_t>(factor) * factor * factor;
+  const std::size_t cells = (raw_cells + f3 - 1) / f3;
+  return cells * static_cast<std::size_t>(ncomp) * sizeof(double);
+}
+
+std::size_t reduction_scratch_bytes(std::size_t raw_cells, int ncomp, int factor,
+                                    DownsampleMethod method) {
+  // The reduced copy itself...
+  std::size_t scratch = reduced_bytes(raw_cells, ncomp, factor);
+  // ...plus, for averaging, a row of accumulators (modelled as one plane of
+  // the raw data: the kernel streams plane by plane).
+  if (method == DownsampleMethod::Average) {
+    const auto plane = static_cast<std::size_t>(
+        std::cbrt(static_cast<double>(raw_cells)) * std::cbrt(static_cast<double>(raw_cells)));
+    scratch += plane * static_cast<std::size_t>(ncomp) * sizeof(double);
+  }
+  return scratch;
+}
+
+}  // namespace xl::analysis

@@ -1,0 +1,35 @@
+// Data reduction operators for the application-layer adaptation (§4.1):
+// down-sample a field by factor X before it is written/staged, either by
+// strided sampling (cheap; what the paper's in-situ reduction does) or by
+// block averaging (smoother; an option the policy can select).
+//
+// The reduced size model used everywhere: cells / X^3.
+#pragma once
+
+#include <cstddef>
+
+#include "mesh/fab.hpp"
+
+namespace xl::analysis {
+
+enum class DownsampleMethod { Stride, Average };
+
+/// Reduce `src` (component-wise) by `factor` along each dimension. The result
+/// covers src.box().coarsen(factor). factor == 1 returns a copy.
+mesh::Fab downsample(const mesh::Fab& src, int factor,
+                     DownsampleMethod method = DownsampleMethod::Stride);
+
+/// Upsample back to `target` (piecewise constant) — used to measure the
+/// information lost by a given factor.
+mesh::Fab upsample_constant(const mesh::Fab& coarse, const mesh::Box& target, int factor);
+
+/// Bytes of the reduced field for a given raw cell count — the S_data model
+/// the policies consume (eq. 1's f_data_reduce).
+std::size_t reduced_bytes(std::size_t raw_cells, int ncomp, int factor);
+
+/// Scratch memory the reduction kernel itself needs (eq. 2's
+/// Mem_data_reduce): the reduced copy plus one block-row of accumulators.
+std::size_t reduction_scratch_bytes(std::size_t raw_cells, int ncomp, int factor,
+                                    DownsampleMethod method = DownsampleMethod::Stride);
+
+}  // namespace xl::analysis

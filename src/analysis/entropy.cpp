@@ -1,0 +1,84 @@
+#include "analysis/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "mesh/layout.hpp"
+
+namespace xl::analysis {
+
+using mesh::Box;
+using mesh::BoxIterator;
+using mesh::Fab;
+
+double block_entropy(const Fab& fab, const Box& region, const EntropyConfig& config) {
+  XL_REQUIRE(config.bins >= 2, "entropy needs at least two bins");
+  XL_REQUIRE(config.comp >= 0 && config.comp < fab.ncomp(), "component out of range");
+  const Box scan = fab.box() & region;
+  XL_REQUIRE(!scan.empty(), "entropy of empty region");
+
+  double lo = config.range_lo, hi = config.range_hi;
+  if (lo >= hi) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -lo;
+    for (BoxIterator it(scan); it.ok(); ++it) {
+      const double v = fab(*it, config.comp);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi <= lo) return 0.0;  // constant block carries no information
+  }
+
+  std::vector<std::size_t> counts(static_cast<std::size_t>(config.bins), 0);
+  const double scale = static_cast<double>(config.bins) / (hi - lo);
+  std::size_t total = 0;
+  for (BoxIterator it(scan); it.ok(); ++it) {
+    const double v = fab(*it, config.comp);
+    auto bin = static_cast<std::ptrdiff_t>((v - lo) * scale);
+    bin = std::clamp<std::ptrdiff_t>(bin, 0, config.bins - 1);
+    ++counts[static_cast<std::size_t>(bin)];
+    ++total;
+  }
+  double entropy = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+int factor_for_entropy(double entropy, const std::vector<double>& thresholds,
+                       const std::vector<int>& factors) {
+  XL_REQUIRE(factors.size() == thresholds.size() + 1,
+             "need one more factor than thresholds");
+  XL_REQUIRE(std::is_sorted(thresholds.begin(), thresholds.end()),
+             "thresholds must be sorted ascending");
+  // High entropy -> first (smallest) factor; each threshold crossed downward
+  // moves one factor up the reduction ladder.
+  std::size_t idx = 0;
+  for (std::size_t t = thresholds.size(); t-- > 0;) {
+    if (entropy >= thresholds[t]) break;
+    ++idx;
+  }
+  return factors[idx];
+}
+
+std::vector<BlockDecision> entropy_downsample_plan(const Fab& fab, int block_size,
+                                                   const std::vector<double>& thresholds,
+                                                   const std::vector<int>& factors,
+                                                   const EntropyConfig& config) {
+  XL_REQUIRE(block_size >= 1, "block size must be positive");
+  std::vector<BlockDecision> plan;
+  for (const Box& block : mesh::decompose(fab.box(), block_size)) {
+    BlockDecision d;
+    d.block = block;
+    d.entropy = block_entropy(fab, block, config);
+    d.factor = factor_for_entropy(d.entropy, thresholds, factors);
+    plan.push_back(d);
+  }
+  return plan;
+}
+
+}  // namespace xl::analysis

@@ -1,0 +1,52 @@
+#include "analysis/statistics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xl::analysis {
+
+using mesh::Box;
+using mesh::BoxIterator;
+using mesh::Fab;
+
+RunningStats descriptive_stats(const Fab& fab, const Box& region, int comp) {
+  XL_REQUIRE(comp >= 0 && comp < fab.ncomp(), "component out of range");
+  RunningStats stats;
+  for (BoxIterator it(fab.box() & region); it.ok(); ++it) {
+    stats.add(fab(*it, comp));
+  }
+  return stats;
+}
+
+Fab subset(const Fab& fab, const Box& region) {
+  const Box target = fab.box() & region;
+  XL_REQUIRE(!target.empty(), "subset region does not intersect fab");
+  Fab out(target, fab.ncomp());
+  out.copy_from(fab, target);
+  return out;
+}
+
+double rmse(const Fab& a, const Fab& b, int comp) {
+  const Box common = a.box() & b.box();
+  XL_REQUIRE(!common.empty(), "fabs do not overlap");
+  double sum = 0.0;
+  std::int64_t n = 0;
+  for (BoxIterator it(common); it.ok(); ++it) {
+    const double d = a(*it, comp) - b(*it, comp);
+    sum += d * d;
+    ++n;
+  }
+  return std::sqrt(sum / static_cast<double>(n));
+}
+
+double psnr(const Fab& reference, const Fab& test, int comp) {
+  const double err = rmse(reference, test, comp);
+  RunningStats ref = descriptive_stats(reference, reference.box(), comp);
+  const double range = ref.max() - ref.min();
+  if (err <= 0.0) return std::numeric_limits<double>::infinity();
+  if (range <= 0.0) return 0.0;
+  return 20.0 * std::log10(range / err);
+}
+
+}  // namespace xl::analysis

@@ -1,0 +1,25 @@
+// Descriptive-statistics analysis kernel (the paper's §5 closing remark lists
+// it as the other communication-free analysis the framework extends to) and
+// data subsetting. Both are placement-agnostic kernels the middleware policy
+// can schedule in-situ or in-transit.
+#pragma once
+
+#include "common/stats.hpp"
+#include "mesh/fab.hpp"
+
+namespace xl::analysis {
+
+/// Moments + extrema of one component over a region.
+RunningStats descriptive_stats(const mesh::Fab& fab, const mesh::Box& region, int comp = 0);
+
+/// Extract the sub-box `region` of `fab` into a fresh fab (data subsetting).
+mesh::Fab subset(const mesh::Fab& fab, const mesh::Box& region);
+
+/// Root-mean-square error between two fabs over their common box, per
+/// component `comp` — the reconstruction-quality metric for Fig. 6 reports.
+double rmse(const mesh::Fab& a, const mesh::Fab& b, int comp = 0);
+
+/// Peak signal-to-noise ratio in dB given the reference's value range.
+double psnr(const mesh::Fab& reference, const mesh::Fab& test, int comp = 0);
+
+}  // namespace xl::analysis

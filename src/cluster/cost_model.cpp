@@ -1,0 +1,57 @@
+#include "cluster/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xl::cluster {
+
+double CostModel::kernel_seconds(double flops_per_cell, std::size_t cells,
+                                 int cores) const {
+  XL_REQUIRE(cores >= 1, "need at least one core");
+  const double effective_cores =
+      std::pow(static_cast<double>(cores), costs_.parallel_efficiency);
+  return flops_per_cell * static_cast<double>(cells) /
+         (effective_cores * machine_.core_flops);
+}
+
+double CostModel::sim_step_seconds(std::size_t cells, int cores, bool euler) const {
+  return kernel_seconds(
+      euler ? costs_.sim_euler_flops_per_cell : costs_.sim_advect_flops_per_cell, cells,
+      cores);
+}
+
+double CostModel::marching_cubes_seconds(std::size_t cells_scanned,
+                                         std::size_t active_cells, int cores) const {
+  return kernel_seconds(costs_.mc_scan_flops_per_cell, cells_scanned, cores) +
+         kernel_seconds(costs_.mc_active_flops_per_cell, active_cells, cores);
+}
+
+double CostModel::downsample_seconds(std::size_t output_cells, int cores) const {
+  return kernel_seconds(costs_.reduce_flops_per_cell, output_cells, cores);
+}
+
+double CostModel::entropy_seconds(std::size_t cells, int cores) const {
+  return kernel_seconds(costs_.entropy_flops_per_cell, cells, cores);
+}
+
+double CostModel::statistics_seconds(std::size_t cells, int cores) const {
+  return kernel_seconds(costs_.stats_flops_per_cell, cells, cores);
+}
+
+double CostModel::subsetting_seconds(std::size_t cells, int cores) const {
+  return kernel_seconds(costs_.subset_flops_per_cell, cells, cores);
+}
+
+double CostModel::transfer_seconds(std::size_t bytes, int sender_nodes,
+                                   int receiver_nodes) const {
+  XL_REQUIRE(sender_nodes >= 1 && receiver_nodes >= 1, "need nodes on both sides");
+  const double per_node =
+      machine_.network.link_bandwidth_Bps * machine_.network.efficiency;
+  // The slower side's aggregate injection/ejection bandwidth bounds the flow.
+  const double aggregate = per_node * std::min(sender_nodes, receiver_nodes);
+  return machine_.network.latency_s + static_cast<double>(bytes) / aggregate;
+}
+
+}  // namespace xl::cluster

@@ -1,0 +1,73 @@
+// Deterministic discrete-event engine. Events at equal timestamps fire in
+// scheduling order (sequence-number tie-break), so simulated experiments are
+// bit-reproducible regardless of host scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xl::cluster {
+
+using SimTime = double;  ///< simulated seconds.
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute simulated time `t` (must be >= now()).
+  void schedule_at(SimTime t, std::function<void()> fn) {
+    XL_REQUIRE(t >= now_, "cannot schedule in the past");
+    heap_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` `delay` seconds from now.
+  void schedule_in(SimTime delay, std::function<void()> fn) {
+    XL_REQUIRE(delay >= 0.0, "negative delay");
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  SimTime now() const noexcept { return now_; }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Pop and run the earliest event; returns false when the queue is empty.
+  bool run_one() {
+    if (heap_.empty()) return false;
+    // priority_queue::top is const; the handler must be moved out before pop.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+
+  /// Drain the queue (events may schedule further events).
+  void run_until_empty() {
+    while (run_one()) {
+    }
+  }
+
+  /// Run events with time <= t_end, then advance the clock to t_end.
+  void run_until(SimTime t_end) {
+    while (!heap_.empty() && heap_.top().time <= t_end) run_one();
+    if (t_end > now_) now_ = t_end;
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace xl::cluster

@@ -1,0 +1,45 @@
+#include "cluster/machine.hpp"
+
+namespace xl::cluster {
+
+MachineSpec intrepid() {
+  MachineSpec m;
+  m.name = "Intrepid-BGP";
+  m.cores_per_node = 4;
+  m.mem_per_node_bytes = std::size_t{2} << 30;  // 500 MB per core
+  // 850 MHz PPC450, double-hummer FPU: ~3.4 GF/s peak per core; stencil codes
+  // sustain ~10-15%.
+  m.core_flops = 4.0e8;
+  m.network.link_bandwidth_Bps = 425.0e6;  // 3-D torus per-link
+  m.network.latency_s = 3.0e-6;
+  m.network.efficiency = 0.7;
+  return m;
+}
+
+MachineSpec titan() {
+  MachineSpec m;
+  m.name = "Titan-XK7";
+  m.cores_per_node = 16;
+  m.mem_per_node_bytes = std::size_t{32} << 30;
+  // 2.2 GHz Opteron 6274 (CPU side only; the paper's workloads do not use the
+  // GPUs): ~8.8 GF/s peak per core, ~15% sustained for these kernels.
+  m.core_flops = 1.3e9;
+  m.network.link_bandwidth_Bps = 5.0e9;  // Gemini NIC
+  m.network.latency_s = 1.5e-6;
+  m.network.efficiency = 0.7;
+  return m;
+}
+
+MachineSpec test_machine() {
+  MachineSpec m;
+  m.name = "TestBox";
+  m.cores_per_node = 4;
+  m.mem_per_node_bytes = std::size_t{4} << 30;
+  m.core_flops = 1.0e9;
+  m.network.link_bandwidth_Bps = 1.0e9;
+  m.network.latency_s = 1.0e-6;
+  m.network.efficiency = 1.0;
+  return m;
+}
+
+}  // namespace xl::cluster

@@ -1,0 +1,34 @@
+#include "cluster/network.hpp"
+
+#include "common/error.hpp"
+
+namespace xl::cluster {
+
+void ContendedNetwork::expire(SimTime now) {
+  while (!in_flight_.empty() && in_flight_.begin()->first <= now) {
+    in_flight_.erase(in_flight_.begin());
+  }
+}
+
+SimTime ContendedNetwork::start_transfer(SimTime now, std::size_t bytes,
+                                         int sender_nodes, int receiver_nodes) {
+  XL_REQUIRE(now >= 0.0, "negative start time");
+  expire(now);
+  const double isolated = cost_->transfer_seconds(bytes, sender_nodes, receiver_nodes);
+  // Processor sharing: this flow plus everything currently in the air divide
+  // the path bandwidth equally.
+  const double share = static_cast<double>(in_flight_.size()) + 1.0;
+  const SimTime finish = now + isolated * share;
+  in_flight_.emplace(finish, bytes);
+  finishes_.push_back(finish);
+  total_bytes_ += bytes;
+  return finish;
+}
+
+int ContendedNetwork::active_flows(SimTime now) const {
+  int n = 0;
+  for (const auto& [finish, bytes] : in_flight_) n += finish > now;
+  return n;
+}
+
+}  // namespace xl::cluster

@@ -1,0 +1,44 @@
+// Shared-link network contention: concurrent transfers between the
+// simulation and staging partitions share the staging side's aggregate
+// injection bandwidth. The cost model's transfer_seconds() prices a flow in
+// isolation; ContendedNetwork tracks overlapping flows on the simulated
+// timeline and stretches each flow by the average concurrency it observed —
+// a processor-sharing approximation that avoids rescheduling completed
+// events (documented limitation: a flow's finish time is fixed when it
+// starts, using the concurrency at start).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "cluster/event_queue.hpp"
+
+namespace xl::cluster {
+
+class ContendedNetwork {
+ public:
+  explicit ContendedNetwork(const CostModel& cost) : cost_(&cost) {}
+
+  /// Start a transfer at simulated time `now`; returns its finish time given
+  /// the flows currently in the air (processor sharing at start).
+  SimTime start_transfer(SimTime now, std::size_t bytes, int sender_nodes,
+                         int receiver_nodes);
+
+  /// Flows still in flight at `now`.
+  int active_flows(SimTime now) const;
+
+  std::size_t total_bytes() const noexcept { return total_bytes_; }
+  std::uint64_t flow_count() const noexcept { return static_cast<std::uint64_t>(finishes_.size()); }
+
+ private:
+  void expire(SimTime now);
+
+  const CostModel* cost_;
+  std::multimap<SimTime, std::size_t> in_flight_;  // finish time -> bytes
+  std::vector<SimTime> finishes_;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace xl::cluster

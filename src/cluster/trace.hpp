@@ -1,0 +1,53 @@
+// Per-core utilization accounting for the staging area: the paper's
+// resource-layer evaluation (§5.2.3) defines CPU utilization efficiency
+// (eq. 12) as total in-transit analysis time over total in-transit wall time
+// across the cores allocated at each step. StagingTrace records both per step.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xl::cluster {
+
+struct StagingStepRecord {
+  int step = 0;
+  int cores_allocated = 0;   ///< M_j: in-transit cores at step j.
+  double analysis_seconds = 0.0;  ///< sum over cores of analysis busy time.
+  double wall_seconds = 0.0;      ///< per-core wall time of the step window.
+};
+
+class StagingTrace {
+ public:
+  void record(const StagingStepRecord& rec) {
+    XL_REQUIRE(rec.cores_allocated >= 0, "negative core count");
+    XL_REQUIRE(rec.wall_seconds >= 0.0, "negative wall time");
+    records_.push_back(rec);
+  }
+
+  const std::vector<StagingStepRecord>& records() const noexcept { return records_; }
+
+  /// Eq. 12: sum_j sum_i T_analysis(i,j) / sum_j sum_i T_total(i,j), where
+  /// core i at step j contributes wall_seconds each to the denominator.
+  double utilization_efficiency() const {
+    double analysis = 0.0, total = 0.0;
+    for (const auto& r : records_) {
+      analysis += r.analysis_seconds;
+      total += static_cast<double>(r.cores_allocated) * r.wall_seconds;
+    }
+    return total > 0.0 ? analysis / total : 0.0;
+  }
+
+  /// Fraction of preallocated cores actually used at step j — the Table 2
+  /// bucketing input.
+  static double used_fraction(const StagingStepRecord& rec, int preallocated) {
+    XL_REQUIRE(preallocated > 0, "preallocated core count must be positive");
+    return static_cast<double>(rec.cores_allocated) / static_cast<double>(preallocated);
+  }
+
+ private:
+  std::vector<StagingStepRecord> records_;
+};
+
+}  // namespace xl::cluster

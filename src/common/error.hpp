@@ -1,0 +1,64 @@
+// Error-handling primitives used across the library.
+//
+// Contract checks follow the C++ Core Guidelines Expects/Ensures style:
+//   XL_REQUIRE  -- precondition on a public API (throws xl::ContractError)
+//   XL_CHECK    -- internal invariant (throws xl::InternalError)
+//   XL_UNREACHABLE -- marks impossible control flow
+//
+// Checks are always on: the library is a research reproduction where silent
+// corruption of an experiment is far worse than a branch per call.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xl {
+
+/// Violation of a caller-facing precondition.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Violation of an internal invariant (a library bug).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+template <typename E>
+[[noreturn]] inline void throw_failure(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw E(os.str());
+}
+
+}  // namespace detail
+}  // namespace xl
+
+#define XL_REQUIRE(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::xl::detail::throw_failure<::xl::ContractError>(                   \
+          "precondition", #cond, __FILE__, __LINE__, std::string(msg));   \
+    }                                                                     \
+  } while (0)
+
+#define XL_CHECK(cond, msg)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::xl::detail::throw_failure<::xl::InternalError>(                   \
+          "invariant", #cond, __FILE__, __LINE__, std::string(msg));      \
+    }                                                                     \
+  } while (0)
+
+#define XL_UNREACHABLE(msg)                                               \
+  ::xl::detail::throw_failure<::xl::InternalError>("unreachable", "false", \
+                                                   __FILE__, __LINE__,    \
+                                                   std::string(msg))

@@ -1,0 +1,42 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace xl::log {
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(Level::Warn)};
+std::mutex g_write_mutex;
+
+}  // namespace
+
+Level threshold() noexcept { return static_cast<Level>(g_threshold.load(std::memory_order_relaxed)); }
+
+void set_threshold(Level level) noexcept {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+
+void write(Level level, const char* file, int line, const std::string& message) {
+  // Strip directories so records stay short.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%-5s] %s:%d: %s\n", level_name(level), base, line, message.c_str());
+}
+
+}  // namespace xl::log

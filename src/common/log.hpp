@@ -1,0 +1,41 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// Usage:
+//   XL_LOG_INFO("regrid produced " << nboxes << " boxes");
+// Level is a process-wide setting (default: Warn) so that test and bench
+// output stays clean; examples raise it to Info.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace xl::log {
+
+enum class Level : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Process-wide minimum level that will be emitted.
+Level threshold() noexcept;
+void set_threshold(Level level) noexcept;
+
+/// Emit one formatted record (used by the macros below).
+void write(Level level, const char* file, int line, const std::string& message);
+
+const char* level_name(Level level) noexcept;
+
+}  // namespace xl::log
+
+#define XL_LOG_AT(lvl, expr)                                          \
+  do {                                                                \
+    if (static_cast<int>(lvl) >= static_cast<int>(::xl::log::threshold())) { \
+      std::ostringstream xl_log_os;                                   \
+      xl_log_os << expr;                                              \
+      ::xl::log::write(lvl, __FILE__, __LINE__, xl_log_os.str());     \
+    }                                                                 \
+  } while (0)
+
+#define XL_LOG_TRACE(expr) XL_LOG_AT(::xl::log::Level::Trace, expr)
+#define XL_LOG_DEBUG(expr) XL_LOG_AT(::xl::log::Level::Debug, expr)
+#define XL_LOG_INFO(expr) XL_LOG_AT(::xl::log::Level::Info, expr)
+#define XL_LOG_WARN(expr) XL_LOG_AT(::xl::log::Level::Warn, expr)
+#define XL_LOG_ERROR(expr) XL_LOG_AT(::xl::log::Level::Error, expr)

@@ -1,0 +1,61 @@
+// Shared-memory work distribution for the real kernels (AMR sweeps, marching
+// cubes, entropy). OpenMP-style static chunking over an index range; the pool
+// is optional — with 0 or 1 workers parallel_for degrades to a serial loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace xl {
+
+/// Fixed-size worker pool with a simple task queue. Tasks must not throw
+/// across the pool boundary; exceptions are captured and rethrown by wait().
+class ThreadPool {
+ public:
+  /// @param workers number of worker threads; 0 means "run inline on the caller".
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Enqueue a task; runs inline when the pool has no workers.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is drained and all workers are idle; rethrows the
+  /// first captured exception, if any.
+  void wait();
+
+  /// Process-wide default pool sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Static-chunked parallel loop over [begin, end). The body receives a
+/// half-open subrange [lo, hi); chunk count defaults to worker count.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Convenience overload on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace xl

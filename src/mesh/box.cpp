@@ -1,0 +1,46 @@
+#include "mesh/box.hpp"
+
+namespace xl::mesh {
+
+Box Box::chop(int dim, int at) {
+  XL_REQUIRE(dim >= 0 && dim < kDim, "chop dimension out of range");
+  XL_REQUIRE(at > lo_[dim] && at <= hi_[dim], "chop plane must cut strictly inside");
+  IntVect lo_hi = hi_;
+  lo_hi[dim] = at - 1;
+  const Box lower(lo_, lo_hi);
+  lo_[dim] = at;
+  return lower;
+}
+
+void Box::subtract(const Box& o, std::vector<Box>& out) const {
+  const Box overlap = *this & o;
+  if (overlap.empty()) {
+    if (!empty()) out.push_back(*this);
+    return;
+  }
+  if (overlap == *this) return;  // fully covered
+  // Peel one slab per face of the overlap, dimension by dimension. The slabs
+  // are pairwise disjoint and together with `overlap` tile *this.
+  Box rest = *this;
+  for (int d = 0; d < kDim; ++d) {
+    if (rest.lo_[d] < overlap.lo()[d]) {
+      IntVect hi = rest.hi_;
+      hi[d] = overlap.lo()[d] - 1;
+      out.emplace_back(rest.lo_, hi);
+      rest.lo_[d] = overlap.lo()[d];
+    }
+    if (rest.hi_[d] > overlap.hi()[d]) {
+      IntVect lo = rest.lo_;
+      lo[d] = overlap.hi()[d] + 1;
+      out.emplace_back(lo, rest.hi_);
+      rest.hi_[d] = overlap.hi()[d];
+    }
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+  if (b.empty()) return os << "[empty]";
+  return os << "[" << b.lo() << ".." << b.hi() << "]";
+}
+
+}  // namespace xl::mesh

@@ -1,0 +1,31 @@
+#include "mesh/fab.hpp"
+
+namespace xl::mesh {
+
+std::vector<double> Fab::pack(const Box& region) const {
+  const Box overlap = box_ & region;
+  std::vector<double> buffer;
+  buffer.reserve(static_cast<std::size_t>(overlap.num_cells()) *
+                 static_cast<std::size_t>(ncomp_));
+  for (int c = 0; c < ncomp_; ++c) {
+    for (BoxIterator it(overlap); it.ok(); ++it) {
+      buffer.push_back((*this)(*it, c));
+    }
+  }
+  return buffer;
+}
+
+void Fab::unpack(const Box& region, std::span<const double> buffer) {
+  const Box overlap = box_ & region;
+  const std::size_t expected = static_cast<std::size_t>(overlap.num_cells()) *
+                               static_cast<std::size_t>(ncomp_);
+  XL_REQUIRE(buffer.size() == expected, "unpack buffer size mismatch");
+  std::size_t i = 0;
+  for (int c = 0; c < ncomp_; ++c) {
+    for (BoxIterator it(overlap); it.ok(); ++it) {
+      (*this)(*it, c) = buffer[i++];
+    }
+  }
+}
+
+}  // namespace xl::mesh

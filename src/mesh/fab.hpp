@@ -1,0 +1,103 @@
+// FArrayBox-style dense field storage: `ncomp` double components over the
+// cells of a Box, Fortran-ordered (x fastest, component slowest). This is the
+// in-memory representation every kernel (Godunov sweeps, marching cubes,
+// downsampling, entropy) operates on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mesh/box.hpp"
+
+namespace xl::mesh {
+
+class Fab {
+ public:
+  Fab() = default;
+
+  Fab(const Box& box, int ncomp, double fill = 0.0)
+      : box_(box), ncomp_(ncomp),
+        data_(static_cast<std::size_t>(box.num_cells()) * static_cast<std::size_t>(ncomp), fill) {
+    XL_REQUIRE(ncomp > 0, "Fab needs at least one component");
+    XL_REQUIRE(!box.empty(), "Fab over an empty box");
+  }
+
+  const Box& box() const noexcept { return box_; }
+  int ncomp() const noexcept { return ncomp_; }
+  std::int64_t cells() const noexcept { return box_.num_cells(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool defined() const noexcept { return !data_.empty(); }
+
+  /// Bytes of payload (what staging transfers account).
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(double); }
+
+  double& operator()(const IntVect& p, int comp = 0) {
+    return data_[offset(p, comp)];
+  }
+  double operator()(const IntVect& p, int comp = 0) const {
+    return data_[offset(p, comp)];
+  }
+
+  /// Flat view of one component, Fortran-ordered over the box.
+  std::span<double> comp(int c) {
+    XL_REQUIRE(c >= 0 && c < ncomp_, "component out of range");
+    return {data_.data() + static_cast<std::size_t>(cells()) * static_cast<std::size_t>(c),
+            static_cast<std::size_t>(cells())};
+  }
+  std::span<const double> comp(int c) const {
+    XL_REQUIRE(c >= 0 && c < ncomp_, "component out of range");
+    return {data_.data() + static_cast<std::size_t>(cells()) * static_cast<std::size_t>(c),
+            static_cast<std::size_t>(cells())};
+  }
+
+  std::span<double> flat() noexcept { return data_; }
+  std::span<const double> flat() const noexcept { return data_; }
+
+  void set_all(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Copy the overlap of `src` (restricted to `region`) into this fab, all
+  /// components. Regions outside either box are ignored.
+  void copy_from(const Fab& src, const Box& region) {
+    XL_REQUIRE(src.ncomp_ == ncomp_, "component count mismatch in copy");
+    const Box overlap = box_ & src.box_ & region;
+    for (int c = 0; c < ncomp_; ++c) {
+      for (BoxIterator it(overlap); it.ok(); ++it) {
+        (*this)(*it, c) = src(*it, c);
+      }
+    }
+  }
+
+  /// Copy overlap of src shifted by `shift`: dest(p) = src(p - shift).
+  /// Used for periodic ghost exchange where the source box is wrapped.
+  void copy_from_shifted(const Fab& src, const Box& dest_region, const IntVect& shift) {
+    XL_REQUIRE(src.ncomp_ == ncomp_, "component count mismatch in copy");
+    const Box overlap = box_ & dest_region;
+    for (int c = 0; c < ncomp_; ++c) {
+      for (BoxIterator it(overlap); it.ok(); ++it) {
+        const IntVect sp = *it - shift;
+        if (src.box_.contains(sp)) (*this)(*it, c) = src(sp, c);
+      }
+    }
+  }
+
+  /// Linearize the overlap of this fab with `region` (all components) into a
+  /// contiguous buffer — the wire format the transport layer ships.
+  std::vector<double> pack(const Box& region) const;
+
+  /// Inverse of pack(): scatter `buffer` into the overlap with `region`.
+  void unpack(const Box& region, std::span<const double> buffer);
+
+ private:
+  std::size_t offset(const IntVect& p, int comp) const {
+    XL_REQUIRE(comp >= 0 && comp < ncomp_, "component out of range");
+    return static_cast<std::size_t>(box_.index_of(p)) +
+           static_cast<std::size_t>(cells()) * static_cast<std::size_t>(comp);
+  }
+
+  Box box_;
+  int ncomp_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace xl::mesh

@@ -1,0 +1,111 @@
+// Integer lattice points for 3-D block-structured meshes (Chombo's IntVect).
+// The library is fixed at three space dimensions, matching the paper's
+// 3-D Polytropic Gas and Advection-Diffusion workloads.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace xl::mesh {
+
+inline constexpr int kDim = 3;
+
+/// A point on the integer lattice Z^3.
+struct IntVect {
+  std::array<int, kDim> v{0, 0, 0};
+
+  constexpr IntVect() = default;
+  constexpr IntVect(int x, int y, int z) : v{x, y, z} {}
+
+  static constexpr IntVect zero() { return {0, 0, 0}; }
+  static constexpr IntVect unit() { return {1, 1, 1}; }
+  static constexpr IntVect uniform(int s) { return {s, s, s}; }
+
+  constexpr int operator[](int d) const { return v[static_cast<std::size_t>(d)]; }
+  constexpr int& operator[](int d) { return v[static_cast<std::size_t>(d)]; }
+
+  constexpr bool operator==(const IntVect& o) const { return v == o.v; }
+  constexpr bool operator!=(const IntVect& o) const { return v != o.v; }
+
+  /// Componentwise comparisons (partial order on the lattice).
+  constexpr bool all_le(const IntVect& o) const {
+    return v[0] <= o.v[0] && v[1] <= o.v[1] && v[2] <= o.v[2];
+  }
+  constexpr bool all_lt(const IntVect& o) const {
+    return v[0] < o.v[0] && v[1] < o.v[1] && v[2] < o.v[2];
+  }
+  constexpr bool all_ge(const IntVect& o) const { return o.all_le(*this); }
+
+  constexpr IntVect operator+(const IntVect& o) const {
+    return {v[0] + o.v[0], v[1] + o.v[1], v[2] + o.v[2]};
+  }
+  constexpr IntVect operator-(const IntVect& o) const {
+    return {v[0] - o.v[0], v[1] - o.v[1], v[2] - o.v[2]};
+  }
+  constexpr IntVect operator*(int s) const { return {v[0] * s, v[1] * s, v[2] * s}; }
+  constexpr IntVect operator+(int s) const { return {v[0] + s, v[1] + s, v[2] + s}; }
+  constexpr IntVect operator-(int s) const { return {v[0] - s, v[1] - s, v[2] - s}; }
+
+  IntVect& operator+=(const IntVect& o) {
+    for (int d = 0; d < kDim; ++d) v[static_cast<std::size_t>(d)] += o[d];
+    return *this;
+  }
+
+  constexpr IntVect min(const IntVect& o) const {
+    return {v[0] < o.v[0] ? v[0] : o.v[0], v[1] < o.v[1] ? v[1] : o.v[1],
+            v[2] < o.v[2] ? v[2] : o.v[2]};
+  }
+  constexpr IntVect max(const IntVect& o) const {
+    return {v[0] > o.v[0] ? v[0] : o.v[0], v[1] > o.v[1] ? v[1] : o.v[1],
+            v[2] > o.v[2] ? v[2] : o.v[2]};
+  }
+
+  /// Floor division by a (positive) refinement ratio; rounds toward -inf so
+  /// coarsen/refine round-trips preserve containment.
+  IntVect coarsen(const IntVect& ratio) const {
+    IntVect r;
+    for (int d = 0; d < kDim; ++d) {
+      XL_REQUIRE(ratio[d] > 0, "refinement ratio must be positive");
+      const int a = v[static_cast<std::size_t>(d)];
+      const int b = ratio[d];
+      r[d] = (a >= 0) ? a / b : -((-a + b - 1) / b);
+    }
+    return r;
+  }
+
+  IntVect refine(const IntVect& ratio) const {
+    IntVect r;
+    for (int d = 0; d < kDim; ++d) {
+      XL_REQUIRE(ratio[d] > 0, "refinement ratio must be positive");
+      r[d] = v[static_cast<std::size_t>(d)] * ratio[d];
+    }
+    return r;
+  }
+
+  constexpr std::int64_t product() const {
+    return static_cast<std::int64_t>(v[0]) * v[1] * v[2];
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const IntVect& p) {
+  return os << "(" << p[0] << "," << p[1] << "," << p[2] << ")";
+}
+
+/// Hash for unordered containers keyed on lattice points.
+struct IntVectHash {
+  std::size_t operator()(const IntVect& p) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (int d = 0; d < kDim; ++d) {
+      h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(p[d]));
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace xl::mesh

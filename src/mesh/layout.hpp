@@ -1,0 +1,70 @@
+// Disjoint box layouts: the set of boxes tiling one AMR level together with
+// their rank assignment (Chombo's DisjointBoxLayout + LoadBalance).
+//
+// Two balancers are provided:
+//  * Morton-ordered round-robin (locality-preserving, Chombo's default), and
+//  * LPT knapsack on per-box cell counts (better balance, worse locality).
+// The choice is an experiment knob because load imbalance is precisely what
+// drives the paper's Fig. 1 memory profile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/box.hpp"
+
+namespace xl::mesh {
+
+enum class BalanceMethod { MortonRoundRobin, KnapsackLpt };
+
+class BoxLayout {
+ public:
+  /// Layouts at or below this box count get a pairwise disjointness check at
+  /// construction; larger ones are trusted (they come from decompose() /
+  /// berger_rigoutsos(), disjoint by construction).
+  static constexpr std::size_t kVerifyDisjointLimit = 512;
+
+  BoxLayout() = default;
+
+  /// Boxes must be pairwise disjoint (checked up to kVerifyDisjointLimit) and
+  /// each is assigned a rank in [0, nranks).
+  BoxLayout(std::vector<Box> boxes, std::vector<int> ranks, int nranks);
+
+  std::size_t num_boxes() const noexcept { return boxes_.size(); }
+  int num_ranks() const noexcept { return nranks_; }
+  const Box& box(std::size_t i) const { return boxes_.at(i); }
+  int rank_of(std::size_t i) const { return ranks_.at(i); }
+  const std::vector<Box>& boxes() const noexcept { return boxes_; }
+
+  /// Total cells across all boxes.
+  std::int64_t total_cells() const noexcept;
+
+  /// Cells assigned to each rank (size nranks). Ranks with no boxes get 0.
+  std::vector<std::int64_t> cells_per_rank() const;
+
+  /// Max-over-mean cell imbalance; 1.0 is perfect.
+  double imbalance() const;
+
+  /// Indices of boxes owned by `rank`.
+  std::vector<std::size_t> boxes_of_rank(int rank) const;
+
+  /// Union bounding box.
+  Box bounding_box() const noexcept;
+
+ private:
+  std::vector<Box> boxes_;
+  std::vector<int> ranks_;
+  int nranks_ = 0;
+};
+
+/// Chop `domain` into boxes no larger than `max_box_size` cells per side.
+std::vector<Box> decompose(const Box& domain, int max_box_size);
+
+/// Assign `boxes` to `nranks` ranks.
+BoxLayout balance(std::vector<Box> boxes, int nranks,
+                  BalanceMethod method = BalanceMethod::MortonRoundRobin);
+
+/// Morton (Z-order) key of a lattice point; 21 bits per dimension.
+std::uint64_t morton_key(const IntVect& p);
+
+}  // namespace xl::mesh

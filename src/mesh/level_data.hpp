@@ -1,0 +1,82 @@
+// Data on one AMR level: one ghosted Fab per layout box plus the exchange
+// machinery that fills ghost cells from neighbouring boxes (Chombo's
+// LevelData<FArrayBox> + Copier).
+#pragma once
+
+#include <vector>
+
+#include "mesh/fab.hpp"
+#include "mesh/layout.hpp"
+
+namespace xl::mesh {
+
+/// One copy operation of an exchange plan: fill `region` of fab `dst` from
+/// fab `src`, where the source data is read at (cell - shift). shift is zero
+/// except across periodic boundaries.
+struct CopyOp {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  Box region;
+  IntVect shift;
+};
+
+/// Precomputed ghost-exchange plan for a (layout, ghost, periodic) triple.
+class Copier {
+ public:
+  Copier() = default;
+  Copier(const BoxLayout& layout, int nghost, const Box& domain, bool periodic);
+
+  const std::vector<CopyOp>& ops() const noexcept { return ops_; }
+
+  /// Bytes that would cross rank boundaries executing this plan (the DES cost
+  /// model consumes this).
+  std::size_t off_rank_bytes(const BoxLayout& layout, int ncomp) const;
+
+ private:
+  std::vector<CopyOp> ops_;
+};
+
+class LevelData {
+ public:
+  LevelData() = default;
+
+  /// Allocates one Fab per layout box, each grown by `nghost` cells.
+  LevelData(const BoxLayout& layout, int ncomp, int nghost);
+
+  const BoxLayout& layout() const noexcept { return layout_; }
+  int ncomp() const noexcept { return ncomp_; }
+  int nghost() const noexcept { return nghost_; }
+  std::size_t size() const noexcept { return fabs_.size(); }
+
+  Fab& operator[](std::size_t i) { return fabs_.at(i); }
+  const Fab& operator[](std::size_t i) const { return fabs_.at(i); }
+
+  /// The un-ghosted (valid) region of box i.
+  const Box& valid_box(std::size_t i) const { return layout_.box(i); }
+
+  /// Fill ghost cells from the valid regions of neighbouring boxes using a
+  /// prebuilt plan.
+  void exchange(const Copier& copier);
+
+  /// Convenience: build the plan and exchange (non-periodic).
+  void exchange(const Box& domain, bool periodic = false);
+
+  /// Total payload bytes across all fabs (ghosts included).
+  std::size_t bytes() const noexcept;
+
+  /// Sum over valid cells of component c (diagnostic / conservation checks).
+  double sum(int c) const;
+
+  /// Min/max over valid cells of component c.
+  std::pair<double, double> min_max(int c) const;
+
+  void set_all(double value);
+
+ private:
+  BoxLayout layout_;
+  int ncomp_ = 0;
+  int nghost_ = 0;
+  std::vector<Fab> fabs_;
+};
+
+}  // namespace xl::mesh

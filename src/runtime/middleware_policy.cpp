@@ -1,0 +1,49 @@
+#include "runtime/middleware_policy.hpp"
+
+namespace xl::runtime {
+
+MiddlewareDecision decide_placement(const PlacementInputs& in) {
+  const bool insitu_ok = in.insitu_mem_needed <= in.insitu_mem_available;
+  const bool intransit_ok = in.data_bytes <= in.intransit_mem_free;
+
+  MiddlewareDecision d;
+  if (!insitu_ok && !intransit_ok) {
+    // Neither side can take the analysis at full size; the caller must shrink
+    // the data first (the cross-layer policy routes this to the application
+    // layer). We fall back to in-situ, which degrades gracefully.
+    d.placement = Placement::InSitu;
+    d.feasible = false;
+    d.reason = "infeasible-both";
+    return d;
+  }
+  if (insitu_ok != intransit_ok) {
+    // Case 1: memory admits exactly one location.
+    d.placement = insitu_ok ? Placement::InSitu : Placement::InTransit;
+    d.reason = "memory-forced";
+    return d;
+  }
+  if (in.intransit_backlog_seconds <= 0.0) {
+    // Case 2: staging idle -> in-transit runs in parallel with the next
+    // simulation step, hiding the analysis entirely.
+    d.placement = Placement::InTransit;
+    d.reason = "staging-idle";
+    return d;
+  }
+  // Case 3 (eq. 7): staging busy. In-transit completes at backlog + own
+  // processing; in-situ completes in est_insitu_seconds but blocks the
+  // simulation for that long. Choose in-transit iff the remaining backlog is
+  // shorter than the in-situ execution (the paper compares the *remaining*
+  // time against the in-situ estimate: transfers are asynchronous, so the
+  // simulation only cares whether staging frees up before it would have
+  // finished the analysis itself).
+  if (in.intransit_backlog_seconds < in.est_insitu_seconds) {
+    d.placement = Placement::InTransit;
+    d.reason = "backlog-shorter-than-insitu";
+  } else {
+    d.placement = Placement::InSitu;
+    d.reason = "insitu-faster-than-backlog";
+  }
+  return d;
+}
+
+}  // namespace xl::runtime

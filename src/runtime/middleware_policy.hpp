@@ -1,0 +1,50 @@
+// Middleware-layer adaptation policy (paper §4.2, eqs. 4-8): place each
+// step's analysis in-situ or in-transit to minimize the overall
+// time-to-solution, i.e. minimize max(T_sum_insitu, T_sum_intransit).
+//
+// The three trigger cases from the paper:
+//  (1) only one location has the memory for the analysis -> place it there;
+//  (2) both feasible and the in-transit cores are idle -> in-transit (it
+//      overlaps with the next simulation step);
+//  (3) both feasible but staging is busy with earlier steps -> compare the
+//      estimated in-transit completion (backlog + processing, eq. 7) with the
+//      estimated in-situ time and pick the faster.
+#pragma once
+
+#include <cstddef>
+
+#include "runtime/state.hpp"
+
+namespace xl::runtime {
+
+struct PlacementInputs {
+  /// S_i_data after any application-layer reduction.
+  std::size_t data_bytes = 0;
+
+  /// In-situ feasibility: memory the analysis kernel needs on the simulation
+  /// nodes vs. what is free there (eq. 8's Mem_insitu <= Mem_available).
+  std::size_t insitu_mem_needed = 0;
+  std::size_t insitu_mem_available = 0;
+
+  /// In-transit feasibility: staging must be able to cache the data
+  /// (eq. 8/10's Mem_intransit >= S_data).
+  std::size_t intransit_mem_free = 0;
+
+  /// Seconds until the staging cores finish the backlog of earlier steps
+  /// (eq. 7's T_j_intransit_remaining); 0 means idle.
+  double intransit_backlog_seconds = 0.0;
+
+  /// Estimated execution times from the Monitor.
+  double est_insitu_seconds = 0.0;     ///< T_insitu(N, S_i).
+  double est_intransit_seconds = 0.0;  ///< T_intransit(M, S_i).
+};
+
+struct MiddlewareDecision {
+  Placement placement = Placement::InSitu;
+  bool feasible = true;       ///< false when NEITHER location has memory.
+  const char* reason = "";    ///< which trigger case fired (for logs/tests).
+};
+
+MiddlewareDecision decide_placement(const PlacementInputs& in);
+
+}  // namespace xl::runtime

@@ -1,0 +1,89 @@
+// The Monitor (paper §3): samples runtime status at the three layers every k
+// simulation steps and provides the execution-time estimators the middleware
+// policy's eq. 7 needs. Estimation is history-based: per-cell kernel costs
+// are tracked with an EWMA (or last-value / injected-oracle for the ablation
+// bench) and scaled by the current data size and core count.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "runtime/state.hpp"
+
+namespace xl::runtime {
+
+/// One completed analysis observation.
+struct AnalysisSample {
+  int step = 0;
+  Placement placement = Placement::InSitu;
+  std::size_t cells = 0;
+  int cores = 1;
+  double seconds = 0.0;
+};
+
+enum class EstimatorKind { Ewma, LastValue, Oracle };
+
+struct MonitorConfig {
+  int sampling_period = 1;   ///< monitor every k steps (Fig. 3's cadence).
+  EstimatorKind estimator = EstimatorKind::Ewma;
+  double ewma_alpha = 0.5;
+  /// Parallel-efficiency exponent used to normalize observations taken at
+  /// different core counts: seconds ~ cells / cores^eff.
+  double parallel_efficiency = 0.95;
+  /// Seed estimate used before any observation exists (seconds per cell per
+  /// effective core).
+  double prior_cost = 1.0e-7;
+};
+
+class Monitor {
+ public:
+  explicit Monitor(const MonitorConfig& config = {});
+
+  const MonitorConfig& config() const noexcept { return config_; }
+
+  /// Is `step` a sampling step (adaptations only trigger on these)?
+  bool should_sample(int step) const noexcept {
+    return step % config_.sampling_period == 0;
+  }
+
+  /// Record a finished analysis execution.
+  void record_analysis(const AnalysisSample& sample);
+
+  /// Record a simulation step duration together with the cell count it
+  /// advanced (the estimator scales by the cell ratio).
+  void record_sim_step(int step, double seconds, std::size_t cells);
+
+  /// Inject the true upcoming cost (Oracle estimator ablation only).
+  void set_oracle(double insitu_seconds, double intransit_seconds);
+
+  /// Estimated in-situ analysis time for `cells` on `cores` (eq. 7's
+  /// T_insitu(N, S_data)).
+  double estimate_analysis_seconds(Placement placement, std::size_t cells,
+                                   int cores) const;
+
+  /// Estimated next simulation step duration (resource policy eq. 9 needs
+  /// T_{i+1}_sim); last observation, scaled by the cell ratio.
+  double estimate_sim_seconds(std::size_t cells) const;
+
+  std::size_t analysis_observations() const noexcept { return analysis_count_; }
+
+ private:
+  double normalized_cost(Placement placement) const;
+
+  MonitorConfig config_;
+  Ewma insitu_cost_;     ///< seconds per cell per effective core.
+  Ewma intransit_cost_;
+  double last_insitu_cost_ = 0.0;
+  double last_intransit_cost_ = 0.0;
+  bool has_insitu_ = false;
+  bool has_intransit_ = false;
+  std::optional<double> oracle_insitu_;
+  std::optional<double> oracle_intransit_;
+  double last_sim_seconds_ = 0.0;
+  std::size_t last_sim_cells_ = 0;
+  std::size_t analysis_count_ = 0;
+};
+
+}  // namespace xl::runtime

@@ -1,0 +1,52 @@
+#include "runtime/resource_policy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace xl::runtime {
+
+ResourceDecision select_intransit_cores(const ResourceInputs& in) {
+  XL_REQUIRE(in.mem_per_core > 0, "staging cores need memory");
+  XL_REQUIRE(in.min_cores >= 1, "need at least one staging core");
+  XL_REQUIRE(in.max_cores >= in.min_cores, "max cores below min cores");
+  XL_REQUIRE(static_cast<bool>(in.intransit_seconds), "need an in-transit time estimator");
+
+  ResourceDecision d;
+  // Eq. 10: enough aggregate staging memory to cache S_data.
+  const auto mem_cores = static_cast<int>(
+      (in.data_bytes + in.mem_per_core - 1) / in.mem_per_core);
+  d.memory_floor_cores = std::clamp(std::max(mem_cores, in.min_cores), in.min_cores,
+                                    in.max_cores);
+
+  // Eq. 9: grow M until T_intransit(M) + T_recv <= T_{i+1}_sim + T_sd.
+  const double budget = in.next_sim_seconds + in.send_seconds;
+  int m = d.memory_floor_cores;
+  // Doubling then binary search keeps this O(log max_cores) even for the
+  // 16K-core experiments.
+  auto meets = [&](int cores) {
+    return in.intransit_seconds(cores) + in.recv_seconds <= budget;
+  };
+  if (!meets(m)) {
+    int lo = m, hi = m;
+    while (hi < in.max_cores && !meets(hi)) {
+      lo = hi;
+      hi = std::min(in.max_cores, hi * 2);
+    }
+    if (!meets(hi)) {
+      d.cores = in.max_cores;
+      d.deadline_met = false;
+      return d;
+    }
+    // Smallest M in (lo, hi] meeting the deadline.
+    while (lo + 1 < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      (meets(mid) ? hi : lo) = mid;
+    }
+    m = hi;
+  }
+  d.cores = m;
+  return d;
+}
+
+}  // namespace xl::runtime

@@ -1,0 +1,34 @@
+// Resource-layer adaptation policy (paper §4.3, eqs. 9-10): minimize the
+// number of in-transit cores M subject to
+//   (10) the staging memory across M cores can cache this step's data, and
+//   (9)  the in-transit analysis + receive finishes within the next
+//        simulation step + send time (so staging never becomes the pipeline
+//        bottleneck: "ideal time-to-solution" with minimal idle cores).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace xl::runtime {
+
+struct ResourceInputs {
+  std::size_t data_bytes = 0;           ///< S_data to stage this step.
+  std::size_t mem_per_core = 0;         ///< staging memory per in-transit core.
+  double next_sim_seconds = 0.0;        ///< T_{i+1}_sim estimate.
+  double send_seconds = 0.0;            ///< T_sd(S_{i+1}).
+  double recv_seconds = 0.0;            ///< T_recv(S_i).
+  int min_cores = 1;                    ///< floor (never release below this).
+  int max_cores = 1 << 20;              ///< allocation ceiling (preallocated pool).
+  /// T_intransit(M, S_data) estimator, monotone non-increasing in M.
+  std::function<double(int)> intransit_seconds;
+};
+
+struct ResourceDecision {
+  int cores = 1;                 ///< selected M.
+  bool deadline_met = true;      ///< eq. 9 satisfiable within max_cores?
+  int memory_floor_cores = 1;    ///< M forced by eq. 10 alone.
+};
+
+ResourceDecision select_intransit_cores(const ResourceInputs& in);
+
+}  // namespace xl::runtime

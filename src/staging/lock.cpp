@@ -1,0 +1,56 @@
+#include "staging/lock.hpp"
+
+#include "common/error.hpp"
+
+namespace xl::staging {
+
+void VersionLockManager::lock_on_write(int version) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  VersionState& state = versions_[version];
+  XL_REQUIRE(!state.complete, "version already written and sealed");
+  cv_.wait(lock, [&] { return !versions_[version].writer_active; });
+  versions_[version].writer_active = true;
+}
+
+void VersionLockManager::unlock_on_write(int version) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = versions_.find(version);
+    XL_REQUIRE(it != versions_.end() && it->second.writer_active,
+               "unlock_on_write without a held write lock");
+    it->second.writer_active = false;
+    it->second.complete = true;
+  }
+  cv_.notify_all();
+}
+
+void VersionLockManager::lock_on_read(int version) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] {
+    auto it = versions_.find(version);
+    return it != versions_.end() && it->second.complete;
+  });
+  ++versions_[version].readers;
+}
+
+void VersionLockManager::unlock_on_read(int version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = versions_.find(version);
+  XL_REQUIRE(it != versions_.end() && it->second.readers > 0,
+             "unlock_on_read without a held read lock");
+  --it->second.readers;
+}
+
+bool VersionLockManager::is_complete(int version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = versions_.find(version);
+  return it != versions_.end() && it->second.complete;
+}
+
+int VersionLockManager::active_readers(int version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = versions_.find(version);
+  return it == versions_.end() ? 0 : it->second.readers;
+}
+
+}  // namespace xl::staging

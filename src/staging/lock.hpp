@@ -1,0 +1,51 @@
+// DataSpaces-style version locks: the coordination primitive that sequences
+// a coupled producer/consumer pair over the shared space ("distributed
+// interaction and coordination services", the role DataSpaces plays for the
+// paper's workflow). A producer takes the write lock for a version, puts its
+// objects, and releases; consumers block on the read lock until the version
+// is complete. Locks are per-version, so consumer(version v) overlaps with
+// producer(version v+1) — the pipelining the in-transit path relies on.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+namespace xl::staging {
+
+class VersionLockManager {
+ public:
+  /// Producer side: acquire the exclusive write lock for `version`. Blocks
+  /// while another writer holds it.
+  void lock_on_write(int version);
+
+  /// Producer side: release the write lock and mark `version` complete;
+  /// wakes all readers waiting on it.
+  void unlock_on_write(int version);
+
+  /// Consumer side: block until `version` has been written completely.
+  void lock_on_read(int version);
+
+  /// Consumer side: release the read lock (bookkeeping only; reads are
+  /// shared).
+  void unlock_on_read(int version);
+
+  /// Non-blocking probe: has `version` been completely written?
+  bool is_complete(int version) const;
+
+  /// Readers currently inside the read lock of `version`.
+  int active_readers(int version) const;
+
+ private:
+  struct VersionState {
+    bool writer_active = false;
+    bool complete = false;
+    int readers = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<int, VersionState> versions_;
+};
+
+}  // namespace xl::staging

@@ -1,0 +1,162 @@
+#include "staging/service.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace xl::staging {
+
+using Clock = std::chrono::steady_clock;
+
+StagingService::StagingService(const ServiceConfig& config)
+    : config_(config), space_(config.num_servers, config.memory_per_server) {
+  XL_REQUIRE(config.num_servers >= 1, "service needs at least one server");
+  workers_.reserve(static_cast<std::size_t>(config.num_servers));
+  for (int s = 0; s < config.num_servers; ++s) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+StagingService::~StagingService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void StagingService::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    XL_REQUIRE(!stop_, "service is shutting down");
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void StagingService::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    const auto start = Clock::now();
+    task();  // tasks capture their promise and never throw past it
+    const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_seconds_ += elapsed;
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+std::future<PutAck> StagingService::put_async(int version, const mesh::Box& box,
+                                              mesh::Fab payload) {
+  auto promise = std::make_shared<std::promise<PutAck>>();
+  std::future<PutAck> future = promise->get_future();
+  auto shared_payload = std::make_shared<mesh::Fab>(std::move(payload));
+  enqueue([this, version, box, shared_payload, promise] {
+    PutAck ack;
+    const std::size_t bytes = shared_payload->bytes();
+    // Space mutations happen on service threads; the space itself is guarded
+    // by the service mutex (requests may run on several workers).
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (space_.can_accept(box, bytes)) {
+      ack.id = space_.put(version, box, shared_payload->ncomp(), bytes,
+                          std::move(*shared_payload));
+      ack.accepted = true;
+    }
+    promise->set_value(ack);
+  });
+  return future;
+}
+
+std::future<std::vector<mesh::Fab>> StagingService::get_async(int version,
+                                                              const mesh::Box& region) {
+  auto promise = std::make_shared<std::promise<std::vector<mesh::Fab>>>();
+  auto future = promise->get_future();
+  enqueue([this, version, region, promise] {
+    std::vector<mesh::Fab> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const StagedObject* obj : space_.query(version, region)) {
+      if (!obj->payload) continue;
+      mesh::Fab copy(obj->payload->box(), obj->payload->ncomp());
+      copy.copy_from(*obj->payload, obj->payload->box());
+      out.push_back(std::move(copy));
+    }
+    promise->set_value(std::move(out));
+  });
+  return future;
+}
+
+std::future<AnalysisResult> StagingService::analyze_async(int version,
+                                                          const mesh::Box& region,
+                                                          double isovalue, int comp) {
+  auto promise = std::make_shared<std::promise<AnalysisResult>>();
+  auto future = promise->get_future();
+  enqueue([this, version, region, isovalue, comp, promise] {
+    const auto start = Clock::now();
+    AnalysisResult result;
+    // Pull matching payloads under the lock, then triangulate outside it so
+    // other requests are not serialized behind the compute.
+    std::vector<mesh::Fab> payloads;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::vector<std::uint64_t> ids;
+      for (const StagedObject* obj : space_.query(version, region)) {
+        if (!obj->payload) continue;
+        mesh::Fab copy(obj->payload->box(), obj->payload->ncomp());
+        copy.copy_from(*obj->payload, obj->payload->box());
+        payloads.push_back(std::move(copy));
+        ids.push_back(obj->id);
+      }
+      for (std::uint64_t id : ids) space_.erase(id);
+    }
+    for (const mesh::Fab& fab : payloads) {
+      const mesh::Box cells(fab.box().lo(), fab.box().hi() - 1);
+      if (cells.empty()) continue;
+      result.triangles +=
+          viz::extract_isosurface(fab, cells, isovalue, comp).triangle_count();
+    }
+    result.objects = payloads.size();
+    result.service_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    promise->set_value(result);
+  });
+  return future;
+}
+
+void StagingService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+std::size_t StagingService::pending_requests() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + static_cast<std::size_t>(in_flight_);
+}
+
+std::size_t StagingService::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return space_.used_bytes();
+}
+
+std::size_t StagingService::free_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return space_.free_bytes();
+}
+
+double StagingService::busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_seconds_;
+}
+
+}  // namespace xl::staging

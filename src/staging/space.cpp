@@ -1,0 +1,109 @@
+#include "staging/space.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace xl::staging {
+
+int server_for_box(const Box& box, int num_servers) {
+  XL_REQUIRE(num_servers >= 1, "need at least one server");
+  XL_REQUIRE(!box.empty(), "cannot index an empty box");
+  const mesh::IntVect center{(box.lo()[0] + box.hi()[0]) / 2,
+                             (box.lo()[1] + box.hi()[1]) / 2,
+                             (box.lo()[2] + box.hi()[2]) / 2};
+  const std::uint64_t key = mesh::morton_key(center);
+  // SplitMix64 finalizer: a plain multiply would leave the low bits (and so
+  // the modulus) a function of only the low Morton bits, hashing nearly all
+  // boxes to one server.
+  std::uint64_t h = key;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return static_cast<int>(h % static_cast<std::uint64_t>(num_servers));
+}
+
+StagingSpace::StagingSpace(int num_servers, std::size_t memory_per_server)
+    : memory_per_server_(memory_per_server),
+      server_used_(static_cast<std::size_t>(num_servers), 0) {
+  XL_REQUIRE(num_servers >= 1, "need at least one staging server");
+  XL_REQUIRE(memory_per_server > 0, "staging servers need memory");
+}
+
+std::size_t StagingSpace::used_bytes() const noexcept {
+  return std::accumulate(server_used_.begin(), server_used_.end(), std::size_t{0});
+}
+
+std::size_t StagingSpace::server_used_bytes(int server) const {
+  XL_REQUIRE(server >= 0 && server < num_servers(), "server out of range");
+  return server_used_[static_cast<std::size_t>(server)];
+}
+
+bool StagingSpace::can_accept(const Box& box, std::size_t bytes) const {
+  const int server = server_for_box(box, num_servers());
+  return server_used_[static_cast<std::size_t>(server)] + bytes <= memory_per_server_;
+}
+
+std::uint64_t StagingSpace::put(int version, const Box& box, int ncomp,
+                                std::size_t bytes, std::optional<Fab> payload) {
+  const int server = server_for_box(box, num_servers());
+  auto& used = server_used_[static_cast<std::size_t>(server)];
+  XL_REQUIRE(used + bytes <= memory_per_server_,
+             "staging server out of memory (caller must check can_accept)");
+  if (payload) {
+    XL_REQUIRE(payload->ncomp() == ncomp, "payload component count mismatch");
+  }
+  StagedObject obj;
+  obj.id = next_id_++;
+  obj.version = version;
+  obj.box = box;
+  obj.ncomp = ncomp;
+  obj.bytes = bytes;
+  obj.payload = std::move(payload);
+  obj.server = server;
+  used += bytes;
+  objects_.emplace(obj.id, std::move(obj));
+  return next_id_ - 1;
+}
+
+std::vector<const StagedObject*> StagingSpace::query(int version, const Box& region) const {
+  std::vector<const StagedObject*> hits;
+  for (const auto& [id, obj] : objects_) {
+    if (obj.version == version && obj.box.intersects(region)) hits.push_back(&obj);
+  }
+  return hits;
+}
+
+void StagingSpace::erase(std::uint64_t id) {
+  auto it = objects_.find(id);
+  XL_REQUIRE(it != objects_.end(), "erase of unknown staged object");
+  server_used_[static_cast<std::size_t>(it->second.server)] -= it->second.bytes;
+  objects_.erase(it);
+}
+
+std::size_t StagingSpace::erase_version(int version) {
+  std::size_t freed = 0;
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    if (it->second.version == version) {
+      freed += it->second.bytes;
+      server_used_[static_cast<std::size_t>(it->second.server)] -= it->second.bytes;
+      it = objects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return freed;
+}
+
+void StagingSpace::resize(int num_servers) {
+  XL_REQUIRE(num_servers >= 1, "need at least one staging server");
+  const auto target = static_cast<std::size_t>(num_servers);
+  if (target < server_used_.size()) {
+    for (std::size_t s = target; s < server_used_.size(); ++s) {
+      XL_REQUIRE(server_used_[s] == 0, "cannot shrink away a non-empty staging server");
+    }
+  }
+  server_used_.resize(target, 0);
+}
+
+}  // namespace xl::staging

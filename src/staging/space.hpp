@@ -1,0 +1,81 @@
+// The shared-space staging service modeled on DataSpaces: a group of staging
+// servers holding versioned, spatially-indexed data objects with per-server
+// memory accounting. Small-scale (in-process) runs store real Fab payloads;
+// machine-scale runs store metadata-only objects (byte sizes), exercising the
+// identical indexing and accounting code.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mesh/fab.hpp"
+#include "mesh/layout.hpp"
+
+namespace xl::staging {
+
+using mesh::Box;
+using mesh::Fab;
+
+/// One staged object: the data of `box` at time step `version`.
+struct StagedObject {
+  std::uint64_t id = 0;
+  int version = 0;
+  Box box;
+  int ncomp = 1;
+  std::size_t bytes = 0;
+  std::optional<Fab> payload;  ///< absent in metadata-only mode.
+  int server = -1;
+};
+
+/// Deterministic box -> server mapping via the Morton key of the box center:
+/// a space-filling-curve hash like DataSpaces' distributed index, preserving
+/// spatial locality across servers.
+int server_for_box(const Box& box, int num_servers);
+
+class StagingSpace {
+ public:
+  StagingSpace(int num_servers, std::size_t memory_per_server);
+
+  int num_servers() const noexcept { return static_cast<int>(server_used_.size()); }
+  std::size_t memory_per_server() const noexcept { return memory_per_server_; }
+  std::size_t capacity_bytes() const noexcept {
+    return memory_per_server_ * server_used_.size();
+  }
+  std::size_t used_bytes() const noexcept;
+  std::size_t free_bytes() const noexcept { return capacity_bytes() - used_bytes(); }
+  std::size_t server_used_bytes(int server) const;
+
+  /// Would `put` of an object of `bytes` into the server chosen for `box`
+  /// succeed right now?
+  bool can_accept(const Box& box, std::size_t bytes) const;
+
+  /// Insert an object (payload optional). Returns the assigned id.
+  /// Throws ContractError when the target server lacks memory.
+  std::uint64_t put(int version, const Box& box, int ncomp, std::size_t bytes,
+                    std::optional<Fab> payload = std::nullopt);
+
+  /// All objects of `version` intersecting `region`.
+  std::vector<const StagedObject*> query(int version, const Box& region) const;
+
+  /// Remove one object (after its analysis has consumed it).
+  void erase(std::uint64_t id);
+
+  /// Remove every object of `version`; returns bytes freed.
+  std::size_t erase_version(int version);
+
+  /// Grow or shrink the server group (resource-layer adaptation). Shrinking
+  /// requires the vacated servers to be empty; objects are never migrated.
+  void resize(int num_servers);
+
+  std::size_t object_count() const noexcept { return objects_.size(); }
+
+ private:
+  std::size_t memory_per_server_;
+  std::vector<std::size_t> server_used_;
+  std::map<std::uint64_t, StagedObject> objects_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace xl::staging

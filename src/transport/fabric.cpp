@@ -1,0 +1,22 @@
+#include "transport/fabric.hpp"
+
+namespace xl::transport {
+
+std::uint64_t Fabric::put(std::size_t bytes, int sender_nodes, int receiver_nodes,
+                          std::function<void(SimTime)> on_complete) {
+  const std::uint64_t id = next_id_++;
+  const double duration = cost_->transfer_seconds(bytes, sender_nodes, receiver_nodes);
+  TransferRecord rec;
+  rec.id = id;
+  rec.bytes = bytes;
+  rec.start = queue_->now();
+  rec.finish = rec.start + duration;
+  history_.emplace(id, rec);
+  total_bytes_ += bytes;
+  queue_->schedule_in(duration, [cb = std::move(on_complete), finish = rec.finish] {
+    cb(finish);
+  });
+  return id;
+}
+
+}  // namespace xl::transport

@@ -1,0 +1,58 @@
+// Asynchronous data transport between the simulation partition and the
+// staging partition — the role DataSpaces' DART layer plays in the paper.
+// Transfers are non-blocking: put() returns immediately and the completion
+// callback fires on the event queue when the modeled wire time elapses, which
+// is what lets the middleware policy overlap analysis with the next
+// simulation step (paper Fig. 4: "data transfer is asynchronous").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "cluster/cost_model.hpp"
+#include "cluster/event_queue.hpp"
+
+namespace xl::transport {
+
+using cluster::SimTime;
+
+struct TransferRecord {
+  std::uint64_t id = 0;
+  std::size_t bytes = 0;
+  SimTime start = 0.0;
+  SimTime finish = 0.0;
+};
+
+class Fabric {
+ public:
+  Fabric(cluster::EventQueue& queue, const cluster::CostModel& cost)
+      : queue_(&queue), cost_(&cost) {}
+
+  /// Start an asynchronous transfer of `bytes` from `sender_nodes` simulation
+  /// nodes to `receiver_nodes` staging nodes. `on_complete(finish_time)` runs
+  /// when the data has fully arrived. Returns the transfer id.
+  std::uint64_t put(std::size_t bytes, int sender_nodes, int receiver_nodes,
+                    std::function<void(SimTime)> on_complete);
+
+  /// Blocking-equivalent estimate without enqueuing (used by policies that
+  /// need T_sd / T_recv forecasts, eq. 9).
+  double estimate_seconds(std::size_t bytes, int sender_nodes, int receiver_nodes) const {
+    return cost_->transfer_seconds(bytes, sender_nodes, receiver_nodes);
+  }
+
+  std::size_t total_bytes_moved() const noexcept { return total_bytes_; }
+  std::uint64_t transfer_count() const noexcept { return next_id_; }
+  const std::unordered_map<std::uint64_t, TransferRecord>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  cluster::EventQueue* queue_;
+  const cluster::CostModel* cost_;
+  std::uint64_t next_id_ = 0;
+  std::size_t total_bytes_ = 0;
+  std::unordered_map<std::uint64_t, TransferRecord> history_;
+};
+
+}  // namespace xl::transport

@@ -1,0 +1,46 @@
+#include "viz/amr_isosurface.hpp"
+
+namespace xl::viz {
+
+using amr::AmrHierarchy;
+using mesh::Box;
+using mesh::BoxIterator;
+using mesh::IntVect;
+
+TriangleMesh extract_amr_isosurface(const AmrHierarchy& hierarchy, double isovalue,
+                                    int comp, double dx0, IsosurfaceStats* stats) {
+  TriangleMesh mesh;
+  double dx = dx0;
+  for (std::size_t lev = 0; lev < hierarchy.num_levels(); ++lev) {
+    const amr::AmrLevel& level = hierarchy.level(lev);
+    for (std::size_t i = 0; i < level.layout.num_boxes(); ++i) {
+      const Box valid = level.layout.box(i);
+      if (lev + 1 == hierarchy.num_levels()) {
+        // Finest level: extract over the whole valid region at once.
+        TriangleMesh part = extract_isosurface(level.data[i], valid, isovalue, comp, dx);
+        if (stats) {
+          stats->cells_scanned += static_cast<std::size_t>(valid.num_cells());
+          stats->active_cells += count_active_cells(level.data[i], valid, isovalue, comp);
+        }
+        mesh.append(part);
+      } else {
+        // Masked extraction: walk cells, skip those covered by finer data.
+        for (BoxIterator it(valid); it.ok(); ++it) {
+          if (!hierarchy.is_finest_at(lev, *it)) continue;
+          const Box cell(*it, *it);
+          TriangleMesh part = extract_isosurface(level.data[i], cell, isovalue, comp, dx);
+          if (stats) {
+            ++stats->cells_scanned;
+            stats->active_cells += count_active_cells(level.data[i], cell, isovalue, comp);
+          }
+          mesh.append(part);
+        }
+      }
+    }
+    dx /= static_cast<double>(hierarchy.config().ref_ratio);
+  }
+  if (stats) stats->triangles = mesh.triangle_count();
+  return mesh;
+}
+
+}  // namespace xl::viz

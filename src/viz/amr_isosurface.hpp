@@ -1,0 +1,23 @@
+// The visualization service of the paper's workflow: marching cubes over an
+// AMR hierarchy. Each level is triangulated at its own resolution over the
+// cells where it is the finest data available (masking against finer levels),
+// so the result captures fine structure without duplicate surfaces.
+#pragma once
+
+#include "amr/hierarchy.hpp"
+#include "viz/marching_cubes.hpp"
+
+namespace xl::viz {
+
+struct IsosurfaceStats {
+  std::size_t triangles = 0;
+  std::size_t cells_scanned = 0;
+  std::size_t active_cells = 0;
+};
+
+/// Extract the isosurface of component `comp` at `isovalue` from the whole
+/// hierarchy. `dx0` is the level-0 spacing; finer levels use dx0/ratio^l.
+TriangleMesh extract_amr_isosurface(const amr::AmrHierarchy& hierarchy, double isovalue,
+                                    int comp, double dx0, IsosurfaceStats* stats = nullptr);
+
+}  // namespace xl::viz

@@ -1,0 +1,86 @@
+#include "viz/marching_cubes.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "viz/mc_tables.hpp"
+
+namespace xl::viz {
+
+using mesh::Box;
+using mesh::BoxIterator;
+using mesh::Fab;
+using mesh::IntVect;
+
+namespace {
+
+/// Interpolate the crossing point on the edge between corner values va, vb at
+/// lattice positions pa, pb.
+Vec3 interp_vertex(const Vec3& pa, const Vec3& pb, double va, double vb, double iso) {
+  const double denom = vb - va;
+  double t = std::fabs(denom) < 1e-300 ? 0.5 : (iso - va) / denom;
+  t = std::clamp(t, 0.0, 1.0);
+  return {pa.x + t * (pb.x - pa.x), pa.y + t * (pb.y - pa.y), pa.z + t * (pb.z - pa.z)};
+}
+
+/// Cube configuration index of the cell at `p` (corners sample cell centers
+/// p .. p+1). Returns -1 when any corner is outside the fab.
+int cube_index(const Fab& fab, const IntVect& p, double iso, int comp, double corner[8]) {
+  int index = 0;
+  for (int i = 0; i < 8; ++i) {
+    const IntVect c{p[0] + kCornerOffset[i][0], p[1] + kCornerOffset[i][1],
+                    p[2] + kCornerOffset[i][2]};
+    if (!fab.box().contains(c)) return -1;
+    corner[i] = fab(c, comp);
+    if (corner[i] < iso) index |= 1 << i;
+  }
+  return index;
+}
+
+}  // namespace
+
+TriangleMesh extract_isosurface(const Fab& fab, const Box& region, double isovalue,
+                                int comp, double dx, const Vec3& origin) {
+  XL_REQUIRE(comp >= 0 && comp < fab.ncomp(), "component out of range");
+  TriangleMesh mesh;
+  double corner[8];
+  Vec3 edge_vertex[12];
+  for (BoxIterator it(region); it.ok(); ++it) {
+    const IntVect& p = *it;
+    const int index = cube_index(fab, p, isovalue, comp, corner);
+    if (index <= 0 || index == 255) continue;
+    const std::uint16_t edges = kEdgeTable[index];
+    if (edges == 0) continue;
+    for (int e = 0; e < 12; ++e) {
+      if (!(edges & (1u << e))) continue;
+      const int a = kEdgeCorners[e][0];
+      const int b = kEdgeCorners[e][1];
+      const Vec3 pa{origin.x + (p[0] + kCornerOffset[a][0] + 0.5) * dx,
+                    origin.y + (p[1] + kCornerOffset[a][1] + 0.5) * dx,
+                    origin.z + (p[2] + kCornerOffset[a][2] + 0.5) * dx};
+      const Vec3 pb{origin.x + (p[0] + kCornerOffset[b][0] + 0.5) * dx,
+                    origin.y + (p[1] + kCornerOffset[b][1] + 0.5) * dx,
+                    origin.z + (p[2] + kCornerOffset[b][2] + 0.5) * dx};
+      edge_vertex[e] = interp_vertex(pa, pb, corner[a], corner[b], isovalue);
+    }
+    for (int t = 0; kTriTable[index][t] != -1; t += 3) {
+      mesh.vertices.push_back(edge_vertex[kTriTable[index][t]]);
+      mesh.vertices.push_back(edge_vertex[kTriTable[index][t + 1]]);
+      mesh.vertices.push_back(edge_vertex[kTriTable[index][t + 2]]);
+    }
+  }
+  return mesh;
+}
+
+std::size_t count_active_cells(const Fab& fab, const Box& region, double isovalue,
+                               int comp) {
+  std::size_t active = 0;
+  double corner[8];
+  for (BoxIterator it(region); it.ok(); ++it) {
+    const int index = cube_index(fab, *it, isovalue, comp, corner);
+    if (index > 0 && index < 255) ++active;
+  }
+  return active;
+}
+
+}  // namespace xl::viz

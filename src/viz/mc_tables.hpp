@@ -1,0 +1,19 @@
+// Standard marching-cubes lookup tables (Lorensen & Cline 1987), 256 cube
+// configurations. kEdgeTable gives the cut-edge bitmask per configuration;
+// kTriTable lists up to 5 triangles as edge-index triples, -1 terminated.
+#pragma once
+
+#include <cstdint>
+
+namespace xl::viz {
+
+extern const std::uint16_t kEdgeTable[256];
+extern const std::int8_t kTriTable[256][16];
+
+/// Cube corner offsets (unit cube), corner i at kCornerOffset[i].
+extern const int kCornerOffset[8][3];
+
+/// The two corners each of the 12 edges connects.
+extern const int kEdgeCorners[12][2];
+
+}  // namespace xl::viz

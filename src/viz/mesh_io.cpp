@@ -1,0 +1,29 @@
+#include "viz/mesh_io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace xl::viz {
+
+void write_obj(std::ostream& os, const TriangleMesh& mesh, const std::string& object_name) {
+  os << "o " << object_name << "\n";
+  for (const Vec3& v : mesh.vertices) {
+    os << "v " << v.x << " " << v.y << " " << v.z << "\n";
+  }
+  for (std::size_t t = 0; t < mesh.triangle_count(); ++t) {
+    const std::size_t base = 3 * t + 1;  // OBJ indices are 1-based
+    os << "f " << base << " " << base + 1 << " " << base + 2 << "\n";
+  }
+}
+
+void write_obj_file(const std::string& path, const TriangleMesh& mesh,
+                    const std::string& object_name) {
+  std::ofstream os(path);
+  XL_REQUIRE(os.good(), "cannot open OBJ output file: " + path);
+  write_obj(os, mesh, object_name);
+  XL_REQUIRE(os.good(), "error writing OBJ file: " + path);
+}
+
+}  // namespace xl::viz

@@ -1,0 +1,143 @@
+#include "workflow/config_file.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace xl::workflow {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+int to_int(const std::string& v, const std::string& key) {
+  try {
+    return std::stoi(v);
+  } catch (...) {
+    throw ContractError("config: bad integer for '" + key + "': " + v);
+  }
+}
+
+double to_double(const std::string& v, const std::string& key) {
+  try {
+    return std::stod(v);
+  } catch (...) {
+    throw ContractError("config: bad number for '" + key + "': " + v);
+  }
+}
+
+}  // namespace
+
+WorkflowConfig parse_workflow_config(std::istream& is) {
+  WorkflowConfig c;
+  c.machine = cluster::titan();
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    XL_REQUIRE(eq != std::string::npos,
+               "config line " + std::to_string(line_no) + ": expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    XL_REQUIRE(!value.empty(), "config: empty value for '" + key + "'");
+
+    if (key == "machine") {
+      if (value == "titan") c.machine = cluster::titan();
+      else if (value == "intrepid") c.machine = cluster::intrepid();
+      else if (value == "test") c.machine = cluster::test_machine();
+      else throw ContractError("config: unknown machine '" + value + "'");
+    } else if (key == "mode") {
+      if (value == "insitu") c.mode = Mode::StaticInSitu;
+      else if (value == "intransit") c.mode = Mode::StaticInTransit;
+      else if (value == "hybrid") c.mode = Mode::StaticHybrid;
+      else if (value == "adaptive") c.mode = Mode::AdaptiveMiddleware;
+      else if (value == "resource") c.mode = Mode::AdaptiveResource;
+      else if (value == "global") c.mode = Mode::Global;
+      else throw ContractError("config: unknown mode '" + value + "'");
+    } else if (key == "analysis") {
+      if (value == "isosurface") c.analysis_kind = AnalysisKind::Isosurface;
+      else if (value == "statistics") c.analysis_kind = AnalysisKind::Statistics;
+      else if (value == "subsetting") c.analysis_kind = AnalysisKind::Subsetting;
+      else throw ContractError("config: unknown analysis '" + value + "'");
+    } else if (key == "objective") {
+      if (value == "time") c.objective = runtime::Objective::MinimizeTimeToSolution;
+      else if (value == "movement") c.objective = runtime::Objective::MinimizeDataMovement;
+      else if (value == "utilization")
+        c.objective = runtime::Objective::MaximizeResourceUtilization;
+      else throw ContractError("config: unknown objective '" + value + "'");
+    } else if (key == "domain") {
+      std::istringstream ss(value);
+      int nx = 0, ny = 0, nz = 0;
+      ss >> nx >> ny >> nz;
+      XL_REQUIRE(nx > 0 && ny > 0 && nz > 0, "config: domain needs NX NY NZ");
+      c.geometry.base_domain = mesh::Box::domain({nx, ny, nz});
+    } else if (key == "factors") {
+      std::istringstream ss(value);
+      std::vector<int> factors;
+      int f;
+      while (ss >> f) factors.push_back(f);
+      XL_REQUIRE(!factors.empty(), "config: factors needs at least one value");
+      c.hints.factor_phases = {{0, factors}};
+    } else if (key == "sim_cores") {
+      c.sim_cores = to_int(value, key);
+      c.geometry.nranks = c.sim_cores;
+    } else if (key == "staging_cores") c.staging_cores = to_int(value, key);
+    else if (key == "steps") c.steps = to_int(value, key);
+    else if (key == "ncomp") c.ncomp = to_int(value, key);
+    else if (key == "analysis_ncomp") c.analysis_ncomp = to_int(value, key);
+    else if (key == "analysis_interval") c.analysis_interval = to_int(value, key);
+    else if (key == "max_levels") c.geometry.max_levels = to_int(value, key);
+    else if (key == "ref_ratio") c.geometry.ref_ratio = to_int(value, key);
+    else if (key == "max_box_size") c.geometry.max_box_size = to_int(value, key);
+    else if (key == "tile_size") c.geometry.tile_size = to_int(value, key);
+    else if (key == "front_radius0") c.geometry.front_radius0 = to_double(value, key);
+    else if (key == "front_speed") c.geometry.front_speed = to_double(value, key);
+    else if (key == "front_thickness") c.geometry.front_thickness = to_double(value, key);
+    else if (key == "front_decay") c.geometry.front_decay = to_double(value, key);
+    else if (key == "front_decay_onset") c.geometry.front_decay_onset = to_int(value, key);
+    else if (key == "blob_onset_step") c.geometry.blob_onset_step = to_int(value, key);
+    else if (key == "num_blobs") c.geometry.num_blobs = to_int(value, key);
+    else if (key == "blob_radius") c.geometry.blob_radius = to_double(value, key);
+    else if (key == "seed")
+      c.geometry.seed = static_cast<std::uint64_t>(to_int(value, key));
+    else if (key == "active_cell_fraction")
+      c.active_cell_fraction = to_double(value, key);
+    else if (key == "staging_usable_fraction")
+      c.staging_usable_fraction = to_double(value, key);
+    else if (key == "sim_euler_flops")
+      c.costs.sim_euler_flops_per_cell = to_double(value, key);
+    else if (key == "sim_advect_flops")
+      c.costs.sim_advect_flops_per_cell = to_double(value, key);
+    else if (key == "mc_scan_flops")
+      c.costs.mc_scan_flops_per_cell = to_double(value, key);
+    else if (key == "mc_active_flops")
+      c.costs.mc_active_flops_per_cell = to_double(value, key);
+    else if (key == "euler") c.euler = to_int(value, key) != 0;
+    else if (key == "sampling_period")
+      c.monitor.sampling_period = to_int(value, key);
+    else
+      throw ContractError("config: unknown key '" + key + "'");
+  }
+  c.memory_model.ncomp = c.ncomp;
+  return c;
+}
+
+WorkflowConfig parse_workflow_config_file(const std::string& path) {
+  std::ifstream is(path);
+  XL_REQUIRE(is.good(), "cannot open config file: " + path);
+  return parse_workflow_config(is);
+}
+
+}  // namespace xl::workflow

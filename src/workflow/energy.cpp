@@ -1,0 +1,34 @@
+#include "workflow/energy.hpp"
+
+#include "common/error.hpp"
+
+namespace xl::workflow {
+
+EnergyReport estimate_energy(const WorkflowResult& result, int sim_cores,
+                             const PowerSpec& power) {
+  XL_REQUIRE(sim_cores >= 1, "need simulation cores");
+  EnergyReport report;
+  const double n = static_cast<double>(sim_cores);
+  for (const StepRecord& s : result.steps) {
+    // Simulation partition: computing, analyzing in-situ, or blocked.
+    report.sim_compute_joules += power.active_watts_per_core * n * s.sim_seconds;
+    report.insitu_analysis_joules +=
+        power.active_watts_per_core * n *
+        (s.insitu_analysis_seconds + s.reduce_seconds);
+    report.sim_idle_joules += power.idle_watts_per_core * n * s.wait_seconds;
+
+    // Staging partition: the allocated cores are powered for the whole step
+    // window, active for the analysis span.
+    const double m = static_cast<double>(s.intransit_cores);
+    const double active = std::min(s.intransit_analysis_seconds, s.window_seconds);
+    report.staging_active_joules += power.active_watts_per_core * m * active;
+    const double idle = std::max(0.0, s.window_seconds - active);
+    report.staging_idle_joules += power.idle_watts_per_core * m * idle;
+
+    report.network_joules +=
+        power.network_joules_per_byte * static_cast<double>(s.moved_bytes);
+  }
+  return report;
+}
+
+}  // namespace xl::workflow

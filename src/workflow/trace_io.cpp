@@ -1,0 +1,46 @@
+#include "workflow/trace_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace xl::workflow {
+
+void write_steps_csv(std::ostream& os, const WorkflowResult& result) {
+  os << "step,total_cells,analyzed_cells,factor,placement,intransit_cores,"
+        "sim_seconds,reduce_seconds,insitu_analysis_seconds,"
+        "intransit_analysis_seconds,wait_seconds,window_seconds,"
+        "backlog_seconds,raw_bytes,moved_bytes,reason\n";
+  for (const StepRecord& s : result.steps) {
+    os << s.step << ',' << s.total_cells << ',' << s.analyzed_cells << ','
+       << s.factor << ',' << runtime::placement_name(s.placement) << ','
+       << s.intransit_cores << ',' << s.sim_seconds << ',' << s.reduce_seconds
+       << ',' << s.insitu_analysis_seconds << ',' << s.intransit_analysis_seconds
+       << ',' << s.wait_seconds << ',' << s.window_seconds << ','
+       << s.backlog_seconds << ',' << s.raw_bytes << ',' << s.moved_bytes << ','
+       << s.decision_reason << '\n';
+  }
+  XL_REQUIRE(os.good(), "CSV write failed");
+}
+
+void write_steps_csv(const std::string& path, const WorkflowResult& result) {
+  std::ofstream os(path);
+  XL_REQUIRE(os.good(), "cannot open CSV output: " + path);
+  write_steps_csv(os, result);
+}
+
+std::string summarize(const WorkflowResult& result) {
+  std::ostringstream os;
+  os << "end_to_end_s=" << result.end_to_end_seconds
+     << " sim_s=" << result.pure_sim_seconds
+     << " overhead_s=" << result.overhead_seconds
+     << " moved_bytes=" << result.bytes_moved
+     << " insitu=" << result.insitu_count
+     << " intransit=" << result.intransit_count
+     << " staging_utilization=" << result.utilization_efficiency;
+  return os.str();
+}
+
+}  // namespace xl::workflow

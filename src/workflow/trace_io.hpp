@@ -1,0 +1,21 @@
+// Trace export: per-step records of a workflow run as CSV (ready for
+// gnuplot/pandas) and a compact run summary. Used by the examples and handy
+// for regenerating the paper's plots outside this repo.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workflow/coupled_workflow.hpp"
+
+namespace xl::workflow {
+
+/// One CSV row per step: step, cells, placement, factor, cores, timings,
+/// bytes. Header row included.
+void write_steps_csv(std::ostream& os, const WorkflowResult& result);
+void write_steps_csv(const std::string& path, const WorkflowResult& result);
+
+/// Single-line key=value summary (end-to-end, overhead, movement, counts).
+std::string summarize(const WorkflowResult& result);
+
+}  // namespace xl::workflow

@@ -1,0 +1,226 @@
+// Tests for the analysis kernels: downsampling, entropy (paper eq. 11),
+// descriptive statistics, subsetting and reconstruction-quality metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/downsample.hpp"
+#include "analysis/entropy.hpp"
+#include "analysis/statistics.hpp"
+#include "common/rng.hpp"
+
+namespace xl::analysis {
+namespace {
+
+using mesh::Box;
+using mesh::BoxIterator;
+using mesh::Fab;
+using mesh::IntVect;
+
+Fab ramp_field(int n) {
+  Fab f(Box::domain({n, n, n}), 1);
+  for (BoxIterator it(f.box()); it.ok(); ++it) {
+    f(*it) = (*it)[0] + 100.0 * (*it)[1] + 10000.0 * (*it)[2];
+  }
+  return f;
+}
+
+class DownsampleFactorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DownsampleFactorTest, OutputCoversCoarsenedBox) {
+  const int X = GetParam();
+  const Fab src = ramp_field(16);
+  for (auto method : {DownsampleMethod::Stride, DownsampleMethod::Average}) {
+    const Fab out = downsample(src, X, method);
+    EXPECT_EQ(out.box(), src.box().coarsen(X));
+    EXPECT_EQ(out.ncomp(), 1);
+  }
+}
+
+TEST_P(DownsampleFactorTest, ConstantFieldIsExact) {
+  const int X = GetParam();
+  Fab src(Box::domain({16, 16, 16}), 2, 3.5);
+  for (auto method : {DownsampleMethod::Stride, DownsampleMethod::Average}) {
+    const Fab out = downsample(src, X, method);
+    for (BoxIterator it(out.box()); it.ok(); ++it) {
+      EXPECT_DOUBLE_EQ(out(*it, 0), 3.5);
+      EXPECT_DOUBLE_EQ(out(*it, 1), 3.5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, DownsampleFactorTest, ::testing::Values(2, 4, 8));
+
+TEST(Downsample, FactorOneIsCopy) {
+  const Fab src = ramp_field(8);
+  const Fab out = downsample(src, 1);
+  for (BoxIterator it(src.box()); it.ok(); ++it) {
+    EXPECT_DOUBLE_EQ(out(*it), src(*it));
+  }
+}
+
+TEST(Downsample, StrideSamplesFirstChild) {
+  const Fab src = ramp_field(8);
+  const Fab out = downsample(src, 2, DownsampleMethod::Stride);
+  for (BoxIterator it(out.box()); it.ok(); ++it) {
+    EXPECT_DOUBLE_EQ(out(*it), src((*it).refine(IntVect::uniform(2))));
+  }
+}
+
+TEST(Downsample, AverageIsMeanOfChildren) {
+  const Fab src = ramp_field(8);
+  const Fab out = downsample(src, 2, DownsampleMethod::Average);
+  const IntVect p{1, 1, 1};
+  double sum = 0.0;
+  for (BoxIterator it(Box(p.refine(IntVect::uniform(2)),
+                          p.refine(IntVect::uniform(2)) + 1));
+       it.ok(); ++it) {
+    sum += src(*it);
+  }
+  EXPECT_NEAR(out(p), sum / 8.0, 1e-12);
+}
+
+TEST(Downsample, UpsampleRoundTripPreservesCoarseValues) {
+  const Fab src = ramp_field(8);
+  const Fab down = downsample(src, 2, DownsampleMethod::Stride);
+  const Fab up = upsample_constant(down, src.box(), 2);
+  for (BoxIterator it(down.box()); it.ok(); ++it) {
+    EXPECT_DOUBLE_EQ(up((*it).refine(IntVect::uniform(2))), down(*it));
+  }
+}
+
+TEST(Downsample, ReducedBytesModel) {
+  EXPECT_EQ(reduced_bytes(4096, 1, 1), 4096 * sizeof(double));
+  EXPECT_EQ(reduced_bytes(4096, 1, 2), 512 * sizeof(double));
+  EXPECT_EQ(reduced_bytes(4096, 5, 4), 64 * 5 * sizeof(double));
+  // Rounds up for non-multiples.
+  EXPECT_EQ(reduced_bytes(9, 1, 2), 2 * sizeof(double));
+  EXPECT_THROW(reduced_bytes(8, 1, 0), ContractError);
+}
+
+TEST(Downsample, ScratchDecreasesWithFactor) {
+  const std::size_t s2 = reduction_scratch_bytes(1 << 18, 5, 2);
+  const std::size_t s8 = reduction_scratch_bytes(1 << 18, 5, 8);
+  EXPECT_GT(s2, s8);
+}
+
+// --- Entropy ----------------------------------------------------------------
+
+TEST(Entropy, ConstantBlockIsZero) {
+  Fab f(Box::domain({8, 8, 8}), 1, 2.5);
+  EXPECT_DOUBLE_EQ(block_entropy(f, f.box()), 0.0);
+}
+
+TEST(Entropy, TwoEqualValuesGiveOneBit) {
+  Fab f(Box::domain({8, 8, 8}), 1);
+  for (BoxIterator it(f.box()); it.ok(); ++it) f(*it) = (*it)[0] % 2 ? 1.0 : 0.0;
+  EXPECT_NEAR(block_entropy(f, f.box()), 1.0, 1e-9);
+}
+
+TEST(Entropy, UniformNoiseApproachesLogBins) {
+  Fab f(Box::domain({16, 16, 16}), 1);
+  Rng rng(3);
+  for (BoxIterator it(f.box()); it.ok(); ++it) f(*it) = rng.next_double();
+  EntropyConfig cfg;
+  cfg.bins = 64;
+  const double h = block_entropy(f, f.box(), cfg);
+  EXPECT_GT(h, 5.5);
+  EXPECT_LE(h, 6.0 + 1e-9);  // log2(64) = 6
+}
+
+TEST(Entropy, StructuredBlockBeatsSmoothBlock) {
+  // The paper's premise: high-entropy (structured) regions keep resolution.
+  Fab structured(Box::domain({8, 8, 8}), 1);
+  Fab smooth(Box::domain({8, 8, 8}), 1);
+  Rng rng(9);
+  for (BoxIterator it(structured.box()); it.ok(); ++it) {
+    structured(*it) = rng.next_double();
+    smooth(*it) = 1.0 + 1e-3 * (*it)[0];
+  }
+  EntropyConfig cfg;
+  cfg.range_lo = 0.0;
+  cfg.range_hi = 2.0;  // shared range, like comparing blocks of one dataset
+  EXPECT_GT(block_entropy(structured, structured.box(), cfg),
+            block_entropy(smooth, smooth.box(), cfg) + 1.0);
+}
+
+TEST(Entropy, FactorForEntropyLadder) {
+  const std::vector<double> thresholds{3.0, 6.0};
+  const std::vector<int> factors{1, 2, 4};  // >=6 bits -> 1, >=3 -> 2, else 4
+  EXPECT_EQ(factor_for_entropy(7.0, thresholds, factors), 1);
+  EXPECT_EQ(factor_for_entropy(6.0, thresholds, factors), 1);
+  EXPECT_EQ(factor_for_entropy(4.5, thresholds, factors), 2);
+  EXPECT_EQ(factor_for_entropy(1.0, thresholds, factors), 4);
+  EXPECT_THROW(factor_for_entropy(1.0, thresholds, {1, 2}), ContractError);
+}
+
+TEST(Entropy, PlanCoversFabAndAssignsFactors) {
+  Fab f(Box::domain({16, 16, 16}), 1);
+  Rng rng(4);
+  // Noisy half, constant half.
+  for (BoxIterator it(f.box()); it.ok(); ++it) {
+    f(*it) = (*it)[0] < 8 ? rng.next_double() : 0.5;
+  }
+  EntropyConfig cfg;
+  cfg.range_lo = 0.0;
+  cfg.range_hi = 1.0;
+  const auto plan = entropy_downsample_plan(f, 8, {2.0}, {1, 4}, cfg);
+  ASSERT_EQ(plan.size(), 8u);  // 2x2x2 blocks of 8^3
+  std::int64_t covered = 0;
+  for (const auto& d : plan) {
+    covered += d.block.num_cells();
+    const bool noisy = d.block.lo()[0] < 8;
+    EXPECT_EQ(d.factor, noisy ? 1 : 4) << "block " << d.block;
+  }
+  EXPECT_EQ(covered, f.box().num_cells());
+}
+
+// --- Statistics / quality ----------------------------------------------------
+
+TEST(Statistics, DescriptiveStatsOverRegion) {
+  const Fab f = ramp_field(4);
+  const RunningStats s = descriptive_stats(f, Box({0, 0, 0}, {3, 0, 0}));
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.5);
+}
+
+TEST(Statistics, SubsetExtractsExactRegion) {
+  const Fab f = ramp_field(8);
+  const Box region({2, 3, 4}, {5, 6, 7});
+  const Fab sub = subset(f, region);
+  EXPECT_EQ(sub.box(), region);
+  for (BoxIterator it(region); it.ok(); ++it) {
+    EXPECT_DOUBLE_EQ(sub(*it), f(*it));
+  }
+  EXPECT_THROW(subset(f, Box::cube({100, 100, 100}, 2)), ContractError);
+}
+
+TEST(Statistics, RmseAndPsnr) {
+  Fab a(Box::domain({4, 4, 4}), 1, 1.0);
+  Fab b(Box::domain({4, 4, 4}), 1, 1.0);
+  EXPECT_DOUBLE_EQ(rmse(a, b), 0.0);
+  EXPECT_TRUE(std::isinf(psnr(a, b)));
+  for (BoxIterator it(b.box()); it.ok(); ++it) b(*it) = 1.5;
+  EXPECT_DOUBLE_EQ(rmse(a, b), 0.5);
+}
+
+TEST(Statistics, DownsamplingLosesMoreAtHigherFactors) {
+  // Reconstruction error grows monotonically with the factor on a smooth
+  // but non-constant field — the trade-off eq. 1 navigates.
+  Fab f(Box::domain({16, 16, 16}), 1);
+  for (BoxIterator it(f.box()); it.ok(); ++it) {
+    f(*it) = std::sin(0.4 * (*it)[0]) * std::cos(0.3 * (*it)[1]) + 0.1 * (*it)[2];
+  }
+  double prev = 0.0;
+  for (int X : {2, 4, 8}) {
+    const Fab rec = upsample_constant(downsample(f, X), f.box(), X);
+    const double err = rmse(f, rec);
+    EXPECT_GT(err, prev);
+    prev = err;
+  }
+}
+
+}  // namespace
+}  // namespace xl::analysis

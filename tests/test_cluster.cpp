@@ -1,0 +1,143 @@
+// Tests for the cluster substrate: the deterministic event queue, machine
+// specs, the kernel/transfer cost models, and the eq. 12 utilization trace.
+#include <gtest/gtest.h>
+
+#include "cluster/cost_model.hpp"
+#include "cluster/event_queue.hpp"
+#include "cluster/machine.hpp"
+#include "cluster/trace.hpp"
+
+namespace xl::cluster {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakBySchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] {
+    ++fired;
+    q.schedule_in(0.5, [&] { ++fired; });
+  });
+  q.run_until_empty();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 1.5);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutOvershooting) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(5.0, [&] { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.schedule_at(2.0, [] {});
+  q.run_until_empty();
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), ContractError);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), ContractError);
+}
+
+TEST(Machine, PaperSpecs) {
+  const MachineSpec bgp = intrepid();
+  EXPECT_EQ(bgp.cores_per_node, 4);
+  EXPECT_EQ(bgp.mem_per_core_bytes(), std::size_t{512} << 20);  // 500MB-class
+  const MachineSpec xk7 = titan();
+  EXPECT_EQ(xk7.cores_per_node, 16);
+  EXPECT_EQ(xk7.mem_per_core_bytes(), std::size_t{2} << 30);
+  EXPECT_GT(xk7.core_flops, bgp.core_flops);
+  EXPECT_GT(xk7.network.link_bandwidth_Bps, bgp.network.link_bandwidth_Bps);
+}
+
+TEST(CostModel, KernelTimeScalesWithCellsAndCores) {
+  const CostModel cost(test_machine());
+  const double t1 = cost.kernel_seconds(100.0, 1'000'000, 1);
+  const double t2 = cost.kernel_seconds(100.0, 2'000'000, 1);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-12);
+  const double t_p = cost.kernel_seconds(100.0, 1'000'000, 16);
+  EXPECT_LT(t_p, t1 / 8.0);   // parallel speedup...
+  EXPECT_GT(t_p, t1 / 16.0);  // ...but sublinear (efficiency < 1)
+}
+
+TEST(CostModel, SimStepEulerCostlierThanAdvection) {
+  const CostModel cost(test_machine());
+  EXPECT_GT(cost.sim_step_seconds(1 << 20, 8, true),
+            cost.sim_step_seconds(1 << 20, 8, false));
+}
+
+TEST(CostModel, MarchingCubesChargesScanPlusActive) {
+  const CostModel cost(test_machine());
+  const double scan_only = cost.marching_cubes_seconds(1 << 20, 0, 4);
+  const double with_active = cost.marching_cubes_seconds(1 << 20, 1 << 14, 4);
+  EXPECT_GT(with_active, scan_only);
+}
+
+TEST(CostModel, TransferBoundedBySlowerSide) {
+  const CostModel cost(test_machine());
+  const std::size_t GB = std::size_t{1} << 30;
+  const double wide = cost.transfer_seconds(GB, 64, 64);
+  const double narrow_rx = cost.transfer_seconds(GB, 64, 4);
+  EXPECT_NEAR(narrow_rx, 16.0 * wide, 0.01 * narrow_rx);
+  EXPECT_GT(cost.transfer_seconds(1, 1, 1), 0.0);  // latency floor
+  EXPECT_THROW(cost.transfer_seconds(GB, 0, 4), ContractError);
+}
+
+TEST(CostModel, FasterMachineRunsFaster) {
+  const CostModel slow(intrepid());
+  const CostModel fast(titan());
+  EXPECT_GT(slow.sim_step_seconds(1 << 22, 64, true),
+            fast.sim_step_seconds(1 << 22, 64, true));
+}
+
+TEST(StagingTrace, UtilizationEfficiencyEq12) {
+  StagingTrace trace;
+  // Step 0: 4 cores busy 1s each over a 2s window -> 4/8.
+  trace.record({0, 4, 4.0, 2.0});
+  // Step 1: 4 cores busy 2s each over a 2s window -> 8/8.
+  trace.record({1, 4, 8.0, 2.0});
+  EXPECT_DOUBLE_EQ(trace.utilization_efficiency(), 12.0 / 16.0);
+}
+
+TEST(StagingTrace, EmptyTraceIsZero) {
+  StagingTrace trace;
+  EXPECT_DOUBLE_EQ(trace.utilization_efficiency(), 0.0);
+}
+
+TEST(StagingTrace, UsedFraction) {
+  StagingStepRecord rec{3, 128, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(StagingTrace::used_fraction(rec, 256), 0.5);
+  EXPECT_THROW(StagingTrace::used_fraction(rec, 0), ContractError);
+}
+
+TEST(StagingTrace, RejectsNegativeRecords) {
+  StagingTrace trace;
+  EXPECT_THROW(trace.record({0, -1, 0.0, 1.0}), ContractError);
+  EXPECT_THROW(trace.record({0, 1, 0.0, -1.0}), ContractError);
+}
+
+}  // namespace
+}  // namespace xl::cluster

@@ -1,0 +1,258 @@
+// Unit tests for src/common: statistics, histograms, EWMA, RNG determinism,
+// table formatting, thread pool, and the contract-check macros.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace xl {
+namespace {
+
+TEST(Error, RequireThrowsContractError) {
+  EXPECT_THROW(XL_REQUIRE(false, "boom"), ContractError);
+  EXPECT_NO_THROW(XL_REQUIRE(true, "fine"));
+}
+
+TEST(Error, CheckThrowsInternalError) {
+  EXPECT_THROW(XL_CHECK(false, "bug"), InternalError);
+}
+
+TEST(Error, MessagesCarryContext) {
+  try {
+    XL_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(SampleSet, ExactQuantiles) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // 1..100 reversed
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+  EXPECT_NEAR(s.quantile(0.25), 25.75, 1e-12);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, QuantileContractChecks) {
+  SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), ContractError);
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(1.5), ContractError);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);   // clamps to bin 0
+  h.add(0.5);
+  h.add(9.99);
+  h.add(42.0);   // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+  EXPECT_THROW(h.bin_count(10), ContractError);
+}
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractError);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.5);
+  EXPECT_TRUE(e.empty());
+  for (int i = 0; i < 50; ++i) e.add(3.0);
+  EXPECT_NEAR(e.value(), 3.0, 1e-12);
+}
+
+TEST(Ewma, FirstValueSeedsDirectly) {
+  Ewma e(0.1);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  e.add(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 9.0);  // 0.1*0 + 0.9*10
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), ContractError);
+  EXPECT_THROW(Ewma(1.5), ContractError);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+    const auto k = rng.uniform_int(-3, 3);
+    EXPECT_GE(k, -3);
+    EXPECT_LE(k, 3);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(1.0, 2.0));
+  EXPECT_NEAR(s.mean(), 1.0, 0.06);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.06);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(42), parent2(42);
+  Rng child1 = parent1.split(7);
+  Rng child2 = parent2.split(7);
+  EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  Rng other = parent1.split(8);
+  EXPECT_NE(child1.next_u64(), other.next_u64());
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("b").cell(std::size_t{42});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| alpha | 1.5   |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 42    |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), ContractError);
+  Table u({"a"});
+  EXPECT_THROW(u.cell("no-row-yet"), ContractError);
+}
+
+TEST(Formatters, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(3.0 * 1024 * 1024 * 1024), "3.00 GiB");
+}
+
+TEST(Formatters, Seconds) {
+  EXPECT_EQ(format_seconds(1.25), "1.25 s");
+  EXPECT_EQ(format_seconds(0.000834), "834.0 us");
+  EXPECT_EQ(format_seconds(12 * 60 + 34), "12m34s");
+}
+
+TEST(Formatters, Percent) {
+  EXPECT_EQ(format_percent(0.8711), "87.11%");
+  EXPECT_EQ(format_percent(0.5, 0), "50%");
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  int calls = 0;
+  pool.submit([&] { ++calls; });
+  pool.wait();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // Pool remains usable afterwards.
+  std::atomic<int> ok{0};
+  pool.submit([&] { ok = 1; });
+  pool.wait();
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Log, ThresholdFiltering) {
+  const auto old = log::threshold();
+  log::set_threshold(log::Level::Error);
+  EXPECT_EQ(log::threshold(), log::Level::Error);
+  XL_LOG_INFO("this must not crash even when filtered");
+  log::set_threshold(old);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(log::level_name(log::Level::Warn), "WARN");
+  EXPECT_STREQ(log::level_name(log::Level::Trace), "TRACE");
+}
+
+}  // namespace
+}  // namespace xl

@@ -1,0 +1,93 @@
+// Tests for the CLI configuration parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workflow/config_file.hpp"
+
+namespace xl::workflow {
+namespace {
+
+WorkflowConfig parse(const std::string& text) {
+  std::istringstream is(text);
+  return parse_workflow_config(is);
+}
+
+TEST(ConfigFile, ParsesFullConfig) {
+  const WorkflowConfig c = parse(R"(
+    # a comment line
+    machine = intrepid
+    mode = global
+    analysis = statistics
+    objective = utilization
+    sim_cores = 4096     # trailing comment
+    staging_cores = 256
+    steps = 40
+    ncomp = 5
+    analysis_ncomp = 1
+    domain = 1024 512 512
+    max_levels = 3
+    front_speed = 0.0095
+    factors = 2 4 8 16
+    euler = 1
+    sampling_period = 2
+  )");
+  EXPECT_EQ(c.machine.name, "Intrepid-BGP");
+  EXPECT_EQ(c.mode, Mode::Global);
+  EXPECT_EQ(c.analysis_kind, AnalysisKind::Statistics);
+  EXPECT_EQ(c.objective, runtime::Objective::MaximizeResourceUtilization);
+  EXPECT_EQ(c.sim_cores, 4096);
+  EXPECT_EQ(c.geometry.nranks, 4096);
+  EXPECT_EQ(c.staging_cores, 256);
+  EXPECT_EQ(c.steps, 40);
+  EXPECT_EQ(c.ncomp, 5);
+  EXPECT_EQ(c.memory_model.ncomp, 5);
+  EXPECT_EQ(c.analysis_ncomp, 1);
+  EXPECT_EQ(c.geometry.base_domain, mesh::Box::domain({1024, 512, 512}));
+  EXPECT_DOUBLE_EQ(c.geometry.front_speed, 0.0095);
+  ASSERT_EQ(c.hints.factor_phases.size(), 1u);
+  EXPECT_EQ(c.hints.factor_phases[0].factors, (std::vector<int>{2, 4, 8, 16}));
+  EXPECT_TRUE(c.euler);
+  EXPECT_EQ(c.monitor.sampling_period, 2);
+}
+
+TEST(ConfigFile, DefaultsWhenEmpty) {
+  const WorkflowConfig c = parse("");
+  EXPECT_EQ(c.machine.name, "Titan-XK7");
+  EXPECT_EQ(c.mode, Mode::AdaptiveMiddleware);
+  EXPECT_EQ(c.analysis_kind, AnalysisKind::Isosurface);
+}
+
+TEST(ConfigFile, RejectsUnknownKey) {
+  EXPECT_THROW(parse("definitely_not_a_key = 3"), ContractError);
+}
+
+TEST(ConfigFile, RejectsBadValues) {
+  EXPECT_THROW(parse("machine = cray-1"), ContractError);
+  EXPECT_THROW(parse("mode = teleport"), ContractError);
+  EXPECT_THROW(parse("steps = many"), ContractError);
+  EXPECT_THROW(parse("domain = 16 16"), ContractError);
+  EXPECT_THROW(parse("steps ="), ContractError);
+  EXPECT_THROW(parse("just a line without equals"), ContractError);
+}
+
+TEST(ConfigFile, ParsedConfigActuallyRuns) {
+  const WorkflowConfig c = parse(R"(
+    machine = test
+    mode = hybrid
+    sim_cores = 64
+    staging_cores = 4
+    domain = 64 64 64
+    steps = 5
+  )");
+  const WorkflowResult r = CoupledWorkflow(c).run();
+  EXPECT_EQ(r.steps.size(), 5u);
+  EXPECT_GT(r.end_to_end_seconds, 0.0);
+}
+
+TEST(ConfigFile, MissingFileThrows) {
+  EXPECT_THROW(parse_workflow_config_file("no/such/config.cfg"), ContractError);
+}
+
+}  // namespace
+}  // namespace xl::workflow

@@ -1,0 +1,171 @@
+// Tests for Fab storage, pack/unpack wire format, and LevelData ghost
+// exchange (including periodic wrapping) — the communication substrate of
+// the AMR library.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mesh/level_data.hpp"
+
+namespace xl::mesh {
+namespace {
+
+double cell_value(const IntVect& p, int c) {
+  return 100.0 * c + p[0] + 10.0 * p[1] + 0.01 * p[2];
+}
+
+TEST(Fab, IndexingAndComponents) {
+  Fab f(Box::cube({1, 1, 1}, 3), 2, -1.0);
+  EXPECT_EQ(f.cells(), 27);
+  EXPECT_EQ(f.size(), 54u);
+  EXPECT_EQ(f.bytes(), 54 * sizeof(double));
+  for (BoxIterator it(f.box()); it.ok(); ++it) {
+    EXPECT_DOUBLE_EQ(f(*it, 0), -1.0);
+    f(*it, 1) = cell_value(*it, 1);
+  }
+  EXPECT_DOUBLE_EQ(f(IntVect(2, 3, 1), 1), cell_value({2, 3, 1}, 1));
+  EXPECT_EQ(f.comp(0).size(), 27u);
+  EXPECT_THROW(f.comp(2), ContractError);
+}
+
+TEST(Fab, CopyFromRestrictsToOverlapAndRegion) {
+  Fab src(Box::cube({0, 0, 0}, 4), 1);
+  for (BoxIterator it(src.box()); it.ok(); ++it) src(*it) = cell_value(*it, 0);
+  Fab dst(Box::cube({2, 2, 2}, 4), 1, 0.0);
+  dst.copy_from(src, Box::cube({2, 2, 2}, 2));  // only a 2^3 corner
+  int copied = 0;
+  for (BoxIterator it(dst.box()); it.ok(); ++it) {
+    if (Box::cube({2, 2, 2}, 2).contains(*it)) {
+      EXPECT_DOUBLE_EQ(dst(*it), cell_value(*it, 0));
+      ++copied;
+    } else {
+      EXPECT_DOUBLE_EQ(dst(*it), 0.0);
+    }
+  }
+  EXPECT_EQ(copied, 8);
+}
+
+TEST(Fab, PackUnpackRoundTrip) {
+  Fab src(Box::cube({0, 0, 0}, 4), 3);
+  for (int c = 0; c < 3; ++c) {
+    for (BoxIterator it(src.box()); it.ok(); ++it) src(*it, c) = cell_value(*it, c);
+  }
+  const Box region({1, 0, 2}, {3, 3, 3});
+  const std::vector<double> wire = src.pack(region);
+  EXPECT_EQ(wire.size(),
+            static_cast<std::size_t>((region & src.box()).num_cells()) * 3);
+
+  Fab dst(src.box(), 3, 0.0);
+  dst.unpack(region, wire);
+  for (int c = 0; c < 3; ++c) {
+    for (BoxIterator it(region & src.box()); it.ok(); ++it) {
+      EXPECT_DOUBLE_EQ(dst(*it, c), src(*it, c));
+    }
+  }
+}
+
+TEST(Fab, UnpackRejectsWrongSize) {
+  Fab f(Box::cube({0, 0, 0}, 2), 1);
+  std::vector<double> tooShort(3, 0.0);
+  EXPECT_THROW(f.unpack(f.box(), tooShort), ContractError);
+}
+
+TEST(Fab, ContractChecks) {
+  EXPECT_THROW(Fab(Box(), 1), ContractError);
+  EXPECT_THROW(Fab(Box::cube({0, 0, 0}, 2), 0), ContractError);
+}
+
+class ExchangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExchangeTest, InteriorGhostsFilledFromNeighbours) {
+  const int nghost = GetParam();
+  const Box domain = Box::domain({8, 8, 8});
+  const BoxLayout layout = balance(decompose(domain, 4), 2);
+  LevelData data(layout, 1, nghost);
+  // Valid cells get their analytic value; ghosts start poisoned.
+  data.set_all(-999.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (BoxIterator it(layout.box(i)); it.ok(); ++it) {
+      data[i](*it) = cell_value(*it, 0);
+    }
+  }
+  data.exchange(domain, /*periodic=*/false);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Box ghosted = layout.box(i).grow(nghost);
+    for (BoxIterator it(ghosted); it.ok(); ++it) {
+      if (domain.contains(*it)) {
+        EXPECT_DOUBLE_EQ(data[i](*it), cell_value(*it, 0))
+            << "cell " << *it << " of box " << i;
+      } else {
+        EXPECT_DOUBLE_EQ(data[i](*it), -999.0);  // outside domain: untouched
+      }
+    }
+  }
+}
+
+TEST_P(ExchangeTest, PeriodicGhostsWrapAround) {
+  const int nghost = GetParam();
+  const Box domain = Box::domain({8, 8, 8});
+  const BoxLayout layout = balance(decompose(domain, 4), 2);
+  LevelData data(layout, 1, nghost);
+  data.set_all(-999.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (BoxIterator it(layout.box(i)); it.ok(); ++it) {
+      data[i](*it) = cell_value(*it, 0);
+    }
+  }
+  data.exchange(domain, /*periodic=*/true);
+  const IntVect dsize = domain.size();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Box ghosted = layout.box(i).grow(nghost);
+    for (BoxIterator it(ghosted); it.ok(); ++it) {
+      IntVect wrapped = *it;
+      for (int d = 0; d < kDim; ++d) {
+        wrapped[d] = ((wrapped[d] % dsize[d]) + dsize[d]) % dsize[d];
+      }
+      EXPECT_DOUBLE_EQ(data[i](*it), cell_value(wrapped, 0))
+          << "ghost " << *it << " should wrap to " << wrapped;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GhostWidths, ExchangeTest, ::testing::Values(1, 2));
+
+TEST(Copier, OffRankBytesCountsOnlyCrossRankOps) {
+  const Box domain = Box::domain({8, 4, 4});
+  // Two boxes, forced onto different ranks.
+  std::vector<Box> boxes{Box({0, 0, 0}, {3, 3, 3}), Box({4, 0, 0}, {7, 3, 3})};
+  const BoxLayout split(boxes, {0, 1}, 2);
+  const BoxLayout together(boxes, {0, 0}, 2);
+  Copier copier(split, 1, domain, false);
+  EXPECT_GT(copier.off_rank_bytes(split, 1), 0u);
+  EXPECT_EQ(copier.off_rank_bytes(together, 1), 0u);
+  // One face of 4x4 cells each direction.
+  EXPECT_EQ(copier.off_rank_bytes(split, 1), 2 * 16 * sizeof(double));
+}
+
+TEST(Copier, ZeroGhostMeansNoOps) {
+  const BoxLayout layout = balance(decompose(Box::domain({8, 8, 8}), 4), 2);
+  Copier copier(layout, 0, Box::domain({8, 8, 8}), true);
+  EXPECT_TRUE(copier.ops().empty());
+}
+
+TEST(LevelData, SumAndMinMaxOverValidOnly) {
+  const Box domain = Box::domain({4, 4, 4});
+  const BoxLayout layout = balance(decompose(domain, 2), 1);
+  LevelData data(layout, 1, 1);
+  data.set_all(5.0);  // ghosts too
+  EXPECT_DOUBLE_EQ(data.sum(0), 5.0 * 64);
+  const auto [lo, hi] = data.min_max(0);
+  EXPECT_DOUBLE_EQ(lo, 5.0);
+  EXPECT_DOUBLE_EQ(hi, 5.0);
+}
+
+TEST(LevelData, BytesIncludeGhosts) {
+  const BoxLayout layout = balance(decompose(Box::domain({4, 4, 4}), 4), 1);
+  LevelData data(layout, 2, 1);
+  // Each 4^3 box ghosted to 6^3, 2 comps.
+  EXPECT_EQ(data.bytes(), 216u * 2u * sizeof(double));
+}
+
+}  // namespace
+}  // namespace xl::mesh

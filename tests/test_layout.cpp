@@ -1,0 +1,137 @@
+// Tests for domain decomposition, load balancing and layout accounting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "mesh/layout.hpp"
+
+namespace xl::mesh {
+namespace {
+
+TEST(Decompose, TilesDomainExactly) {
+  const Box domain = Box::domain({64, 32, 16});
+  const auto boxes = decompose(domain, 16);
+  std::int64_t cells = 0;
+  for (const Box& b : boxes) {
+    cells += b.num_cells();
+    EXPECT_TRUE(domain.contains(b));
+    for (int d = 0; d < kDim; ++d) EXPECT_LE(b.size()[d], 16);
+  }
+  EXPECT_EQ(cells, domain.num_cells());
+  EXPECT_EQ(boxes.size(), 4u * 2u * 1u);
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+      EXPECT_FALSE(boxes[i].intersects(boxes[j]));
+    }
+  }
+}
+
+TEST(Decompose, NonMultipleSizesStillCover) {
+  const Box domain = Box::domain({10, 7, 5});
+  const auto boxes = decompose(domain, 4);
+  std::int64_t cells = 0;
+  for (const Box& b : boxes) cells += b.num_cells();
+  EXPECT_EQ(cells, domain.num_cells());
+}
+
+TEST(Decompose, EmptyAndSingle) {
+  EXPECT_TRUE(decompose(Box(), 8).empty());
+  const auto one = decompose(Box::cube({0, 0, 0}, 4), 8);
+  ASSERT_EQ(one.size(), 1u);
+}
+
+TEST(MortonKey, OrdersLocally) {
+  // Z-order: nearby points get nearby keys; key is strictly monotone along
+  // the diagonal.
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t k = morton_key({i, i, i});
+    if (i > 0) {
+      EXPECT_GT(k, prev);
+    }
+    prev = k;
+  }
+  EXPECT_NE(morton_key({1, 0, 0}), morton_key({0, 1, 0}));
+  // Negative coordinates remain valid (biased).
+  EXPECT_LT(morton_key({-4, -4, -4}), morton_key({4, 4, 4}));
+}
+
+class BalanceTest : public ::testing::TestWithParam<BalanceMethod> {};
+
+TEST_P(BalanceTest, AssignsAllBoxesToValidRanks) {
+  const auto boxes = decompose(Box::domain({32, 32, 32}), 8);
+  const BoxLayout layout = balance(boxes, 7, GetParam());
+  EXPECT_EQ(layout.num_boxes(), boxes.size());
+  EXPECT_EQ(layout.num_ranks(), 7);
+  for (std::size_t i = 0; i < layout.num_boxes(); ++i) {
+    EXPECT_GE(layout.rank_of(i), 0);
+    EXPECT_LT(layout.rank_of(i), 7);
+  }
+  EXPECT_EQ(layout.total_cells(), 32 * 32 * 32);
+}
+
+TEST_P(BalanceTest, ReasonableImbalance) {
+  const auto boxes = decompose(Box::domain({64, 64, 64}), 8);  // 512 equal boxes
+  const BoxLayout layout = balance(boxes, 8, GetParam());
+  EXPECT_GE(layout.imbalance(), 1.0);
+  EXPECT_LE(layout.imbalance(), 1.05);  // equal boxes, divisible count
+  const auto cells = layout.cells_per_rank();
+  EXPECT_EQ(std::accumulate(cells.begin(), cells.end(), std::int64_t{0}),
+            layout.total_cells());
+}
+
+TEST_P(BalanceTest, MoreRanksThanBoxes) {
+  const auto boxes = decompose(Box::domain({16, 16, 16}), 16);  // 1 box
+  const BoxLayout layout = balance(boxes, 4, GetParam());
+  EXPECT_EQ(layout.num_boxes(), 1u);
+  const auto cells = layout.cells_per_rank();
+  int nonzero = 0;
+  for (auto c : cells) nonzero += c > 0;
+  EXPECT_EQ(nonzero, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, BalanceTest,
+                         ::testing::Values(BalanceMethod::MortonRoundRobin,
+                                           BalanceMethod::KnapsackLpt));
+
+TEST(Balance, KnapsackBeatsNaiveOnSkewedBoxes) {
+  // One huge box plus many small ones: LPT must not stack smalls on the
+  // rank holding the big box.
+  std::vector<Box> boxes{Box::cube({0, 0, 0}, 16)};  // 4096 cells
+  for (int i = 0; i < 8; ++i) {
+    boxes.push_back(Box::cube({32 + 4 * i, 0, 0}, 4));  // 64 cells each
+  }
+  const BoxLayout layout = balance(boxes, 2, BalanceMethod::KnapsackLpt);
+  const auto cells = layout.cells_per_rank();
+  // Big box alone on one rank, all smalls on the other.
+  EXPECT_EQ(std::max(cells[0], cells[1]), 4096);
+  EXPECT_EQ(std::min(cells[0], cells[1]), 8 * 64);
+}
+
+TEST(BoxLayout, BoxesOfRankPartition) {
+  const auto boxes = decompose(Box::domain({32, 16, 16}), 8);
+  const BoxLayout layout = balance(boxes, 3, BalanceMethod::MortonRoundRobin);
+  std::size_t total = 0;
+  for (int r = 0; r < 3; ++r) total += layout.boxes_of_rank(r).size();
+  EXPECT_EQ(total, layout.num_boxes());
+  EXPECT_EQ(layout.bounding_box(), Box::domain({32, 16, 16}));
+}
+
+TEST(BoxLayout, RejectsOverlapsAndBadRanks) {
+  std::vector<Box> overlapping{Box::cube({0, 0, 0}, 4), Box::cube({2, 2, 2}, 4)};
+  EXPECT_THROW(BoxLayout(overlapping, {0, 0}, 1), ContractError);
+  std::vector<Box> ok{Box::cube({0, 0, 0}, 2)};
+  EXPECT_THROW(BoxLayout(ok, {5}, 2), ContractError);
+  EXPECT_THROW(BoxLayout(ok, {0, 1}, 2), ContractError);  // size mismatch
+}
+
+TEST(BoxLayout, EmptyLayoutStats) {
+  const BoxLayout layout({}, {}, 4);
+  EXPECT_EQ(layout.total_cells(), 0);
+  EXPECT_DOUBLE_EQ(layout.imbalance(), 1.0);
+  EXPECT_TRUE(layout.bounding_box().empty());
+}
+
+}  // namespace
+}  // namespace xl::mesh

@@ -1,0 +1,137 @@
+// Tests for the DataSpaces-style version locks and the selectable analysis
+// kinds (the paper's "descriptive statistics / data subsetting" extension
+// claim).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "staging/lock.hpp"
+#include "workflow/coupled_workflow.hpp"
+
+namespace xl {
+namespace {
+
+using staging::VersionLockManager;
+
+TEST(VersionLocks, WriteThenReadSequence) {
+  VersionLockManager locks;
+  EXPECT_FALSE(locks.is_complete(0));
+  locks.lock_on_write(0);
+  EXPECT_FALSE(locks.is_complete(0));
+  locks.unlock_on_write(0);
+  EXPECT_TRUE(locks.is_complete(0));
+  locks.lock_on_read(0);
+  EXPECT_EQ(locks.active_readers(0), 1);
+  locks.unlock_on_read(0);
+  EXPECT_EQ(locks.active_readers(0), 0);
+}
+
+TEST(VersionLocks, ReaderBlocksUntilWriterFinishes) {
+  VersionLockManager locks;
+  std::atomic<bool> read_acquired{false};
+  locks.lock_on_write(3);
+  std::thread reader([&] {
+    locks.lock_on_read(3);  // must block until unlock_on_write
+    read_acquired = true;
+    locks.unlock_on_read(3);
+  });
+  // Give the reader a chance to (incorrectly) proceed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(read_acquired.load());
+  locks.unlock_on_write(3);
+  reader.join();
+  EXPECT_TRUE(read_acquired.load());
+}
+
+TEST(VersionLocks, VersionsAreIndependent) {
+  // Consumer of version v overlaps with producer of v+1: the pipelining the
+  // in-transit path relies on.
+  VersionLockManager locks;
+  locks.lock_on_write(0);
+  locks.unlock_on_write(0);
+  locks.lock_on_read(0);       // reading v=0...
+  locks.lock_on_write(1);      // ...while writing v=1: must not block
+  locks.unlock_on_write(1);
+  locks.unlock_on_read(0);
+  EXPECT_TRUE(locks.is_complete(1));
+}
+
+TEST(VersionLocks, MultipleConcurrentReaders) {
+  VersionLockManager locks;
+  locks.lock_on_write(5);
+  locks.unlock_on_write(5);
+  std::atomic<int> done{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      locks.lock_on_read(5);
+      ++done;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      locks.unlock_on_read(5);
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(done.load(), 4);
+  EXPECT_EQ(locks.active_readers(5), 0);
+}
+
+TEST(VersionLocks, MisuseIsRejected) {
+  VersionLockManager locks;
+  EXPECT_THROW(locks.unlock_on_write(9), ContractError);
+  EXPECT_THROW(locks.unlock_on_read(9), ContractError);
+  locks.lock_on_write(9);
+  locks.unlock_on_write(9);
+  EXPECT_THROW(locks.lock_on_write(9), ContractError);  // sealed version
+}
+
+// --- analysis kinds -----------------------------------------------------------
+
+workflow::WorkflowConfig kind_config(workflow::AnalysisKind kind) {
+  workflow::WorkflowConfig c;
+  c.machine = cluster::titan();
+  c.sim_cores = 128;
+  c.staging_cores = 8;
+  c.steps = 10;
+  c.mode = workflow::Mode::StaticInSitu;
+  c.geometry.base_domain = mesh::Box::domain({128, 64, 64});
+  c.geometry.nranks = 128;
+  c.memory_model.ncomp = 1;
+  c.analysis_kind = kind;
+  return c;
+}
+
+TEST(AnalysisKinds, CheaperKernelsCostLessOverhead) {
+  using workflow::AnalysisKind;
+  const double iso =
+      workflow::CoupledWorkflow(kind_config(AnalysisKind::Isosurface)).run().overhead_seconds;
+  const double stats =
+      workflow::CoupledWorkflow(kind_config(AnalysisKind::Statistics)).run().overhead_seconds;
+  const double subset =
+      workflow::CoupledWorkflow(kind_config(AnalysisKind::Subsetting)).run().overhead_seconds;
+  EXPECT_LT(stats, iso);
+  EXPECT_LT(subset, stats);
+  EXPECT_GT(subset, 0.0);
+}
+
+TEST(AnalysisKinds, Names) {
+  using workflow::AnalysisKind;
+  EXPECT_STREQ(workflow::analysis_kind_name(AnalysisKind::Isosurface), "isosurface");
+  EXPECT_STREQ(workflow::analysis_kind_name(AnalysisKind::Statistics), "statistics");
+  EXPECT_STREQ(workflow::analysis_kind_name(AnalysisKind::Subsetting), "subsetting");
+}
+
+TEST(AnalysisKinds, AdaptivePlacementWorksForAllKinds) {
+  using workflow::AnalysisKind;
+  for (AnalysisKind kind : {AnalysisKind::Isosurface, AnalysisKind::Statistics,
+                            AnalysisKind::Subsetting}) {
+    workflow::WorkflowConfig c = kind_config(kind);
+    c.mode = workflow::Mode::AdaptiveMiddleware;
+    const workflow::WorkflowResult r = workflow::CoupledWorkflow(c).run();
+    EXPECT_EQ(r.insitu_count + r.intransit_count, 10) << analysis_kind_name(kind);
+    EXPECT_GE(r.end_to_end_seconds, r.pure_sim_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace xl

@@ -1,0 +1,192 @@
+// Property-based tests over the adaptation policies: randomized inputs with
+// invariants that must hold for EVERY input, not just the worked examples of
+// test_runtime_policies.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "runtime/app_policy.hpp"
+#include "runtime/middleware_policy.hpp"
+#include "runtime/resource_policy.hpp"
+
+namespace xl::runtime {
+namespace {
+
+constexpr std::size_t MB = std::size_t{1} << 20;
+
+// --- Application-layer policy -------------------------------------------------
+
+class AppPolicyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AppPolicyProperty, FactorMonotoneInMemoryPressure) {
+  // Less memory can never select a smaller (higher-resolution) factor.
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<int> ladder;
+    int f = 1 << rng.uniform_int(0, 2);
+    for (int k = 0; k < 4; ++k) {
+      ladder.push_back(f);
+      f *= 2;
+    }
+    const auto cells = static_cast<std::size_t>(rng.uniform_int(1 << 10, 1 << 24));
+    const int ncomp = static_cast<int>(rng.uniform_int(1, 6));
+    int prev_factor = 0;
+    // Sweep memory from generous to none; factor must be non-decreasing.
+    for (double mem_mb = 4096.0; mem_mb >= 0.25; mem_mb /= 4.0) {
+      const AppDecision d = select_downsample_factor(
+          ladder, cells, ncomp, static_cast<std::size_t>(mem_mb * MB));
+      EXPECT_GE(d.factor, prev_factor);
+      prev_factor = d.factor;
+      // The decision is always a member of the ladder.
+      EXPECT_NE(std::find(ladder.begin(), ladder.end(), d.factor), ladder.end());
+      // When not constrained, the scratch fits the headroom budget.
+      if (!d.memory_constrained) {
+        EXPECT_LE(d.scratch_bytes,
+                  static_cast<std::size_t>(0.9 * mem_mb * MB) + 1);
+      }
+    }
+  }
+}
+
+TEST_P(AppPolicyProperty, ReducedBytesShrinkWithFactor) {
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto cells = static_cast<std::size_t>(rng.uniform_int(1, 1 << 22));
+    const int ncomp = static_cast<int>(rng.uniform_int(1, 8));
+    std::size_t prev = std::numeric_limits<std::size_t>::max();
+    for (int factor : {1, 2, 4, 8, 16}) {
+      const std::size_t bytes = analysis::reduced_bytes(cells, ncomp, factor);
+      EXPECT_LE(bytes, prev);
+      EXPECT_GT(bytes, 0u);
+      prev = bytes;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AppPolicyProperty, ::testing::Values(1, 2, 3));
+
+// --- Middleware policy ----------------------------------------------------------
+
+class MiddlewareProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+PlacementInputs random_inputs(Rng& rng) {
+  PlacementInputs in;
+  in.data_bytes = static_cast<std::size_t>(rng.uniform_int(1, 1000)) * MB;
+  in.insitu_mem_needed = static_cast<std::size_t>(rng.uniform_int(0, 500)) * MB;
+  in.insitu_mem_available = static_cast<std::size_t>(rng.uniform_int(0, 1000)) * MB;
+  in.intransit_mem_free = static_cast<std::size_t>(rng.uniform_int(0, 2000)) * MB;
+  in.intransit_backlog_seconds = rng.uniform(0.0, 10.0);
+  in.est_insitu_seconds = rng.uniform(0.01, 5.0);
+  in.est_intransit_seconds = rng.uniform(0.01, 5.0);
+  return in;
+}
+
+TEST_P(MiddlewareProperty, DecisionsAreTotalAndConsistent) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    const PlacementInputs in = random_inputs(rng);
+    const MiddlewareDecision d = decide_placement(in);
+    // The decision never places in-transit when staging cannot cache the data.
+    if (in.data_bytes > in.intransit_mem_free) {
+      EXPECT_EQ(d.placement, Placement::InSitu);
+    }
+    // A feasible=false flag appears exactly when neither side has memory.
+    const bool insitu_ok = in.insitu_mem_needed <= in.insitu_mem_available;
+    const bool intransit_ok = in.data_bytes <= in.intransit_mem_free;
+    EXPECT_EQ(d.feasible, insitu_ok || intransit_ok);
+    // Determinism.
+    const MiddlewareDecision d2 = decide_placement(in);
+    EXPECT_EQ(d.placement, d2.placement);
+    EXPECT_STREQ(d.reason, d2.reason);
+  }
+}
+
+TEST_P(MiddlewareProperty, MoreBacklogNeverFlipsTowardInTransit) {
+  // With everything else fixed and both sides feasible, increasing the
+  // backlog can only move the decision from in-transit to in-situ.
+  Rng rng(GetParam() ^ 0x5555);
+  for (int trial = 0; trial < 200; ++trial) {
+    PlacementInputs in = random_inputs(rng);
+    in.insitu_mem_needed = 0;
+    in.intransit_mem_free = in.data_bytes + MB;  // both feasible
+    bool seen_insitu = false;
+    for (double backlog = 0.0; backlog <= 8.0; backlog += 0.5) {
+      in.intransit_backlog_seconds = backlog;
+      const MiddlewareDecision d = decide_placement(in);
+      if (seen_insitu) {
+        EXPECT_EQ(d.placement, Placement::InSitu)
+            << "flipped back to in-transit at backlog " << backlog;
+      }
+      seen_insitu = seen_insitu || d.placement == Placement::InSitu;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MiddlewareProperty, ::testing::Values(7, 8, 9));
+
+// --- Resource policy -------------------------------------------------------------
+
+class ResourceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ResourceProperty, SelectionIsMinimalAndFeasible) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    ResourceInputs in;
+    in.data_bytes = static_cast<std::size_t>(rng.uniform_int(1, 4000)) * MB;
+    in.mem_per_core = static_cast<std::size_t>(rng.uniform_int(16, 512)) * MB;
+    in.next_sim_seconds = rng.uniform(0.1, 20.0);
+    in.send_seconds = rng.uniform(0.0, 1.0);
+    in.recv_seconds = rng.uniform(0.0, 1.0);
+    in.min_cores = static_cast<int>(rng.uniform_int(1, 8));
+    in.max_cores = static_cast<int>(rng.uniform_int(256, 4096));
+    const double work = rng.uniform(1.0, 4000.0);
+    in.intransit_seconds = [work](int m) { return work / m; };
+
+    const ResourceDecision d = select_intransit_cores(in);
+    EXPECT_GE(d.cores, in.min_cores);
+    EXPECT_LE(d.cores, in.max_cores);
+    // Memory floor always respected (eq. 10).
+    EXPECT_GE(static_cast<std::size_t>(d.cores) * in.mem_per_core,
+              std::min(in.data_bytes,
+                       static_cast<std::size_t>(in.max_cores) * in.mem_per_core));
+    const double budget = in.next_sim_seconds + in.send_seconds;
+    if (d.deadline_met) {
+      EXPECT_LE(in.intransit_seconds(d.cores) + in.recv_seconds, budget + 1e-12);
+      // Minimality: one fewer core violates deadline or a floor (eq. 9).
+      if (d.cores > in.min_cores && d.cores > d.memory_floor_cores) {
+        EXPECT_GT(in.intransit_seconds(d.cores - 1) + in.recv_seconds, budget);
+      }
+    } else {
+      EXPECT_EQ(d.cores, in.max_cores);
+      EXPECT_GT(in.intransit_seconds(in.max_cores) + in.recv_seconds, budget);
+    }
+  }
+}
+
+TEST_P(ResourceProperty, MonotoneInWorkload) {
+  // More in-transit work never selects fewer cores.
+  Rng rng(GetParam() ^ 0x77);
+  for (int trial = 0; trial < 100; ++trial) {
+    ResourceInputs in;
+    in.data_bytes = 100 * MB;
+    in.mem_per_core = 100 * MB;
+    in.next_sim_seconds = rng.uniform(1.0, 10.0);
+    in.send_seconds = 0.1;
+    in.recv_seconds = 0.1;
+    in.min_cores = 1;
+    in.max_cores = 4096;
+    int prev = 0;
+    for (double work = 10.0; work <= 10000.0; work *= 3.0) {
+      in.intransit_seconds = [work](int m) { return work / m; };
+      const ResourceDecision d = select_intransit_cores(in);
+      EXPECT_GE(d.cores, prev);
+      prev = d.cores;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResourceProperty, ::testing::Values(11, 12, 13));
+
+}  // namespace
+}  // namespace xl::runtime

@@ -1,0 +1,381 @@
+// Tests for the paper's adaptation policies: application layer (eqs. 1-3),
+// middleware layer (eqs. 4-8, including the Fig. 4 scenario), resource layer
+// (eqs. 9-10), the Monitor's estimators, and the AdaptationEngine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/adaptation_engine.hpp"
+#include "runtime/app_policy.hpp"
+#include "runtime/middleware_policy.hpp"
+#include "runtime/monitor.hpp"
+#include "runtime/resource_policy.hpp"
+
+namespace xl::runtime {
+namespace {
+
+constexpr std::size_t MB = std::size_t{1} << 20;
+
+// --- Application-layer policy (eqs. 1-3) ------------------------------------
+
+TEST(AppPolicy, AmpleMemorySelectsSmallestFactor) {
+  // The §5.2.1 narrative: with memory available, the minimum down-sampling
+  // factor (highest resolution) is selected.
+  const AppDecision d =
+      select_downsample_factor({2, 4}, 1 << 20, 5, 1024 * MB);
+  EXPECT_EQ(d.factor, 2);
+  EXPECT_FALSE(d.memory_constrained);
+  EXPECT_EQ(d.reduced_bytes, analysis::reduced_bytes(1 << 20, 5, 2));
+}
+
+TEST(AppPolicy, TightMemoryWalksUpTheLadder) {
+  const std::size_t raw_cells = 1 << 21;  // 2M cells, 5 comps = 80MB raw
+  const std::size_t avail = 3 * MB;
+  const AppDecision d = select_downsample_factor({2, 4, 8, 16}, raw_cells, 5, avail);
+  EXPECT_GT(d.factor, 2);
+  EXPECT_LE(d.scratch_bytes, static_cast<std::size_t>(0.9 * avail));
+  EXPECT_FALSE(d.memory_constrained);
+}
+
+TEST(AppPolicy, NoFactorFitsFlagsConstrained) {
+  const AppDecision d = select_downsample_factor({2, 4}, 1 << 22, 5, 1024);
+  EXPECT_EQ(d.factor, 4);  // largest acceptable, flagged
+  EXPECT_TRUE(d.memory_constrained);
+}
+
+TEST(AppPolicy, Fig5PhaseSemantics) {
+  // Factors {2,4} first half, {2,4,8,16} second half; memory shrinking over
+  // time pushes the selection up exactly when availability crosses the
+  // requirement — the step-31 behaviour of Fig. 5.
+  UserHints hints;
+  hints.factor_phases = {{0, {2, 4}}, {20, {2, 4, 8, 16}}};
+  EXPECT_EQ(hints.factors_at(0), (std::vector<int>{2, 4}));
+  EXPECT_EQ(hints.factors_at(19), (std::vector<int>{2, 4}));
+  EXPECT_EQ(hints.factors_at(20), (std::vector<int>{2, 4, 8, 16}));
+  EXPECT_EQ(hints.factors_at(39), (std::vector<int>{2, 4, 8, 16}));
+
+  const std::size_t raw_cells = 4 << 20;
+  const std::size_t need_x2 =
+      analysis::reduction_scratch_bytes(raw_cells, 5, 2);
+  // Plenty of memory early: factor 2.
+  EXPECT_EQ(select_downsample_factor(hints.factors_at(10), raw_cells, 5,
+                                     4 * need_x2)
+                .factor,
+            2);
+  // Late, with availability below the factor-2 requirement: factor rises.
+  EXPECT_GT(select_downsample_factor(hints.factors_at(31), raw_cells, 5,
+                                     need_x2 / 4)
+                .factor,
+            2);
+}
+
+TEST(AppPolicy, ValidatesInputs) {
+  EXPECT_THROW(select_downsample_factor({}, 100, 1, MB), ContractError);
+  EXPECT_THROW(select_downsample_factor({4, 2}, 100, 1, MB), ContractError);
+  EXPECT_THROW(select_downsample_factor({0, 2}, 100, 1, MB), ContractError);
+}
+
+TEST(AppPolicy, EntropySelectorRespectsMemoryFloor) {
+  // High entropy wants factor 2, but memory admits only factor 8+.
+  const std::size_t raw_cells = 1 << 21;
+  const std::size_t avail =
+      analysis::reduction_scratch_bytes(raw_cells, 5, 8) + (1 << 16);
+  const AppDecision d = select_factor_by_entropy(
+      9.0, {3.0, 6.0}, {2, 4, 8, 16}, raw_cells, 5, avail);
+  EXPECT_GE(d.factor, 8);
+}
+
+TEST(AppPolicy, EntropySelectorLowEntropyReducesAggressively) {
+  const AppDecision d = select_factor_by_entropy(
+      1.0, {3.0, 6.0}, {2, 4, 8}, 1 << 18, 5, 1024 * MB);
+  EXPECT_EQ(d.factor, 8);
+}
+
+// --- Middleware policy (eqs. 4-8) --------------------------------------------
+
+PlacementInputs base_inputs() {
+  PlacementInputs in;
+  in.data_bytes = 100 * MB;
+  in.insitu_mem_needed = 100 * MB;
+  in.insitu_mem_available = 500 * MB;
+  in.intransit_mem_free = 500 * MB;
+  in.intransit_backlog_seconds = 0.0;
+  in.est_insitu_seconds = 2.0;
+  in.est_intransit_seconds = 8.0;
+  return in;
+}
+
+TEST(MiddlewarePolicy, Case1MemoryForcedInSitu) {
+  PlacementInputs in = base_inputs();
+  in.intransit_mem_free = 10 * MB;  // staging cannot cache S_data
+  const MiddlewareDecision d = decide_placement(in);
+  EXPECT_EQ(d.placement, Placement::InSitu);
+  EXPECT_STREQ(d.reason, "memory-forced");
+  EXPECT_TRUE(d.feasible);
+}
+
+TEST(MiddlewarePolicy, Case1MemoryForcedInTransit) {
+  PlacementInputs in = base_inputs();
+  in.insitu_mem_available = 10 * MB;  // simulation nodes have no headroom
+  const MiddlewareDecision d = decide_placement(in);
+  EXPECT_EQ(d.placement, Placement::InTransit);
+  EXPECT_STREQ(d.reason, "memory-forced");
+}
+
+TEST(MiddlewarePolicy, Case2IdleStagingGoesInTransit) {
+  // Fig. 4, ts=1/2: in-transit processors idle -> place in-transit even
+  // though the in-transit execution itself is slower.
+  const MiddlewareDecision d = decide_placement(base_inputs());
+  EXPECT_EQ(d.placement, Placement::InTransit);
+  EXPECT_STREQ(d.reason, "staging-idle");
+}
+
+TEST(MiddlewarePolicy, Case3BusyStagingComparesEstimates) {
+  // Fig. 4, ts=30: staging busy; in-situ is faster than waiting out the
+  // backlog -> in-situ.
+  PlacementInputs in = base_inputs();
+  in.intransit_backlog_seconds = 5.0;  // > est_insitu_seconds = 2.0
+  MiddlewareDecision d = decide_placement(in);
+  EXPECT_EQ(d.placement, Placement::InSitu);
+  EXPECT_STREQ(d.reason, "insitu-faster-than-backlog");
+
+  // Backlog nearly drained -> async send and process when cores free.
+  in.intransit_backlog_seconds = 0.5;
+  d = decide_placement(in);
+  EXPECT_EQ(d.placement, Placement::InTransit);
+  EXPECT_STREQ(d.reason, "backlog-shorter-than-insitu");
+}
+
+TEST(MiddlewarePolicy, InfeasibleBothFlagsAndFallsBack) {
+  PlacementInputs in = base_inputs();
+  in.insitu_mem_available = 0;
+  in.intransit_mem_free = 0;
+  const MiddlewareDecision d = decide_placement(in);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_EQ(d.placement, Placement::InSitu);
+}
+
+// --- Resource policy (eqs. 9-10) ---------------------------------------------
+
+ResourceInputs resource_inputs() {
+  ResourceInputs in;
+  in.data_bytes = 1000 * MB;
+  in.mem_per_core = 100 * MB;  // eq. 10 floor: 10 cores
+  in.next_sim_seconds = 10.0;
+  in.send_seconds = 0.5;
+  in.recv_seconds = 0.5;
+  in.min_cores = 1;
+  in.max_cores = 1024;
+  // T_intransit(M) = 400 / M: deadline 10.5 - 0.5 -> M >= 40.
+  in.intransit_seconds = [](int m) { return 400.0 / m; };
+  return in;
+}
+
+TEST(ResourcePolicy, MemoryFloorEq10) {
+  ResourceInputs in = resource_inputs();
+  in.intransit_seconds = [](int) { return 0.0; };  // deadline trivially met
+  const ResourceDecision d = select_intransit_cores(in);
+  EXPECT_EQ(d.memory_floor_cores, 10);
+  EXPECT_EQ(d.cores, 10);
+  EXPECT_TRUE(d.deadline_met);
+}
+
+TEST(ResourcePolicy, DeadlineDrivesAboveMemoryFloorEq9) {
+  const ResourceDecision d = select_intransit_cores(resource_inputs());
+  EXPECT_EQ(d.cores, 40);  // smallest M with 400/M + 0.5 <= 10.5
+  EXPECT_TRUE(d.deadline_met);
+}
+
+TEST(ResourcePolicy, MinimalityOfM) {
+  const ResourceDecision d = select_intransit_cores(resource_inputs());
+  // One fewer core must violate the deadline.
+  const ResourceInputs in = resource_inputs();
+  EXPECT_GT(in.intransit_seconds(d.cores - 1) + in.recv_seconds,
+            in.next_sim_seconds + in.send_seconds);
+}
+
+TEST(ResourcePolicy, UnmeetableDeadlineCapsAtMax) {
+  ResourceInputs in = resource_inputs();
+  in.max_cores = 16;  // 400/16 + 0.5 > 10.5
+  const ResourceDecision d = select_intransit_cores(in);
+  EXPECT_EQ(d.cores, 16);
+  EXPECT_FALSE(d.deadline_met);
+}
+
+TEST(ResourcePolicy, RespectsMinCores) {
+  ResourceInputs in = resource_inputs();
+  in.data_bytes = 0;
+  in.min_cores = 5;
+  in.intransit_seconds = [](int) { return 0.0; };
+  EXPECT_EQ(select_intransit_cores(in).cores, 5);
+}
+
+TEST(ResourcePolicy, ValidatesInputs) {
+  ResourceInputs in = resource_inputs();
+  in.mem_per_core = 0;
+  EXPECT_THROW(select_intransit_cores(in), ContractError);
+  in = resource_inputs();
+  in.intransit_seconds = nullptr;
+  EXPECT_THROW(select_intransit_cores(in), ContractError);
+  in = resource_inputs();
+  in.max_cores = 0;
+  EXPECT_THROW(select_intransit_cores(in), ContractError);
+}
+
+// --- Monitor -----------------------------------------------------------------
+
+TEST(Monitor, EwmaEstimatorScalesByCellsAndCores) {
+  MonitorConfig cfg;
+  cfg.parallel_efficiency = 1.0;  // exact scaling for the test
+  Monitor m(cfg);
+  m.record_analysis({0, Placement::InSitu, 1000, 10, 2.0});
+  // cost = 2.0 * 10 / 1000 = 0.02 s per cell per core.
+  EXPECT_NEAR(m.estimate_analysis_seconds(Placement::InSitu, 2000, 10), 4.0, 1e-9);
+  EXPECT_NEAR(m.estimate_analysis_seconds(Placement::InSitu, 1000, 20), 1.0, 1e-9);
+}
+
+TEST(Monitor, PlacementStreamsAreSeparate) {
+  Monitor m;
+  m.record_analysis({0, Placement::InSitu, 1000, 1, 1.0});
+  m.record_analysis({0, Placement::InTransit, 1000, 1, 7.0});
+  EXPECT_LT(m.estimate_analysis_seconds(Placement::InSitu, 1000, 1),
+            m.estimate_analysis_seconds(Placement::InTransit, 1000, 1));
+}
+
+TEST(Monitor, LastValueVsEwmaAfterSpike) {
+  MonitorConfig last_cfg;
+  last_cfg.estimator = EstimatorKind::LastValue;
+  MonitorConfig ewma_cfg;
+  ewma_cfg.estimator = EstimatorKind::Ewma;
+  ewma_cfg.ewma_alpha = 0.3;
+  Monitor last(last_cfg), ewma(ewma_cfg);
+  for (Monitor* m : {&last, &ewma}) {
+    for (int i = 0; i < 10; ++i) {
+      m->record_analysis({i, Placement::InSitu, 1000, 1, 1.0});
+    }
+    m->record_analysis({10, Placement::InSitu, 1000, 1, 10.0});  // spike
+  }
+  // Last-value chases the spike; EWMA stays closer to the history.
+  EXPECT_GT(last.estimate_analysis_seconds(Placement::InSitu, 1000, 1), 9.0);
+  EXPECT_LT(ewma.estimate_analysis_seconds(Placement::InSitu, 1000, 1), 5.0);
+}
+
+TEST(Monitor, OracleOverridesWhenInjected) {
+  MonitorConfig cfg;
+  cfg.estimator = EstimatorKind::Oracle;
+  Monitor m(cfg);
+  m.set_oracle(3.25, 7.5);
+  EXPECT_DOUBLE_EQ(m.estimate_analysis_seconds(Placement::InSitu, 999, 3), 3.25);
+  EXPECT_DOUBLE_EQ(m.estimate_analysis_seconds(Placement::InTransit, 999, 3), 7.5);
+}
+
+TEST(Monitor, SamplingPeriod) {
+  MonitorConfig cfg;
+  cfg.sampling_period = 5;
+  Monitor m(cfg);
+  EXPECT_TRUE(m.should_sample(0));
+  EXPECT_FALSE(m.should_sample(3));
+  EXPECT_TRUE(m.should_sample(10));
+}
+
+TEST(Monitor, SimEstimateScalesByCellRatio) {
+  Monitor m;
+  m.record_sim_step(0, 4.0, 1000);
+  EXPECT_NEAR(m.estimate_sim_seconds(2000), 8.0, 1e-12);
+  EXPECT_NEAR(m.estimate_sim_seconds(500), 2.0, 1e-12);
+}
+
+// --- AdaptationEngine integration -------------------------------------------
+
+EngineHooks test_hooks() {
+  EngineHooks hooks;
+  // Analysis: 1e-6 s per cell per core (linear).
+  hooks.analysis_seconds = [](Placement, std::size_t cells, int cores) {
+    return 1e-6 * static_cast<double>(cells) / cores;
+  };
+  hooks.send_seconds = [](std::size_t bytes) { return 1e-9 * bytes; };
+  hooks.recv_seconds = [](std::size_t bytes, int cores) {
+    return 1e-9 * static_cast<double>(bytes) / cores;
+  };
+  hooks.next_sim_seconds = [](std::size_t cells) { return 1e-5 * cells; };
+  hooks.insitu_analysis_mem = [](std::size_t bytes) { return bytes; };
+  return hooks;
+}
+
+OperationalState test_state() {
+  OperationalState s;
+  s.step = 0;
+  s.raw_cells = 1 << 20;
+  s.raw_bytes = (1 << 20) * 5 * sizeof(double);
+  s.ncomp = 5;
+  s.sim_cores = 1024;
+  s.insitu_mem_available = 400 * MB;
+  s.intransit_cores = 64;
+  s.intransit_mem_free = 800 * MB;
+  s.intransit_mem_per_core = 100 * MB;
+  s.intransit_backlog_seconds = 0.0;
+  return s;
+}
+
+TEST(AdaptationEngine, GlobalPlanExecutesAllLayersLeavesFirst) {
+  EngineConfig cfg;
+  cfg.hints.factor_phases = {{0, {2, 4}}};
+  const AdaptationEngine engine(cfg, test_hooks());
+  const EngineDecisions d = engine.adapt(test_state());
+  ASSERT_EQ(d.executed.size(), 3u);
+  EXPECT_EQ(d.executed[0], Layer::Application);
+  EXPECT_EQ(d.executed[1], Layer::Resource);
+  EXPECT_EQ(d.executed[2], Layer::Middleware);
+  ASSERT_TRUE(d.app.has_value());
+  EXPECT_EQ(d.app->factor, 2);
+  // Effective data shrank by 2^3.
+  EXPECT_EQ(d.effective_cells, (std::size_t{1} << 20) / 8);
+  ASSERT_TRUE(d.resource.has_value());
+  ASSERT_TRUE(d.middleware.has_value());
+}
+
+TEST(AdaptationEngine, MiddlewareOnlyLeavesDataUntouched) {
+  EngineConfig cfg;
+  cfg.enable_application = false;
+  cfg.enable_resource = false;
+  const AdaptationEngine engine(cfg, test_hooks());
+  const EngineDecisions d = engine.adapt(test_state());
+  ASSERT_EQ(d.executed.size(), 1u);
+  EXPECT_EQ(d.executed[0], Layer::Middleware);
+  EXPECT_FALSE(d.app.has_value());
+  EXPECT_EQ(d.effective_bytes, test_state().raw_bytes);
+  EXPECT_EQ(d.intransit_cores, 64);
+}
+
+TEST(AdaptationEngine, UtilizationObjectiveExcludesMiddleware) {
+  EngineConfig cfg;
+  cfg.preferences.objective = Objective::MaximizeResourceUtilization;
+  cfg.hints.factor_phases = {{0, {2}}};
+  const AdaptationEngine engine(cfg, test_hooks());
+  const EngineDecisions d = engine.adapt(test_state());
+  ASSERT_EQ(d.executed.size(), 2u);
+  EXPECT_EQ(d.executed[0], Layer::Application);
+  EXPECT_EQ(d.executed[1], Layer::Resource);
+  EXPECT_FALSE(d.middleware.has_value());
+}
+
+TEST(AdaptationEngine, MaxAcceptableFactorCapsHints) {
+  EngineConfig cfg;
+  cfg.hints.factor_phases = {{0, {2, 4, 8, 16}}};
+  cfg.preferences.max_acceptable_factor = 4;
+  OperationalState s = test_state();
+  s.insitu_mem_available = 1;  // would otherwise push to 16
+  const AdaptationEngine engine(cfg, test_hooks());
+  const EngineDecisions d = engine.adapt(s);
+  ASSERT_TRUE(d.app.has_value());
+  EXPECT_LE(d.app->factor, 4);
+}
+
+TEST(AdaptationEngine, RequiresAllHooks) {
+  EngineHooks broken = test_hooks();
+  broken.send_seconds = nullptr;
+  EXPECT_THROW(AdaptationEngine({}, broken), ContractError);
+}
+
+}  // namespace
+}  // namespace xl::runtime

@@ -1,0 +1,149 @@
+// Tests for the asynchronous transport fabric and the DataSpaces-like
+// staging space (spatial index, versioned objects, memory accounting).
+#include <gtest/gtest.h>
+
+#include "cluster/machine.hpp"
+#include "staging/space.hpp"
+#include "transport/fabric.hpp"
+
+namespace xl {
+namespace {
+
+using cluster::CostModel;
+using cluster::EventQueue;
+using mesh::Box;
+using mesh::Fab;
+using staging::StagingSpace;
+using transport::Fabric;
+
+TEST(Fabric, CompletionFiresAfterWireTime) {
+  EventQueue q;
+  const CostModel cost(cluster::test_machine());
+  Fabric fabric(q, cost);
+  double completed_at = -1.0;
+  fabric.put(std::size_t{1} << 30, 8, 8, [&](double t) { completed_at = t; });
+  EXPECT_DOUBLE_EQ(completed_at, -1.0);  // asynchronous: not yet
+  q.run_until_empty();
+  EXPECT_NEAR(completed_at, cost.transfer_seconds(std::size_t{1} << 30, 8, 8), 1e-12);
+  EXPECT_EQ(fabric.total_bytes_moved(), std::size_t{1} << 30);
+}
+
+TEST(Fabric, ConcurrentTransfersCompleteInSizeOrder) {
+  EventQueue q;
+  const CostModel cost(cluster::test_machine());
+  Fabric fabric(q, cost);
+  std::vector<int> done;
+  fabric.put(std::size_t{64} << 20, 4, 4, [&](double) { done.push_back(0); });
+  fabric.put(std::size_t{1} << 20, 4, 4, [&](double) { done.push_back(1); });
+  q.run_until_empty();
+  EXPECT_EQ(done, (std::vector<int>{1, 0}));  // small one lands first
+  EXPECT_EQ(fabric.transfer_count(), 2u);
+  EXPECT_EQ(fabric.history().size(), 2u);
+}
+
+TEST(Fabric, EstimateMatchesCostModel) {
+  EventQueue q;
+  const CostModel cost(cluster::test_machine());
+  Fabric fabric(q, cost);
+  EXPECT_DOUBLE_EQ(fabric.estimate_seconds(1 << 20, 2, 8),
+                   cost.transfer_seconds(1 << 20, 2, 8));
+}
+
+TEST(ServerForBox, DeterministicAndInRange) {
+  const Box b = Box::cube({10, 20, 30}, 8);
+  const int s = staging::server_for_box(b, 16);
+  EXPECT_EQ(s, staging::server_for_box(b, 16));
+  EXPECT_GE(s, 0);
+  EXPECT_LT(s, 16);
+  EXPECT_EQ(staging::server_for_box(b, 1), 0);
+}
+
+TEST(ServerForBox, SpreadsAcrossServers) {
+  // Many distinct boxes should hit many servers.
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 64; ++i) {
+    ++hits[static_cast<std::size_t>(
+        staging::server_for_box(Box::cube({i * 8, (i % 5) * 16, (i % 3) * 32}, 4), 8))];
+  }
+  int used = 0;
+  for (int h : hits) used += h > 0;
+  EXPECT_GE(used, 5);
+}
+
+TEST(StagingSpace, PutQueryEraseLifecycle) {
+  StagingSpace space(4, std::size_t{1} << 20);
+  const Box box = Box::cube({0, 0, 0}, 8);
+  const auto id = space.put(7, box, 1, 4096);
+  EXPECT_EQ(space.object_count(), 1u);
+  EXPECT_EQ(space.used_bytes(), 4096u);
+
+  const auto hits = space.query(7, box.grow(2));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->id, id);
+  EXPECT_EQ(hits[0]->version, 7);
+  EXPECT_TRUE(space.query(8, box).empty());              // wrong version
+  EXPECT_TRUE(space.query(7, Box::cube({100, 0, 0}, 2)).empty());  // disjoint
+
+  space.erase(id);
+  EXPECT_EQ(space.used_bytes(), 0u);
+  EXPECT_THROW(space.erase(id), ContractError);
+}
+
+TEST(StagingSpace, PayloadRoundTrip) {
+  StagingSpace space(2, std::size_t{1} << 20);
+  const Box box = Box::cube({4, 4, 4}, 4);
+  Fab payload(box, 2, 1.5);
+  space.put(0, box, 2, payload.bytes(), std::move(payload));
+  const auto hits = space.query(0, box);
+  ASSERT_EQ(hits.size(), 1u);
+  ASSERT_TRUE(hits[0]->payload.has_value());
+  EXPECT_DOUBLE_EQ((*hits[0]->payload)(mesh::IntVect{5, 5, 5}, 1), 1.5);
+}
+
+TEST(StagingSpace, MemoryAccountingPerServer) {
+  StagingSpace space(2, 1000);
+  const Box box = Box::cube({0, 0, 0}, 4);
+  const int server = staging::server_for_box(box, 2);
+  EXPECT_TRUE(space.can_accept(box, 800));
+  space.put(0, box, 1, 800);
+  EXPECT_EQ(space.server_used_bytes(server), 800u);
+  EXPECT_FALSE(space.can_accept(box, 300));  // same server full
+  EXPECT_THROW(space.put(1, box, 1, 300), ContractError);
+  EXPECT_EQ(space.free_bytes(), 2000u - 800u);
+}
+
+TEST(StagingSpace, EraseVersionFreesEverything) {
+  StagingSpace space(4, std::size_t{1} << 20);
+  for (int i = 0; i < 6; ++i) {
+    space.put(i % 2, Box::cube({i * 8, 0, 0}, 4), 1, 100);
+  }
+  const std::size_t freed = space.erase_version(0);
+  EXPECT_EQ(freed, 300u);
+  EXPECT_EQ(space.object_count(), 3u);
+  EXPECT_EQ(space.used_bytes(), 300u);
+}
+
+TEST(StagingSpace, ResizeGrowAndShrinkRules) {
+  StagingSpace space(2, 1000);
+  space.resize(6);
+  EXPECT_EQ(space.num_servers(), 6);
+  EXPECT_EQ(space.capacity_bytes(), 6000u);
+  // Put something on a known server, then try to shrink past it.
+  const Box box = Box::cube({0, 0, 0}, 4);
+  const int server = staging::server_for_box(box, 6);
+  space.put(0, box, 1, 10);
+  if (server >= 1) {
+    EXPECT_THROW(space.resize(server), ContractError);
+  }
+  space.erase_version(0);
+  space.resize(1);
+  EXPECT_EQ(space.num_servers(), 1);
+}
+
+TEST(StagingSpace, ValidatesConstruction) {
+  EXPECT_THROW(StagingSpace(0, 1024), ContractError);
+  EXPECT_THROW(StagingSpace(4, 0), ContractError);
+}
+
+}  // namespace
+}  // namespace xl
