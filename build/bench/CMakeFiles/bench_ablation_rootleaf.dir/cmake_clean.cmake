@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rootleaf.dir/bench_ablation_rootleaf.cpp.o"
+  "CMakeFiles/bench_ablation_rootleaf.dir/bench_ablation_rootleaf.cpp.o.d"
+  "bench_ablation_rootleaf"
+  "bench_ablation_rootleaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rootleaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

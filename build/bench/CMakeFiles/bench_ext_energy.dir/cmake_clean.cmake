@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_energy.dir/bench_ext_energy.cpp.o"
+  "CMakeFiles/bench_ext_energy.dir/bench_ext_energy.cpp.o.d"
+  "bench_ext_energy"
+  "bench_ext_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

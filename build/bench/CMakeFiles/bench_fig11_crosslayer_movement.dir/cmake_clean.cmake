@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_crosslayer_movement.dir/bench_fig11_crosslayer_movement.cpp.o"
+  "CMakeFiles/bench_fig11_crosslayer_movement.dir/bench_fig11_crosslayer_movement.cpp.o.d"
+  "bench_fig11_crosslayer_movement"
+  "bench_fig11_crosslayer_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_crosslayer_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

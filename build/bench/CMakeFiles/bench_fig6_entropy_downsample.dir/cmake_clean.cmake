@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_entropy_downsample.dir/bench_fig6_entropy_downsample.cpp.o"
+  "CMakeFiles/bench_fig6_entropy_downsample.dir/bench_fig6_entropy_downsample.cpp.o.d"
+  "bench_fig6_entropy_downsample"
+  "bench_fig6_entropy_downsample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_entropy_downsample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

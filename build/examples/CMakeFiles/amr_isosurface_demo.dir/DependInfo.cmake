@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/amr_isosurface_demo.cpp" "examples/CMakeFiles/amr_isosurface_demo.dir/amr_isosurface_demo.cpp.o" "gcc" "examples/CMakeFiles/amr_isosurface_demo.dir/amr_isosurface_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/xl_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/xl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/staging/CMakeFiles/xl_staging.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/xl_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/xl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/xl_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/xl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/CMakeFiles/xl_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/xl_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

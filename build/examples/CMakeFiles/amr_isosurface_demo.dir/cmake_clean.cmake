@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_isosurface_demo.dir/amr_isosurface_demo.cpp.o"
+  "CMakeFiles/amr_isosurface_demo.dir/amr_isosurface_demo.cpp.o.d"
+  "amr_isosurface_demo"
+  "amr_isosurface_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_isosurface_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

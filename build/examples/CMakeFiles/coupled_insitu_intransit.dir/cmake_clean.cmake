@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled_insitu_intransit.dir/coupled_insitu_intransit.cpp.o"
+  "CMakeFiles/coupled_insitu_intransit.dir/coupled_insitu_intransit.cpp.o.d"
+  "coupled_insitu_intransit"
+  "coupled_insitu_intransit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled_insitu_intransit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for coupled_insitu_intransit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_scale_experiment.dir/machine_scale_experiment.cpp.o"
+  "CMakeFiles/machine_scale_experiment.dir/machine_scale_experiment.cpp.o.d"
+  "machine_scale_experiment"
+  "machine_scale_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_scale_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualization_pipeline.dir/visualization_pipeline.cpp.o"
+  "CMakeFiles/visualization_pipeline.dir/visualization_pipeline.cpp.o.d"
+  "visualization_pipeline"
+  "visualization_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualization_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

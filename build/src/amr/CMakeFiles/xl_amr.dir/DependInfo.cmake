@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/advection_diffusion.cpp" "src/amr/CMakeFiles/xl_amr.dir/advection_diffusion.cpp.o" "gcc" "src/amr/CMakeFiles/xl_amr.dir/advection_diffusion.cpp.o.d"
+  "/root/repo/src/amr/amr_simulation.cpp" "src/amr/CMakeFiles/xl_amr.dir/amr_simulation.cpp.o" "gcc" "src/amr/CMakeFiles/xl_amr.dir/amr_simulation.cpp.o.d"
+  "/root/repo/src/amr/berger_rigoutsos.cpp" "src/amr/CMakeFiles/xl_amr.dir/berger_rigoutsos.cpp.o" "gcc" "src/amr/CMakeFiles/xl_amr.dir/berger_rigoutsos.cpp.o.d"
+  "/root/repo/src/amr/hierarchy.cpp" "src/amr/CMakeFiles/xl_amr.dir/hierarchy.cpp.o" "gcc" "src/amr/CMakeFiles/xl_amr.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/amr/interp.cpp" "src/amr/CMakeFiles/xl_amr.dir/interp.cpp.o" "gcc" "src/amr/CMakeFiles/xl_amr.dir/interp.cpp.o.d"
+  "/root/repo/src/amr/memory_model.cpp" "src/amr/CMakeFiles/xl_amr.dir/memory_model.cpp.o" "gcc" "src/amr/CMakeFiles/xl_amr.dir/memory_model.cpp.o.d"
+  "/root/repo/src/amr/physics.cpp" "src/amr/CMakeFiles/xl_amr.dir/physics.cpp.o" "gcc" "src/amr/CMakeFiles/xl_amr.dir/physics.cpp.o.d"
+  "/root/repo/src/amr/plotfile.cpp" "src/amr/CMakeFiles/xl_amr.dir/plotfile.cpp.o" "gcc" "src/amr/CMakeFiles/xl_amr.dir/plotfile.cpp.o.d"
+  "/root/repo/src/amr/polytropic_gas.cpp" "src/amr/CMakeFiles/xl_amr.dir/polytropic_gas.cpp.o" "gcc" "src/amr/CMakeFiles/xl_amr.dir/polytropic_gas.cpp.o.d"
+  "/root/repo/src/amr/synthetic.cpp" "src/amr/CMakeFiles/xl_amr.dir/synthetic.cpp.o" "gcc" "src/amr/CMakeFiles/xl_amr.dir/synthetic.cpp.o.d"
+  "/root/repo/src/amr/tagging.cpp" "src/amr/CMakeFiles/xl_amr.dir/tagging.cpp.o" "gcc" "src/amr/CMakeFiles/xl_amr.dir/tagging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/xl_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xl_amr.dir/advection_diffusion.cpp.o"
+  "CMakeFiles/xl_amr.dir/advection_diffusion.cpp.o.d"
+  "CMakeFiles/xl_amr.dir/amr_simulation.cpp.o"
+  "CMakeFiles/xl_amr.dir/amr_simulation.cpp.o.d"
+  "CMakeFiles/xl_amr.dir/berger_rigoutsos.cpp.o"
+  "CMakeFiles/xl_amr.dir/berger_rigoutsos.cpp.o.d"
+  "CMakeFiles/xl_amr.dir/hierarchy.cpp.o"
+  "CMakeFiles/xl_amr.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/xl_amr.dir/interp.cpp.o"
+  "CMakeFiles/xl_amr.dir/interp.cpp.o.d"
+  "CMakeFiles/xl_amr.dir/memory_model.cpp.o"
+  "CMakeFiles/xl_amr.dir/memory_model.cpp.o.d"
+  "CMakeFiles/xl_amr.dir/physics.cpp.o"
+  "CMakeFiles/xl_amr.dir/physics.cpp.o.d"
+  "CMakeFiles/xl_amr.dir/plotfile.cpp.o"
+  "CMakeFiles/xl_amr.dir/plotfile.cpp.o.d"
+  "CMakeFiles/xl_amr.dir/polytropic_gas.cpp.o"
+  "CMakeFiles/xl_amr.dir/polytropic_gas.cpp.o.d"
+  "CMakeFiles/xl_amr.dir/synthetic.cpp.o"
+  "CMakeFiles/xl_amr.dir/synthetic.cpp.o.d"
+  "CMakeFiles/xl_amr.dir/tagging.cpp.o"
+  "CMakeFiles/xl_amr.dir/tagging.cpp.o.d"
+  "libxl_amr.a"
+  "libxl_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xl_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/compress.cpp" "src/analysis/CMakeFiles/xl_analysis.dir/compress.cpp.o" "gcc" "src/analysis/CMakeFiles/xl_analysis.dir/compress.cpp.o.d"
+  "/root/repo/src/analysis/downsample.cpp" "src/analysis/CMakeFiles/xl_analysis.dir/downsample.cpp.o" "gcc" "src/analysis/CMakeFiles/xl_analysis.dir/downsample.cpp.o.d"
+  "/root/repo/src/analysis/entropy.cpp" "src/analysis/CMakeFiles/xl_analysis.dir/entropy.cpp.o" "gcc" "src/analysis/CMakeFiles/xl_analysis.dir/entropy.cpp.o.d"
+  "/root/repo/src/analysis/statistics.cpp" "src/analysis/CMakeFiles/xl_analysis.dir/statistics.cpp.o" "gcc" "src/analysis/CMakeFiles/xl_analysis.dir/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/xl_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

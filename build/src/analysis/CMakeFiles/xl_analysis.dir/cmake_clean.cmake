@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xl_analysis.dir/compress.cpp.o"
+  "CMakeFiles/xl_analysis.dir/compress.cpp.o.d"
+  "CMakeFiles/xl_analysis.dir/downsample.cpp.o"
+  "CMakeFiles/xl_analysis.dir/downsample.cpp.o.d"
+  "CMakeFiles/xl_analysis.dir/entropy.cpp.o"
+  "CMakeFiles/xl_analysis.dir/entropy.cpp.o.d"
+  "CMakeFiles/xl_analysis.dir/statistics.cpp.o"
+  "CMakeFiles/xl_analysis.dir/statistics.cpp.o.d"
+  "libxl_analysis.a"
+  "libxl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

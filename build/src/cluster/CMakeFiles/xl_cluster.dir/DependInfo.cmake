@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cost_model.cpp" "src/cluster/CMakeFiles/xl_cluster.dir/cost_model.cpp.o" "gcc" "src/cluster/CMakeFiles/xl_cluster.dir/cost_model.cpp.o.d"
+  "/root/repo/src/cluster/machine.cpp" "src/cluster/CMakeFiles/xl_cluster.dir/machine.cpp.o" "gcc" "src/cluster/CMakeFiles/xl_cluster.dir/machine.cpp.o.d"
+  "/root/repo/src/cluster/network.cpp" "src/cluster/CMakeFiles/xl_cluster.dir/network.cpp.o" "gcc" "src/cluster/CMakeFiles/xl_cluster.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xl_cluster.dir/cost_model.cpp.o"
+  "CMakeFiles/xl_cluster.dir/cost_model.cpp.o.d"
+  "CMakeFiles/xl_cluster.dir/machine.cpp.o"
+  "CMakeFiles/xl_cluster.dir/machine.cpp.o.d"
+  "CMakeFiles/xl_cluster.dir/network.cpp.o"
+  "CMakeFiles/xl_cluster.dir/network.cpp.o.d"
+  "libxl_cluster.a"
+  "libxl_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xl_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

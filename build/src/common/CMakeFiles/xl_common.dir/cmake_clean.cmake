@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xl_common.dir/log.cpp.o"
+  "CMakeFiles/xl_common.dir/log.cpp.o.d"
+  "CMakeFiles/xl_common.dir/stats.cpp.o"
+  "CMakeFiles/xl_common.dir/stats.cpp.o.d"
+  "CMakeFiles/xl_common.dir/table.cpp.o"
+  "CMakeFiles/xl_common.dir/table.cpp.o.d"
+  "CMakeFiles/xl_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/xl_common.dir/thread_pool.cpp.o.d"
+  "libxl_common.a"
+  "libxl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/box.cpp" "src/mesh/CMakeFiles/xl_mesh.dir/box.cpp.o" "gcc" "src/mesh/CMakeFiles/xl_mesh.dir/box.cpp.o.d"
+  "/root/repo/src/mesh/fab.cpp" "src/mesh/CMakeFiles/xl_mesh.dir/fab.cpp.o" "gcc" "src/mesh/CMakeFiles/xl_mesh.dir/fab.cpp.o.d"
+  "/root/repo/src/mesh/layout.cpp" "src/mesh/CMakeFiles/xl_mesh.dir/layout.cpp.o" "gcc" "src/mesh/CMakeFiles/xl_mesh.dir/layout.cpp.o.d"
+  "/root/repo/src/mesh/level_data.cpp" "src/mesh/CMakeFiles/xl_mesh.dir/level_data.cpp.o" "gcc" "src/mesh/CMakeFiles/xl_mesh.dir/level_data.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xl_mesh.dir/box.cpp.o"
+  "CMakeFiles/xl_mesh.dir/box.cpp.o.d"
+  "CMakeFiles/xl_mesh.dir/fab.cpp.o"
+  "CMakeFiles/xl_mesh.dir/fab.cpp.o.d"
+  "CMakeFiles/xl_mesh.dir/layout.cpp.o"
+  "CMakeFiles/xl_mesh.dir/layout.cpp.o.d"
+  "CMakeFiles/xl_mesh.dir/level_data.cpp.o"
+  "CMakeFiles/xl_mesh.dir/level_data.cpp.o.d"
+  "libxl_mesh.a"
+  "libxl_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xl_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

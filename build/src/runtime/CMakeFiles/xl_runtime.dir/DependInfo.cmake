@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/adaptation_engine.cpp" "src/runtime/CMakeFiles/xl_runtime.dir/adaptation_engine.cpp.o" "gcc" "src/runtime/CMakeFiles/xl_runtime.dir/adaptation_engine.cpp.o.d"
+  "/root/repo/src/runtime/app_policy.cpp" "src/runtime/CMakeFiles/xl_runtime.dir/app_policy.cpp.o" "gcc" "src/runtime/CMakeFiles/xl_runtime.dir/app_policy.cpp.o.d"
+  "/root/repo/src/runtime/crosslayer.cpp" "src/runtime/CMakeFiles/xl_runtime.dir/crosslayer.cpp.o" "gcc" "src/runtime/CMakeFiles/xl_runtime.dir/crosslayer.cpp.o.d"
+  "/root/repo/src/runtime/middleware_policy.cpp" "src/runtime/CMakeFiles/xl_runtime.dir/middleware_policy.cpp.o" "gcc" "src/runtime/CMakeFiles/xl_runtime.dir/middleware_policy.cpp.o.d"
+  "/root/repo/src/runtime/monitor.cpp" "src/runtime/CMakeFiles/xl_runtime.dir/monitor.cpp.o" "gcc" "src/runtime/CMakeFiles/xl_runtime.dir/monitor.cpp.o.d"
+  "/root/repo/src/runtime/resource_policy.cpp" "src/runtime/CMakeFiles/xl_runtime.dir/resource_policy.cpp.o" "gcc" "src/runtime/CMakeFiles/xl_runtime.dir/resource_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/xl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/xl_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xl_runtime.dir/adaptation_engine.cpp.o"
+  "CMakeFiles/xl_runtime.dir/adaptation_engine.cpp.o.d"
+  "CMakeFiles/xl_runtime.dir/app_policy.cpp.o"
+  "CMakeFiles/xl_runtime.dir/app_policy.cpp.o.d"
+  "CMakeFiles/xl_runtime.dir/crosslayer.cpp.o"
+  "CMakeFiles/xl_runtime.dir/crosslayer.cpp.o.d"
+  "CMakeFiles/xl_runtime.dir/middleware_policy.cpp.o"
+  "CMakeFiles/xl_runtime.dir/middleware_policy.cpp.o.d"
+  "CMakeFiles/xl_runtime.dir/monitor.cpp.o"
+  "CMakeFiles/xl_runtime.dir/monitor.cpp.o.d"
+  "CMakeFiles/xl_runtime.dir/resource_policy.cpp.o"
+  "CMakeFiles/xl_runtime.dir/resource_policy.cpp.o.d"
+  "libxl_runtime.a"
+  "libxl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

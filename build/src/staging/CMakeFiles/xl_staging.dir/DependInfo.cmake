@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/staging/lock.cpp" "src/staging/CMakeFiles/xl_staging.dir/lock.cpp.o" "gcc" "src/staging/CMakeFiles/xl_staging.dir/lock.cpp.o.d"
+  "/root/repo/src/staging/service.cpp" "src/staging/CMakeFiles/xl_staging.dir/service.cpp.o" "gcc" "src/staging/CMakeFiles/xl_staging.dir/service.cpp.o.d"
+  "/root/repo/src/staging/space.cpp" "src/staging/CMakeFiles/xl_staging.dir/space.cpp.o" "gcc" "src/staging/CMakeFiles/xl_staging.dir/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/viz/CMakeFiles/xl_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/xl_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/CMakeFiles/xl_amr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xl_staging.dir/lock.cpp.o"
+  "CMakeFiles/xl_staging.dir/lock.cpp.o.d"
+  "CMakeFiles/xl_staging.dir/service.cpp.o"
+  "CMakeFiles/xl_staging.dir/service.cpp.o.d"
+  "CMakeFiles/xl_staging.dir/space.cpp.o"
+  "CMakeFiles/xl_staging.dir/space.cpp.o.d"
+  "libxl_staging.a"
+  "libxl_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xl_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

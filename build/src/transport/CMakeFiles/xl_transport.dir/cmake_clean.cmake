@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xl_transport.dir/fabric.cpp.o"
+  "CMakeFiles/xl_transport.dir/fabric.cpp.o.d"
+  "libxl_transport.a"
+  "libxl_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xl_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

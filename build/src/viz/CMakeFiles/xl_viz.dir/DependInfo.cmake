@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/amr_isosurface.cpp" "src/viz/CMakeFiles/xl_viz.dir/amr_isosurface.cpp.o" "gcc" "src/viz/CMakeFiles/xl_viz.dir/amr_isosurface.cpp.o.d"
+  "/root/repo/src/viz/marching_cubes.cpp" "src/viz/CMakeFiles/xl_viz.dir/marching_cubes.cpp.o" "gcc" "src/viz/CMakeFiles/xl_viz.dir/marching_cubes.cpp.o.d"
+  "/root/repo/src/viz/mc_tables.cpp" "src/viz/CMakeFiles/xl_viz.dir/mc_tables.cpp.o" "gcc" "src/viz/CMakeFiles/xl_viz.dir/mc_tables.cpp.o.d"
+  "/root/repo/src/viz/mesh_io.cpp" "src/viz/CMakeFiles/xl_viz.dir/mesh_io.cpp.o" "gcc" "src/viz/CMakeFiles/xl_viz.dir/mesh_io.cpp.o.d"
+  "/root/repo/src/viz/render.cpp" "src/viz/CMakeFiles/xl_viz.dir/render.cpp.o" "gcc" "src/viz/CMakeFiles/xl_viz.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amr/CMakeFiles/xl_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/xl_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

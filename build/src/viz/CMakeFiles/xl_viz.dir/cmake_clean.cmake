@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xl_viz.dir/amr_isosurface.cpp.o"
+  "CMakeFiles/xl_viz.dir/amr_isosurface.cpp.o.d"
+  "CMakeFiles/xl_viz.dir/marching_cubes.cpp.o"
+  "CMakeFiles/xl_viz.dir/marching_cubes.cpp.o.d"
+  "CMakeFiles/xl_viz.dir/mc_tables.cpp.o"
+  "CMakeFiles/xl_viz.dir/mc_tables.cpp.o.d"
+  "CMakeFiles/xl_viz.dir/mesh_io.cpp.o"
+  "CMakeFiles/xl_viz.dir/mesh_io.cpp.o.d"
+  "CMakeFiles/xl_viz.dir/render.cpp.o"
+  "CMakeFiles/xl_viz.dir/render.cpp.o.d"
+  "libxl_viz.a"
+  "libxl_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xl_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

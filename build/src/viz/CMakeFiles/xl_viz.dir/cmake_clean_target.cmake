@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxl_viz.a"
+)

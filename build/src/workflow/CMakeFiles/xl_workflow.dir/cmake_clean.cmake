@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xl_workflow.dir/config_file.cpp.o"
+  "CMakeFiles/xl_workflow.dir/config_file.cpp.o.d"
+  "CMakeFiles/xl_workflow.dir/coupled_workflow.cpp.o"
+  "CMakeFiles/xl_workflow.dir/coupled_workflow.cpp.o.d"
+  "CMakeFiles/xl_workflow.dir/energy.cpp.o"
+  "CMakeFiles/xl_workflow.dir/energy.cpp.o.d"
+  "CMakeFiles/xl_workflow.dir/experiment.cpp.o"
+  "CMakeFiles/xl_workflow.dir/experiment.cpp.o.d"
+  "CMakeFiles/xl_workflow.dir/trace_io.cpp.o"
+  "CMakeFiles/xl_workflow.dir/trace_io.cpp.o.d"
+  "libxl_workflow.a"
+  "libxl_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xl_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

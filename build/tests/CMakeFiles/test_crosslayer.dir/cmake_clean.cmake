@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crosslayer.dir/test_crosslayer.cpp.o"
+  "CMakeFiles/test_crosslayer.dir/test_crosslayer.cpp.o.d"
+  "test_crosslayer"
+  "test_crosslayer.pdb"
+  "test_crosslayer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crosslayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

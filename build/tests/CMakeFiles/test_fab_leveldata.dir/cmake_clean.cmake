@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fab_leveldata.dir/test_fab_leveldata.cpp.o"
+  "CMakeFiles/test_fab_leveldata.dir/test_fab_leveldata.cpp.o.d"
+  "test_fab_leveldata"
+  "test_fab_leveldata.pdb"
+  "test_fab_leveldata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fab_leveldata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fab_leveldata.
+# This may be replaced when dependencies are built.

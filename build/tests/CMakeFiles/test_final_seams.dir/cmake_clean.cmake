@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_final_seams.dir/test_final_seams.cpp.o"
+  "CMakeFiles/test_final_seams.dir/test_final_seams.cpp.o.d"
+  "test_final_seams"
+  "test_final_seams.pdb"
+  "test_final_seams[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_final_seams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

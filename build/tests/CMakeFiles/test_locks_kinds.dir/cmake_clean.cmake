@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locks_kinds.dir/test_locks_kinds.cpp.o"
+  "CMakeFiles/test_locks_kinds.dir/test_locks_kinds.cpp.o.d"
+  "test_locks_kinds"
+  "test_locks_kinds.pdb"
+  "test_locks_kinds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locks_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

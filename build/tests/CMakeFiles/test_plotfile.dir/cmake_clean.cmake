@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plotfile.dir/test_plotfile.cpp.o"
+  "CMakeFiles/test_plotfile.dir/test_plotfile.cpp.o.d"
+  "test_plotfile"
+  "test_plotfile.pdb"
+  "test_plotfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plotfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

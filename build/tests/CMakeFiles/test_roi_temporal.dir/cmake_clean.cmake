@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roi_temporal.dir/test_roi_temporal.cpp.o"
+  "CMakeFiles/test_roi_temporal.dir/test_roi_temporal.cpp.o.d"
+  "test_roi_temporal"
+  "test_roi_temporal.pdb"
+  "test_roi_temporal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roi_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_staging_service.dir/test_staging_service.cpp.o"
+  "CMakeFiles/test_staging_service.dir/test_staging_service.cpp.o.d"
+  "test_staging_service"
+  "test_staging_service.pdb"
+  "test_staging_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_staging_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

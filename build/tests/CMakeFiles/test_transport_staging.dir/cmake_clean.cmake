@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_staging.dir/test_transport_staging.cpp.o"
+  "CMakeFiles/test_transport_staging.dir/test_transport_staging.cpp.o.d"
+  "test_transport_staging"
+  "test_transport_staging.pdb"
+  "test_transport_staging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

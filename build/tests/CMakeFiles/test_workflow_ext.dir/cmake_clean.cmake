@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workflow_ext.dir/test_workflow_ext.cpp.o"
+  "CMakeFiles/test_workflow_ext.dir/test_workflow_ext.cpp.o.d"
+  "test_workflow_ext"
+  "test_workflow_ext.pdb"
+  "test_workflow_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workflow_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workflow_modes.dir/test_workflow_modes.cpp.o"
+  "CMakeFiles/test_workflow_modes.dir/test_workflow_modes.cpp.o.d"
+  "test_workflow_modes"
+  "test_workflow_modes.pdb"
+  "test_workflow_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workflow_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

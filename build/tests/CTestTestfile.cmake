@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_box[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_fab_leveldata[1]_include.cmake")
+include("/root/repo/build/tests/test_amr[1]_include.cmake")
+include("/root/repo/build/tests/test_solvers[1]_include.cmake")
+include("/root/repo/build/tests/test_viz[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_transport_staging[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_crosslayer[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow[1]_include.cmake")
+include("/root/repo/build/tests/test_compress[1]_include.cmake")
+include("/root/repo/build/tests/test_plotfile[1]_include.cmake")
+include("/root/repo/build/tests/test_render[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_policy_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow_modes[1]_include.cmake")
+include("/root/repo/build/tests/test_staging_service[1]_include.cmake")
+include("/root/repo/build/tests/test_roi_temporal[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_locks_kinds[1]_include.cmake")
+include("/root/repo/build/tests/test_config_file[1]_include.cmake")
+include("/root/repo/build/tests/test_final_seams[1]_include.cmake")

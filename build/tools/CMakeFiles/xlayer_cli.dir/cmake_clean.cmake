@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlayer_cli.dir/xlayer_cli.cpp.o"
+  "CMakeFiles/xlayer_cli.dir/xlayer_cli.cpp.o.d"
+  "xlayer_cli"
+  "xlayer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlayer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
