@@ -36,13 +36,23 @@ void bench_run(benchmark::State& state) {
 void print_figure() {
   std::cout << "\n=== Figure 7: cumulative end-to-end execution time (seconds) ===\n";
   Table t({"cores", "placement", "sim time", "overhead", "end-to-end",
-           "ovh % of sim", "in-situ", "in-transit"});
+           "ovh % of sim", "in-situ", "in-transit", "transfers"});
   std::vector<double> adaptive_ovh(4), insitu_ovh(4), intransit_ovh(4);
   for (int scale = 0; scale < 4; ++scale) {
     for (Mode mode : kModes) {
-      const WorkflowResult& r = RunCache::instance().get(key_of(scale, mode), [=] {
-        return titan_middleware_experiment(scale, mode);
-      });
+      const xl::bench::CachedRun& run =
+          RunCache::instance().get_run(key_of(scale, mode), [=] {
+            return titan_middleware_experiment(scale, mode);
+          });
+      const WorkflowResult& r = run.result;
+      // Placement counts come from the observer event stream: one StepEnd
+      // per step carries the final placement.
+      int insitu = 0, intransit = 0;
+      for (const WorkflowEvent* e :
+           xl::bench::events_of_kind(run.events, EventKind::StepEnd)) {
+        if (e->skipped) continue;
+        (e->placement == runtime::Placement::InSitu ? insitu : intransit)++;
+      }
       t.row()
           .cell(titan_scales()[static_cast<std::size_t>(scale)].label)
           .cell(mode_name(mode))
@@ -50,8 +60,9 @@ void print_figure() {
           .cell(r.overhead_seconds, 2)
           .cell(r.end_to_end_seconds, 2)
           .cell(format_percent(r.overhead_seconds / r.pure_sim_seconds))
-          .cell(r.insitu_count)
-          .cell(r.intransit_count);
+          .cell(insitu)
+          .cell(intransit)
+          .cell(run.events.count(EventKind::Transfer));
       const auto s = static_cast<std::size_t>(scale);
       if (mode == Mode::StaticInSitu) insitu_ovh[s] = r.overhead_seconds;
       if (mode == Mode::StaticInTransit) intransit_ovh[s] = r.overhead_seconds;

@@ -6,6 +6,7 @@
 // Paper reference: ~50 cores needed at the start, growing with refinement;
 // utilization efficiency 87.11% adaptive vs 54.57% static.
 #include <iostream>
+#include <map>
 
 #include "bench_util.hpp"
 
@@ -26,26 +27,47 @@ void bench_run(benchmark::State& state) {
 }
 
 void print_figure() {
-  const WorkflowResult& fixed =
-      RunCache::instance().get(key_of(Mode::StaticInTransit), [] {
+  const xl::bench::CachedRun& fixed_run =
+      RunCache::instance().get_run(key_of(Mode::StaticInTransit), [] {
         return intrepid_resource_experiment(Mode::StaticInTransit);
       });
-  const WorkflowResult& adaptive =
-      RunCache::instance().get(key_of(Mode::AdaptiveResource), [] {
+  const xl::bench::CachedRun& adaptive_run =
+      RunCache::instance().get_run(key_of(Mode::AdaptiveResource), [] {
         return intrepid_resource_experiment(Mode::AdaptiveResource);
       });
+  const WorkflowResult& fixed = fixed_run.result;
+  const WorkflowResult& adaptive = adaptive_run.result;
+
+  // The per-step series comes from the observer event stream: StepEnd
+  // carries the final M and analyzed cells, StepBegin the T_sim, and the
+  // in-transit Analysis events the staging-side service time.
+  const auto fixed_steps =
+      xl::bench::events_of_kind(fixed_run.events, EventKind::StepEnd);
+  const auto adaptive_steps =
+      xl::bench::events_of_kind(adaptive_run.events, EventKind::StepEnd);
+  const auto adaptive_begins =
+      xl::bench::events_of_kind(adaptive_run.events, EventKind::StepBegin);
+  std::map<int, double> intransit_seconds;
+  for (const WorkflowEvent* e :
+       xl::bench::events_of_kind(adaptive_run.events, EventKind::Analysis)) {
+    if (e->placement == runtime::Placement::InTransit) {
+      intransit_seconds[e->step] = e->seconds;
+    }
+  }
 
   std::cout << "\n=== Figure 9: in-transit cores per time step ===\n";
   Table t({"step", "static M", "adaptive M", "analyzed cells", "T_intransit (s)",
            "T_sim (s)"});
-  for (std::size_t i = 0; i < adaptive.steps.size(); ++i) {
+  for (std::size_t i = 0; i < adaptive_steps.size(); ++i) {
+    const WorkflowEvent& e = *adaptive_steps[i];
+    const auto it = intransit_seconds.find(e.step);
     t.row()
-        .cell(adaptive.steps[i].step)
-        .cell(fixed.steps[i].intransit_cores)
-        .cell(adaptive.steps[i].intransit_cores)
-        .cell(adaptive.steps[i].analyzed_cells)
-        .cell(adaptive.steps[i].intransit_analysis_seconds, 3)
-        .cell(adaptive.steps[i].sim_seconds, 3);
+        .cell(e.step)
+        .cell(fixed_steps[i]->intransit_cores)
+        .cell(e.intransit_cores)
+        .cell(e.cells)
+        .cell(it != intransit_seconds.end() ? it->second : 0.0, 3)
+        .cell(adaptive_begins[i]->seconds, 3);
   }
   std::cout << t.to_string();
 

@@ -5,32 +5,52 @@
 // since one deterministic run IS the experiment — and (b) prints the
 // reproduced series in the paper's layout after the benchmarks finish.
 // Results are cached so the benchmark pass and the table printer share one
-// execution per configuration.
+// execution per configuration. Every cached run records the workflow's
+// structured event stream alongside the result, so the figure printers can
+// consume per-step series straight from the observer events.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "workflow/coupled_workflow.hpp"
 #include "workflow/experiment.hpp"
+#include "workflow/observer.hpp"
 
 namespace xl::bench {
+
+/// One cached workflow execution: the result plus the observer event stream
+/// the run emitted.
+struct CachedRun {
+  workflow::WorkflowResult result;
+  workflow::EventLog events;
+};
 
 /// Run-once cache keyed by a config label.
 class RunCache {
  public:
+  const CachedRun& get_run(const std::string& key,
+                           const std::function<workflow::WorkflowConfig()>& make) {
+    auto it = runs_.find(key);
+    if (it == runs_.end()) {
+      auto run = std::make_unique<CachedRun>();
+      workflow::CoupledWorkflow wf(make());
+      wf.set_observer(&run->events);
+      run->result = wf.run();
+      it = runs_.emplace(key, std::move(run)).first;
+    }
+    return *it->second;
+  }
+
   const workflow::WorkflowResult& get(const std::string& key,
                                       const std::function<workflow::WorkflowConfig()>& make) {
-    auto it = results_.find(key);
-    if (it == results_.end()) {
-      workflow::CoupledWorkflow wf(make());
-      it = results_.emplace(key, wf.run()).first;
-    }
-    return it->second;
+    return get_run(key, make).result;
   }
 
   static RunCache& instance() {
@@ -39,8 +59,18 @@ class RunCache {
   }
 
  private:
-  std::map<std::string, workflow::WorkflowResult> results_;
+  std::map<std::string, std::unique_ptr<CachedRun>> runs_;
 };
+
+/// Events of one kind, in emission order.
+inline std::vector<const workflow::WorkflowEvent*> events_of_kind(
+    const workflow::EventLog& log, workflow::EventKind kind) {
+  std::vector<const workflow::WorkflowEvent*> out;
+  for (const workflow::WorkflowEvent& e : log.events()) {
+    if (e.kind == kind) out.push_back(&e);
+  }
+  return out;
+}
 
 /// Register a benchmark that executes (and caches) one workflow run.
 inline void run_workflow_benchmark(benchmark::State& state, const std::string& key,

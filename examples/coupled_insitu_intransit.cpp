@@ -176,7 +176,7 @@ int main(int argc, char** argv) {
         .cell(step)
         .cell(factor)
         .cell(runtime::placement_name(placement))
-        .cell(dec.middleware ? dec.middleware->reason : "-")
+        .cell(dec.middleware ? runtime::reason_name(dec.middleware->reason) : "-")
         .cell(format_seconds(sim_wall))
         .cell(format_seconds(analysis_wall))
         .cell(format_seconds(state.intransit_backlog_seconds))

@@ -2,16 +2,22 @@
 // the command line. Wraps the experiment factories so a user can rerun any
 // figure's configuration and inspect the per-step trace.
 //
-//   ./machine_scale_experiment middleware <scale 0-3> <insitu|intransit|adaptive>
-//   ./machine_scale_experiment global     <scale 0-3> <local|global>
-//   ./machine_scale_experiment resource   <static|adaptive>
+//   ./machine_scale_experiment middleware <scale 0-3> <insitu|intransit|adaptive> [--substrate analytic|des]
+//   ./machine_scale_experiment global     <scale 0-3> <local|global> [--substrate analytic|des]
+//   ./machine_scale_experiment resource   <static|adaptive> [--substrate analytic|des]
+//
+// The run executes the shared step pipeline on the discrete-event substrate
+// by default (the machine-scale path); --substrate analytic selects the
+// closed-form clocks. Both produce identical timelines.
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "common/table.hpp"
 #include "workflow/coupled_workflow.hpp"
+#include "workflow/execution_substrate.hpp"
 #include "workflow/experiment.hpp"
+#include "workflow/observer.hpp"
 
 using namespace xl;
 using namespace xl::workflow;
@@ -20,16 +26,21 @@ namespace {
 
 int usage() {
   std::cerr << "usage:\n"
-            << "  machine_scale_experiment middleware <0-3> <insitu|intransit|adaptive>\n"
-            << "  machine_scale_experiment global <0-3> <local|global>\n"
-            << "  machine_scale_experiment resource <static|adaptive>\n";
+            << "  machine_scale_experiment middleware <0-3> <insitu|intransit|adaptive>"
+               " [--substrate analytic|des]\n"
+            << "  machine_scale_experiment global <0-3> <local|global>"
+               " [--substrate analytic|des]\n"
+            << "  machine_scale_experiment resource <static|adaptive>"
+               " [--substrate analytic|des]\n";
   return 2;
 }
 
-void print_result(const WorkflowConfig& config, const WorkflowResult& r) {
+void print_result(const WorkflowConfig& config, const WorkflowResult& r,
+                  const ExecutionSubstrate& substrate, const EventLog& log) {
   std::cout << "mode " << mode_name(config.mode) << " on " << config.machine.name
             << ": N=" << config.sim_cores << " M=" << config.staging_cores
-            << " steps=" << config.steps << "\n\n";
+            << " steps=" << config.steps << " substrate=" << substrate.name()
+            << "\n\n";
   Table per_step({"step", "cells", "X", "placement", "M", "sim", "wait", "moved"});
   for (const StepRecord& s : r.steps) {
     per_step.row()
@@ -50,12 +61,27 @@ void print_result(const WorkflowConfig& config, const WorkflowResult& r) {
             << "\nplacements:       " << r.insitu_count << " in-situ / "
             << r.intransit_count << " in-transit\n"
             << "staging util:     " << format_percent(r.utilization_efficiency)
-            << " (eq. 12)\n";
+            << " (eq. 12)\n"
+            << "events:           " << log.events().size() << " total, "
+            << log.count(EventKind::Decision) << " decisions, "
+            << log.count(EventKind::Transfer) << " transfers\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool use_des = true;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--substrate") == 0) {
+      const std::string which = argv[i + 1];
+      if (which == "analytic") use_des = false;
+      else if (which == "des") use_des = true;
+      else return usage();
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   if (argc < 3) return usage();
   const std::string experiment = argv[1];
 
@@ -90,7 +116,14 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  const WorkflowResult r = CoupledWorkflow(config).run();
-  print_result(config, r);
+  CoupledWorkflow workflow(config);
+  EventLog log;
+  workflow.set_observer(&log);
+  AnalyticSubstrate analytic;
+  EventQueueSubstrate des;
+  ExecutionSubstrate& substrate =
+      use_des ? static_cast<ExecutionSubstrate&>(des) : analytic;
+  const WorkflowResult r = workflow.run_on(substrate);
+  print_result(config, r, substrate, log);
   return 0;
 }

@@ -37,6 +37,7 @@ EngineDecisions AdaptationEngine::adapt(const OperationalState& state) const {
     }
     out.executed.push_back(layer);
   }
+  if (hooks_.on_decisions) hooks_.on_decisions(state, out);
   return out;
 }
 
@@ -101,7 +102,7 @@ void AdaptationEngine::run_middleware(const OperationalState& state,
   const MiddlewareDecision d = decide_placement(in);
   out.middleware = d;
   XL_LOG_DEBUG("middleware layer: " << placement_name(d.placement) << " ("
-                                    << d.reason << ")");
+                                    << reason_name(d.reason) << ")");
 }
 
 }  // namespace xl::runtime

@@ -2,6 +2,18 @@
 
 namespace xl::runtime {
 
+const char* reason_name(DecisionReason reason) noexcept {
+  switch (reason) {
+    case DecisionReason::None: return "";
+    case DecisionReason::InfeasibleBoth: return "infeasible-both";
+    case DecisionReason::MemoryForced: return "memory-forced";
+    case DecisionReason::StagingIdle: return "staging-idle";
+    case DecisionReason::BacklogShorterThanInsitu: return "backlog-shorter-than-insitu";
+    case DecisionReason::InsituFasterThanBacklog: return "insitu-faster-than-backlog";
+  }
+  return "?";
+}
+
 MiddlewareDecision decide_placement(const PlacementInputs& in) {
   const bool insitu_ok = in.insitu_mem_needed <= in.insitu_mem_available;
   const bool intransit_ok = in.data_bytes <= in.intransit_mem_free;
@@ -13,20 +25,20 @@ MiddlewareDecision decide_placement(const PlacementInputs& in) {
     // layer). We fall back to in-situ, which degrades gracefully.
     d.placement = Placement::InSitu;
     d.feasible = false;
-    d.reason = "infeasible-both";
+    d.reason = DecisionReason::InfeasibleBoth;
     return d;
   }
   if (insitu_ok != intransit_ok) {
     // Case 1: memory admits exactly one location.
     d.placement = insitu_ok ? Placement::InSitu : Placement::InTransit;
-    d.reason = "memory-forced";
+    d.reason = DecisionReason::MemoryForced;
     return d;
   }
   if (in.intransit_backlog_seconds <= 0.0) {
     // Case 2: staging idle -> in-transit runs in parallel with the next
     // simulation step, hiding the analysis entirely.
     d.placement = Placement::InTransit;
-    d.reason = "staging-idle";
+    d.reason = DecisionReason::StagingIdle;
     return d;
   }
   // Case 3 (eq. 7): staging busy. In-transit completes at backlog + own
@@ -38,10 +50,10 @@ MiddlewareDecision decide_placement(const PlacementInputs& in) {
   // finished the analysis itself).
   if (in.intransit_backlog_seconds < in.est_insitu_seconds) {
     d.placement = Placement::InTransit;
-    d.reason = "backlog-shorter-than-insitu";
+    d.reason = DecisionReason::BacklogShorterThanInsitu;
   } else {
     d.placement = Placement::InSitu;
-    d.reason = "insitu-faster-than-backlog";
+    d.reason = DecisionReason::InsituFasterThanBacklog;
   }
   return d;
 }

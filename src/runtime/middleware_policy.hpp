@@ -39,10 +39,24 @@ struct PlacementInputs {
   double est_intransit_seconds = 0.0;  ///< T_intransit(M, S_i).
 };
 
+/// Which trigger case fired. A value type (unlike the previous string
+/// literal) so decisions embed into records and observer events without
+/// lifetime hazards and serialize stably.
+enum class DecisionReason {
+  None,                      ///< no middleware decision this step (static modes).
+  InfeasibleBoth,            ///< neither location has the memory (degenerate).
+  MemoryForced,              ///< case 1: memory admits exactly one location.
+  StagingIdle,               ///< case 2: staging idle, in-transit hides fully.
+  BacklogShorterThanInsitu,  ///< case 3: staging frees up before in-situ would finish.
+  InsituFasterThanBacklog,   ///< case 3: in-situ beats the staging backlog.
+};
+
+const char* reason_name(DecisionReason reason) noexcept;
+
 struct MiddlewareDecision {
   Placement placement = Placement::InSitu;
   bool feasible = true;       ///< false when NEITHER location has memory.
-  const char* reason = "";    ///< which trigger case fired (for logs/tests).
+  DecisionReason reason = DecisionReason::None;  ///< trigger case that fired.
 };
 
 MiddlewareDecision decide_placement(const PlacementInputs& in);

@@ -8,6 +8,16 @@ namespace xl::staging {
 
 using Clock = std::chrono::steady_clock;
 
+const char* service_event_kind_name(ServiceEvent::Kind kind) noexcept {
+  switch (kind) {
+    case ServiceEvent::Kind::Put: return "put";
+    case ServiceEvent::Kind::Get: return "get";
+    case ServiceEvent::Kind::Analysis: return "analysis";
+    case ServiceEvent::Kind::Drain: return "drain";
+  }
+  return "?";
+}
+
 StagingService::StagingService(const ServiceConfig& config)
     : config_(config), space_(config.num_servers, config.memory_per_server) {
   XL_REQUIRE(config.num_servers >= 1, "service needs at least one server");
@@ -64,15 +74,28 @@ std::future<PutAck> StagingService::put_async(int version, const mesh::Box& box,
   std::future<PutAck> future = promise->get_future();
   auto shared_payload = std::make_shared<mesh::Fab>(std::move(payload));
   enqueue([this, version, box, shared_payload, promise] {
+    const auto start = Clock::now();
     PutAck ack;
     const std::size_t bytes = shared_payload->bytes();
-    // Space mutations happen on service threads; the space itself is guarded
-    // by the service mutex (requests may run on several workers).
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (space_.can_accept(box, bytes)) {
-      ack.id = space_.put(version, box, shared_payload->ncomp(), bytes,
-                          std::move(*shared_payload));
-      ack.accepted = true;
+    {
+      // Space mutations happen on service threads; the space itself is guarded
+      // by the service mutex (requests may run on several workers).
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (space_.can_accept(box, bytes)) {
+        ack.id = space_.put(version, box, shared_payload->ncomp(), bytes,
+                            std::move(*shared_payload));
+        ack.accepted = true;
+      }
+    }
+    if (config_.observer) {
+      ServiceEvent ev;
+      ev.kind = ServiceEvent::Kind::Put;
+      ev.version = version;
+      ev.id = ack.id;
+      ev.bytes = bytes;
+      ev.accepted = ack.accepted;
+      ev.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+      config_.observer(ev);
     }
     promise->set_value(ack);
   });
@@ -84,13 +107,27 @@ std::future<std::vector<mesh::Fab>> StagingService::get_async(int version,
   auto promise = std::make_shared<std::promise<std::vector<mesh::Fab>>>();
   auto future = promise->get_future();
   enqueue([this, version, region, promise] {
+    const auto start = Clock::now();
     std::vector<mesh::Fab> out;
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const StagedObject* obj : space_.query(version, region)) {
-      if (!obj->payload) continue;
-      mesh::Fab copy(obj->payload->box(), obj->payload->ncomp());
-      copy.copy_from(*obj->payload, obj->payload->box());
-      out.push_back(std::move(copy));
+    std::size_t bytes = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const StagedObject* obj : space_.query(version, region)) {
+        if (!obj->payload) continue;
+        mesh::Fab copy(obj->payload->box(), obj->payload->ncomp());
+        copy.copy_from(*obj->payload, obj->payload->box());
+        bytes += copy.bytes();
+        out.push_back(std::move(copy));
+      }
+    }
+    if (config_.observer) {
+      ServiceEvent ev;
+      ev.kind = ServiceEvent::Kind::Get;
+      ev.version = version;
+      ev.bytes = bytes;
+      ev.objects = out.size();
+      ev.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+      config_.observer(ev);
     }
     promise->set_value(std::move(out));
   });
@@ -129,14 +166,31 @@ std::future<AnalysisResult> StagingService::analyze_async(int version,
     result.objects = payloads.size();
     result.service_seconds =
         std::chrono::duration<double>(Clock::now() - start).count();
+    if (config_.observer) {
+      ServiceEvent ev;
+      ev.kind = ServiceEvent::Kind::Analysis;
+      ev.version = version;
+      ev.objects = result.objects;
+      ev.seconds = result.service_seconds;
+      config_.observer(ev);
+    }
     promise->set_value(result);
   });
   return future;
 }
 
 void StagingService::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  const auto start = Clock::now();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+  if (config_.observer) {
+    ServiceEvent ev;
+    ev.kind = ServiceEvent::Kind::Drain;
+    ev.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    config_.observer(ev);
+  }
 }
 
 std::size_t StagingService::pending_requests() const {

@@ -26,9 +26,28 @@
 
 namespace xl::staging {
 
+/// One completed service request, reported through ServiceConfig::observer —
+/// the live-service analogue of the workflow's WorkflowObserver stream.
+struct ServiceEvent {
+  enum class Kind { Put, Get, Analysis, Drain };
+  Kind kind = Kind::Put;
+  int version = -1;            ///< request version (-1 for Drain).
+  std::uint64_t id = 0;        ///< staged-object id (Put only).
+  std::size_t bytes = 0;       ///< payload bytes (Put) / copied bytes (Get).
+  std::size_t objects = 0;     ///< objects touched (Get/Analysis).
+  double seconds = 0.0;        ///< service-thread time for this request.
+  bool accepted = true;        ///< Put: false when the space was full.
+};
+
+const char* service_event_kind_name(ServiceEvent::Kind kind) noexcept;
+
 struct ServiceConfig {
   int num_servers = 2;                       ///< worker threads (staging "cores").
   std::size_t memory_per_server = std::size_t{64} << 20;
+  /// Optional event tap. IMPORTANT: invoked from the service worker threads
+  /// (and from the caller's thread for Drain), possibly concurrently — the
+  /// callback must be thread-safe. It is called outside the service mutex.
+  std::function<void(const ServiceEvent&)> observer;
 };
 
 /// Result of an asynchronous put.

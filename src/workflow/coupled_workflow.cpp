@@ -1,14 +1,10 @@
 #include "workflow/coupled_workflow.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/error.hpp"
-#include "common/log.hpp"
+#include "workflow/execution_substrate.hpp"
+#include "workflow/step_pipeline.hpp"
 
 namespace xl::workflow {
-
-using runtime::Placement;
 
 const char* analysis_kind_name(AnalysisKind kind) noexcept {
   switch (kind) {
@@ -31,55 +27,6 @@ const char* mode_name(Mode mode) noexcept {
   return "?";
 }
 
-namespace {
-
-/// Combined per-rank cell imbalance across all levels of one step.
-double step_imbalance(const amr::SyntheticStep& geom, int nranks) {
-  std::vector<std::int64_t> per_rank(static_cast<std::size_t>(nranks), 0);
-  for (const auto& layout : geom.levels) {
-    const auto cells = layout.cells_per_rank();
-    for (std::size_t r = 0; r < cells.size(); ++r) per_rank[r] += cells[r];
-  }
-  std::int64_t total = 0, peak = 0;
-  for (std::int64_t c : per_rank) {
-    total += c;
-    peak = std::max(peak, c);
-  }
-  if (total == 0) return 1.0;
-  const double mean = static_cast<double>(total) / static_cast<double>(nranks);
-  return std::max(1.0, static_cast<double>(peak) / mean);
-}
-
-/// Cells the visualization service consumes this step. When regions of
-/// interest are set, only cells inside them count (ROI boxes are given in
-/// base-level coordinates and refined to each level's index space).
-std::size_t analyzed_cells_of(const amr::SyntheticStep& geom, bool refined_only,
-                              const std::vector<mesh::Box>& roi, int ref_ratio) {
-  const std::size_t first_level = refined_only && geom.levels.size() > 1 ? 1 : 0;
-  if (roi.empty()) {
-    std::int64_t cells = 0;
-    for (std::size_t l = first_level; l < geom.levels.size(); ++l) {
-      cells += geom.cells_per_level[l];
-    }
-    return static_cast<std::size_t>(cells);
-  }
-  std::int64_t cells = 0;
-  int ratio = 1;
-  for (std::size_t l = 0; l < geom.levels.size(); ++l) {
-    if (l >= first_level) {
-      for (const mesh::Box& b : geom.levels[l].boxes()) {
-        for (const mesh::Box& r : roi) {
-          cells += (b & r.refine(ratio)).num_cells();
-        }
-      }
-    }
-    ratio *= ref_ratio;
-  }
-  return static_cast<std::size_t>(cells);
-}
-
-}  // namespace
-
 CoupledWorkflow::CoupledWorkflow(const WorkflowConfig& config) : config_(config) {
   XL_REQUIRE(config.sim_cores >= 1, "need simulation cores");
   XL_REQUIRE(config.staging_cores >= 1, "need staging cores");
@@ -90,341 +37,14 @@ CoupledWorkflow::CoupledWorkflow(const WorkflowConfig& config) : config_(config)
 }
 
 WorkflowResult CoupledWorkflow::run() {
-  const amr::SyntheticAmrEvolution evolution(config_.geometry);
-  const cluster::CostModel cost(config_.machine, config_.costs);
-  runtime::Monitor monitor(config_.monitor);
+  AnalyticSubstrate substrate;
+  return run_on(substrate);
+}
 
-  const int cores_per_node = config_.machine.cores_per_node;
-  const int sim_nodes = std::max(1, config_.sim_cores / cores_per_node);
-  auto staging_nodes = [&](int cores) { return std::max(1, cores / cores_per_node); };
-  const std::size_t usable_per_core = static_cast<std::size_t>(
-      config_.staging_usable_fraction *
-      static_cast<double>(config_.machine.mem_per_core_bytes()));
-  auto staging_capacity = [&](int cores) {
-    return usable_per_core * static_cast<std::size_t>(cores);
-  };
-
-  // --- Adaptation engine (adaptive modes only). -----------------------------
-  runtime::EngineHooks hooks;
-  hooks.analysis_seconds = [&](Placement p, std::size_t cells, int cores) {
-    return monitor.estimate_analysis_seconds(p, cells, cores);
-  };
-  hooks.send_seconds = [&](std::size_t bytes) {
-    // Asynchronous initiation on the sender side: the paper's T_sd.
-    return cost.transfer_seconds(bytes, sim_nodes,
-                                 staging_nodes(config_.staging_cores));
-  };
-  hooks.recv_seconds = [&](std::size_t bytes, int cores) {
-    return cost.transfer_seconds(bytes, sim_nodes, staging_nodes(cores));
-  };
-  hooks.next_sim_seconds = [&](std::size_t cells) {
-    return monitor.estimate_sim_seconds(cells);
-  };
-  // In-situ analysis memory is a PER-RANK quantity (each rank triangulates
-  // its own boxes): the worst rank holds data_bytes * imbalance / N, and
-  // marching cubes needs roughly that again for triangle buffers.
-  double current_imbalance = 1.0;
-  hooks.insitu_analysis_mem = [&](std::size_t bytes) {
-    return static_cast<std::size_t>(2.0 * static_cast<double>(bytes) *
-                                    current_imbalance /
-                                    static_cast<double>(config_.sim_cores));
-  };
-
-  runtime::EngineConfig engine_config;
-  engine_config.preferences.objective = config_.objective;
-  engine_config.hints = config_.hints;
-  engine_config.plan_order = config_.plan_order;
-  engine_config.enable_application = config_.mode == Mode::Global;
-  engine_config.enable_middleware =
-      config_.mode == Mode::AdaptiveMiddleware || config_.mode == Mode::Global;
-  engine_config.enable_resource =
-      config_.mode == Mode::AdaptiveResource || config_.mode == Mode::Global;
-  engine_config.min_intransit_cores = 1;
-  engine_config.max_intransit_cores = config_.staging_cores;
-  if (config_.mode == Mode::AdaptiveResource || config_.mode == Mode::Global) {
-    // The resource layer may grow the staging area beyond the preallocation
-    // (Fig. 9's adaptive curve crosses the static line).
-    engine_config.max_intransit_cores = 2 * config_.staging_cores;
-  }
-  const runtime::AdaptationEngine engine(engine_config, hooks);
-
-  // --- Timeline state. -------------------------------------------------------
-  double t_sim = 0.0;           // simulation-partition clock (eq. 4).
-  double staging_free_at = 0.0; // staging-partition clock (eq. 5).
-  double pure_sim = 0.0;
-  std::size_t staging_mem_used = 0;
-  std::deque<std::pair<double, std::size_t>> staged;  // (release time, bytes)
-  auto release_until = [&](double t) {
-    while (!staged.empty() && staged.front().first <= t) {
-      staging_mem_used -= staged.front().second;
-      staged.pop_front();
-    }
-  };
-
-  auto analysis_seconds = [&](std::size_t cells, std::size_t active, int cores) {
-    switch (config_.analysis_kind) {
-      case AnalysisKind::Isosurface:
-        return cost.marching_cubes_seconds(cells, active, cores);
-      case AnalysisKind::Statistics:
-        return cost.statistics_seconds(cells, cores);
-      case AnalysisKind::Subsetting:
-        return cost.subsetting_seconds(cells, cores);
-    }
-    XL_UNREACHABLE("unknown analysis kind");
-  };
-
-  WorkflowResult result;
-  std::vector<double> step_starts;
-  int cur_factor = 1;
-  int cur_cores = config_.staging_cores;
-  const char* cur_reason = "";
-  bool last_app_constrained = false;
-  Placement cur_placement = config_.mode == Mode::StaticInSitu
-                                ? Placement::InSitu
-                                : Placement::InTransit;
-
-  const bool adaptive = config_.mode == Mode::AdaptiveMiddleware ||
-                        config_.mode == Mode::AdaptiveResource ||
-                        config_.mode == Mode::Global;
-  const bool hybrid = config_.mode == Mode::StaticHybrid;
-
-  for (int step = 0; step < config_.steps; ++step) {
-    const amr::SyntheticStep geom = evolution.at(step);
-    const auto total_cells = static_cast<std::size_t>(geom.total_cells);
-    const double imbalance = step_imbalance(geom, config_.sim_cores);
-    current_imbalance = imbalance;
-
-    // 1. Simulation advances one step on all N cores.
-    const double t_step_start = t_sim;
-    step_starts.push_back(t_step_start);
-    const double sim_seconds =
-        cost.sim_step_seconds(total_cells, config_.sim_cores, config_.euler) * imbalance;
-    t_sim += sim_seconds;
-    pure_sim += sim_seconds;
-    monitor.record_sim_step(step, sim_seconds, total_cells);
-
-    const std::size_t analyzed = analyzed_cells_of(
-        geom, config_.analyze_refined_only, config_.regions_of_interest,
-        config_.geometry.ref_ratio);
-    const int analysis_ncomp =
-        config_.analysis_ncomp > 0 ? config_.analysis_ncomp : config_.ncomp;
-    const std::size_t raw_bytes =
-        analyzed * static_cast<std::size_t>(analysis_ncomp) * sizeof(double);
-
-    release_until(t_sim);
-
-    // 2. Monitor snapshot.
-    runtime::OperationalState state;
-    state.step = step;
-    state.now_seconds = t_sim;
-    state.sim_cells = total_cells;
-    state.raw_cells = analyzed;
-    state.raw_bytes = raw_bytes;
-    state.ncomp = analysis_ncomp;
-    state.sim_cores = config_.sim_cores;
-    {
-      const auto peaks = amr::per_rank_peak_bytes(geom.levels, config_.memory_model);
-      const std::size_t worst = *std::max_element(peaks.begin(), peaks.end());
-      const std::size_t cap = config_.machine.mem_per_core_bytes();
-      state.insitu_mem_available = worst >= cap ? 0 : cap - worst;
-    }
-    state.intransit_cores = cur_cores;
-    state.intransit_mem_per_core = usable_per_core;
-    {
-      const std::size_t cap = staging_capacity(cur_cores);
-      state.intransit_mem_free = staging_mem_used >= cap ? 0 : cap - staging_mem_used;
-    }
-    state.intransit_backlog_seconds = std::max(0.0, staging_free_at - t_sim);
-    state.last_sim_step_seconds = sim_seconds;
-
-    // Temporal resolution: only every analysis_interval-th step is analyzed.
-    const bool scheduled = step % std::max(1, config_.analysis_interval) == 0;
-
-    // 3. Adaptation (on sampling steps; other steps reuse the last decisions).
-    if (adaptive && monitor.should_sample(step)) {
-      if (config_.monitor.estimator == runtime::EstimatorKind::Oracle) {
-        const auto active = static_cast<std::size_t>(
-            config_.active_cell_fraction * static_cast<double>(analyzed));
-        monitor.set_oracle(
-            analysis_seconds(analyzed, active, config_.sim_cores) * imbalance,
-            analysis_seconds(analyzed, active, cur_cores));
-      }
-      const runtime::EngineDecisions dec = engine.adapt(state);
-      result.application_adaptations += dec.app.has_value();
-      result.resource_adaptations += dec.resource.has_value();
-      result.middleware_adaptations += dec.middleware.has_value();
-      if (dec.app) {
-        cur_factor = dec.app->factor;
-        last_app_constrained = dec.app->memory_constrained;
-      }
-      if (dec.resource) cur_cores = dec.resource->cores;
-      if (dec.middleware) {
-        cur_placement = dec.middleware->placement;
-        cur_reason = dec.middleware->reason;
-      }
-      if (config_.mode == Mode::AdaptiveResource) cur_placement = Placement::InTransit;
-      t_sim += config_.adaptation_overhead_seconds;
-    }
-
-    const bool app_constrained = last_app_constrained;
-
-    StepRecord rec;
-    rec.backlog_seconds = state.intransit_backlog_seconds;
-    rec.decision_reason = cur_reason;
-    rec.step = step;
-    rec.total_cells = total_cells;
-    rec.analyzed_cells = analyzed;
-    rec.raw_bytes = raw_bytes;
-    rec.factor = cur_factor;
-    rec.intransit_cores = cur_cores;
-    rec.sim_seconds = sim_seconds;
-
-    // Temporal adaptation gate: skipped steps run neither the reduction nor
-    // the analysis (off-schedule, or memory-constrained with
-    // skip_analysis_when_constrained set).
-    const bool do_analysis =
-        scheduled && analyzed > 0 &&
-        !(config_.skip_analysis_when_constrained && app_constrained);
-    if (!do_analysis) {
-      rec.analysis_skipped = true;
-      ++result.skipped_count;
-      rec.placement = cur_placement;
-      result.steps.push_back(rec);
-      continue;
-    }
-
-    // 4. Application-layer reduction runs in-situ before any transfer.
-    const std::size_t f3 = static_cast<std::size_t>(cur_factor) * cur_factor * cur_factor;
-    const std::size_t eff_cells = (analyzed + f3 - 1) / f3;
-    const std::size_t eff_bytes =
-        eff_cells * static_cast<std::size_t>(analysis_ncomp) * sizeof(double);
-    if (cur_factor > 1) {
-      rec.reduce_seconds =
-          cost.downsample_seconds(eff_cells, config_.sim_cores) * imbalance;
-      t_sim += rec.reduce_seconds;
-    }
-    const auto active_cells = static_cast<std::size_t>(
-        config_.active_cell_fraction * static_cast<double>(eff_cells));
-
-    if (hybrid) {
-      // Split the analysis: stage the largest share that stays hidden under
-      // the (estimated ~ current) step duration; the remainder blocks the
-      // simulation in-situ. Both partitions work on disjoint subsets, so
-      // their costs are the per-share fractions of the full-kernel times.
-      const double full_intransit = analysis_seconds(eff_cells, active_cells, cur_cores);
-      double intransit_share =
-          full_intransit > 0.0 ? std::min(1.0, sim_seconds / full_intransit) : 1.0;
-      const auto staged_bytes_hybrid =
-          static_cast<std::size_t>(intransit_share * static_cast<double>(eff_bytes));
-      if (staging_mem_used + staged_bytes_hybrid > staging_capacity(cur_cores)) {
-        intransit_share = 0.0;  // staging full: everything in-situ this step
-      }
-      const double insitu_share = 1.0 - intransit_share;
-
-      if (insitu_share > 0.0) {
-        const double analysis =
-            insitu_share * analysis_seconds(eff_cells, active_cells, config_.sim_cores) *
-            imbalance;
-        t_sim += analysis;
-        rec.insitu_analysis_seconds = analysis;
-      }
-      if (intransit_share > 0.0) {
-        const auto bytes = static_cast<std::size_t>(
-            intransit_share * static_cast<double>(eff_bytes));
-        const double wire =
-            cost.transfer_seconds(bytes, sim_nodes, staging_nodes(cur_cores));
-        t_sim += 0.01 * wire;
-        const double start = std::max(t_sim + wire, staging_free_at);
-        const double analysis = intransit_share * full_intransit;
-        staging_free_at = start + analysis;
-        staging_mem_used += bytes;
-        staged.emplace_back(staging_free_at, bytes);
-        result.bytes_moved += bytes;
-        rec.moved_bytes = bytes;
-        rec.intransit_analysis_seconds = analysis;
-      }
-      rec.placement = intransit_share >= 0.5 ? Placement::InTransit : Placement::InSitu;
-      (rec.placement == Placement::InSitu ? result.insitu_count
-                                          : result.intransit_count)++;
-      result.steps.push_back(rec);
-      continue;
-    }
-
-    Placement placement = cur_placement;
-    if (placement == Placement::InTransit &&
-        eff_bytes > staging_capacity(cur_cores)) {
-      // The staging area can never cache this step, even drained: forced
-      // in-situ (middleware case 1 degenerate).
-      placement = Placement::InSitu;
-    }
-
-    if (placement == Placement::InSitu) {
-      const double analysis =
-          analysis_seconds(eff_cells, active_cells, config_.sim_cores) * imbalance;
-      t_sim += analysis;
-      rec.insitu_analysis_seconds = analysis;
-      monitor.record_analysis(
-          {step, Placement::InSitu, eff_cells, config_.sim_cores, analysis});
-      ++result.insitu_count;
-    } else {
-      // Admission: block the simulation until the staging area has memory
-      // (the paper's T_insitu_wait).
-      const double before_wait = t_sim;
-      while (staging_mem_used + eff_bytes > staging_capacity(cur_cores) &&
-             !staged.empty()) {
-        t_sim = std::max(t_sim, staged.front().first);
-        release_until(t_sim);
-      }
-      rec.wait_seconds = t_sim - before_wait;
-
-      const double wire =
-          cost.transfer_seconds(eff_bytes, sim_nodes, staging_nodes(cur_cores));
-      // Asynchronous RDMA-style transfer: the sender pays a small initiation
-      // cost; the payload lands a wire-time later.
-      t_sim += 0.01 * wire;
-      const double arrive = t_sim + wire;
-      const double start = std::max(arrive, staging_free_at);
-      const double analysis = analysis_seconds(eff_cells, active_cells, cur_cores);
-      staging_free_at = start + analysis;
-      staging_mem_used += eff_bytes;
-      staged.emplace_back(staging_free_at, eff_bytes);
-      result.bytes_moved += eff_bytes;
-      rec.moved_bytes = eff_bytes;
-      rec.intransit_analysis_seconds = analysis;
-      monitor.record_analysis({step, Placement::InTransit, eff_cells, cur_cores, analysis});
-      ++result.intransit_count;
-    }
-    rec.placement = placement;
-    result.steps.push_back(rec);
-  }
-
-  result.end_to_end_seconds = std::max(t_sim, staging_free_at);
-  result.pure_sim_seconds = pure_sim;
-  result.overhead_seconds = result.end_to_end_seconds - pure_sim;
-
-  // 6. Per-step windows + the eq. 12 staging utilization trace.
-  for (std::size_t i = 0; i < result.steps.size(); ++i) {
-    const double window = (i + 1 < step_starts.size())
-                              ? step_starts[i + 1] - step_starts[i]
-                              : result.end_to_end_seconds - step_starts[i];
-    result.steps[i].window_seconds = window;
-    if (config_.mode != Mode::StaticInSitu) {
-      cluster::StagingStepRecord trace_rec;
-      trace_rec.step = result.steps[i].step;
-      trace_rec.cores_allocated = result.steps[i].intransit_cores;
-      trace_rec.analysis_seconds = result.steps[i].intransit_analysis_seconds *
-                                   static_cast<double>(result.steps[i].intransit_cores);
-      trace_rec.wall_seconds = window;
-      result.staging_trace.record(trace_rec);
-    }
-  }
-  result.utilization_efficiency = result.staging_trace.utilization_efficiency();
-
-  XL_LOG_INFO(mode_name(config_.mode)
-              << ": E2E " << result.end_to_end_seconds << "s, sim " << pure_sim
-              << "s, overhead " << result.overhead_seconds << "s, moved "
-              << result.bytes_moved << "B");
-  return result;
+WorkflowResult CoupledWorkflow::run_on(ExecutionSubstrate& substrate) {
+  StepPipeline pipeline(config_, substrate, observer_);
+  for (int step = 0; step < config_.steps; ++step) pipeline.run_step(step);
+  return pipeline.finish();
 }
 
 }  // namespace xl::workflow

@@ -123,7 +123,8 @@ struct StepRecord {
   bool analysis_skipped = false;   ///< temporal adaptation skipped this step.
   // Policy inputs at decision time (diagnostics for the benches/tests).
   double backlog_seconds = 0.0;    ///< staging backlog the monitor reported.
-  const char* decision_reason = "";  ///< middleware trigger case (if adaptive).
+  /// Middleware trigger case (if adaptive); None for static placements.
+  runtime::DecisionReason decision_reason = runtime::DecisionReason::None;
 };
 
 struct WorkflowResult {
@@ -144,16 +145,31 @@ struct WorkflowResult {
   double utilization_efficiency = 0.0;  ///< eq. 12.
 };
 
+class ExecutionSubstrate;
+class WorkflowObserver;
+
 class CoupledWorkflow {
  public:
   explicit CoupledWorkflow(const WorkflowConfig& config);
 
+  /// Run the step pipeline on the closed-form analytic substrate.
   WorkflowResult run();
+
+  /// Run the same pipeline on a caller-supplied execution substrate (e.g.
+  /// the discrete-event EventQueueSubstrate the machine-scale experiment
+  /// uses). Both substrates produce identical timelines.
+  WorkflowResult run_on(ExecutionSubstrate& substrate);
+
+  /// Attach an observer receiving the structured event stream of subsequent
+  /// runs (step-begin / decision / transfer / analysis / step-end). The
+  /// observer must outlive the run; nullptr detaches.
+  void set_observer(WorkflowObserver* observer) noexcept { observer_ = observer; }
 
   const WorkflowConfig& config() const noexcept { return config_; }
 
  private:
   WorkflowConfig config_;
+  WorkflowObserver* observer_ = nullptr;
 };
 
 }  // namespace xl::workflow

@@ -1,0 +1,67 @@
+#include "workflow/execution_substrate.hpp"
+
+#include <algorithm>
+
+namespace xl::workflow {
+
+// --- AnalyticSubstrate -------------------------------------------------------
+
+void AnalyticSubstrate::release_until(double t) {
+  while (!staged_.empty() && staged_.front().first <= t) {
+    mem_used_ -= staged_.front().second;
+    staged_.pop_front();
+  }
+}
+
+double AnalyticSubstrate::wait_for_staging_memory(std::size_t bytes,
+                                                  std::size_t capacity) {
+  const double before = t_sim_;
+  while (mem_used_ + bytes > capacity && !staged_.empty()) {
+    t_sim_ = std::max(t_sim_, staged_.front().first);
+    release_until(t_sim_);
+  }
+  return t_sim_ - before;
+}
+
+double AnalyticSubstrate::enqueue_intransit(double arrive, double analysis_seconds,
+                                            std::size_t bytes) {
+  const double start = std::max(arrive, staging_free_at_);
+  staging_free_at_ = start + analysis_seconds;
+  mem_used_ += bytes;
+  staged_.emplace_back(staging_free_at_, bytes);
+  return staging_free_at_;
+}
+
+double AnalyticSubstrate::finish() {
+  return std::max(t_sim_, staging_free_at_);
+}
+
+// --- EventQueueSubstrate -----------------------------------------------------
+
+double EventQueueSubstrate::wait_for_staging_memory(std::size_t bytes,
+                                                    std::size_t capacity) {
+  const double before = t_sim_;
+  while (mem_used_ + bytes > capacity && !queue_.empty()) {
+    // The only scheduled events are buffer releases, so the earliest event is
+    // exactly the analytic substrate's staged_.front().
+    queue_.run_one();
+    t_sim_ = std::max(t_sim_, queue_.now());
+  }
+  return t_sim_ - before;
+}
+
+double EventQueueSubstrate::enqueue_intransit(double arrive, double analysis_seconds,
+                                              std::size_t bytes) {
+  const double start = std::max(arrive, staging_free_at_);
+  staging_free_at_ = start + analysis_seconds;
+  mem_used_ += bytes;
+  queue_.schedule_at(staging_free_at_, [this, bytes] { mem_used_ -= bytes; });
+  return staging_free_at_;
+}
+
+double EventQueueSubstrate::finish() {
+  queue_.run_until_empty();
+  return std::max(t_sim_, staging_free_at_);
+}
+
+}  // namespace xl::workflow

@@ -1,0 +1,123 @@
+// The execution substrate behind the step pipeline: the mechanism that
+// advances the paper's two partition clocks (eq. 4's simulation clock and
+// eq. 5's staging clock) and accounts the staged-buffer memory that couples
+// them. Two implementations exist:
+//
+//  * AnalyticSubstrate — the closed-form clock arithmetic (a pair of doubles
+//    plus a FIFO of staged buffers), fastest for parameter sweeps;
+//  * EventQueueSubstrate — the same semantics expressed as events on the
+//    deterministic cluster::EventQueue, the seam where finer-grained machine
+//    events (per-message transfers, per-core contention) plug in.
+//
+// Both produce identical timelines on identical inputs; a regression test
+// asserts it. The pipeline, the machine-scale experiment, and the benches
+// all run the same phases over whichever substrate the caller supplies.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "cluster/event_queue.hpp"
+
+namespace xl::workflow {
+
+class ExecutionSubstrate {
+ public:
+  virtual ~ExecutionSubstrate() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Simulation-partition clock (eq. 4).
+  virtual double sim_now() const noexcept = 0;
+  /// Time the staging partition finishes its current backlog (eq. 5).
+  virtual double staging_free_at() const noexcept = 0;
+  /// Bytes currently cached in the staging area (released when the
+  /// corresponding in-transit analysis completes).
+  virtual std::size_t staging_mem_used() const noexcept = 0;
+
+  /// Advance the simulation clock: sim steps, reductions, in-situ analyses,
+  /// adaptation overhead, and transfer-initiation costs all accrue here.
+  virtual void advance_sim(double seconds) = 0;
+
+  /// Release staged buffers whose in-transit analysis completed by the
+  /// current simulation clock. Called once per step before the monitor
+  /// snapshot — matching when the simulation partition actually observes
+  /// staging state, rather than eagerly on every clock advance.
+  virtual void release_completed() = 0;
+
+  /// Block the simulation until the staging area can admit `bytes` more on
+  /// top of what it holds (the paper's T_insitu_wait); gives up when no
+  /// staged buffer remains to wait for. Returns the seconds waited.
+  virtual double wait_for_staging_memory(std::size_t bytes, std::size_t capacity) = 0;
+
+  /// Hand `bytes` arriving at `arrive` to the staging partition; the buffer
+  /// occupies staging memory until its `analysis_seconds` of in-transit work
+  /// completes (FIFO behind the existing backlog). Returns completion time.
+  virtual double enqueue_intransit(double arrive, double analysis_seconds,
+                                   std::size_t bytes) = 0;
+
+  /// Drain all outstanding staging work and return the time-to-solution:
+  /// max of the two partition clocks (eq. 6).
+  virtual double finish() = 0;
+};
+
+/// Closed-form analytic clocks: the original CoupledWorkflow timeline state,
+/// extracted verbatim.
+class AnalyticSubstrate final : public ExecutionSubstrate {
+ public:
+  const char* name() const noexcept override { return "analytic"; }
+  double sim_now() const noexcept override { return t_sim_; }
+  double staging_free_at() const noexcept override { return staging_free_at_; }
+  std::size_t staging_mem_used() const noexcept override { return mem_used_; }
+
+  void advance_sim(double seconds) override { t_sim_ += seconds; }
+
+  void release_completed() override { release_until(t_sim_); }
+
+  double wait_for_staging_memory(std::size_t bytes, std::size_t capacity) override;
+
+  double enqueue_intransit(double arrive, double analysis_seconds,
+                           std::size_t bytes) override;
+
+  double finish() override;
+
+ private:
+  void release_until(double t);
+
+  double t_sim_ = 0.0;
+  double staging_free_at_ = 0.0;
+  std::size_t mem_used_ = 0;
+  std::deque<std::pair<double, std::size_t>> staged_;  ///< (release time, bytes).
+};
+
+/// The same timeline driven through the deterministic discrete-event engine:
+/// each staged buffer's release is an event; waits and drains run the queue.
+class EventQueueSubstrate final : public ExecutionSubstrate {
+ public:
+  const char* name() const noexcept override { return "discrete-event"; }
+  double sim_now() const noexcept override { return t_sim_; }
+  double staging_free_at() const noexcept override { return staging_free_at_; }
+  std::size_t staging_mem_used() const noexcept override { return mem_used_; }
+
+  void advance_sim(double seconds) override { t_sim_ += seconds; }
+
+  void release_completed() override { queue_.run_until(t_sim_); }
+
+  double wait_for_staging_memory(std::size_t bytes, std::size_t capacity) override;
+
+  double enqueue_intransit(double arrive, double analysis_seconds,
+                           std::size_t bytes) override;
+
+  double finish() override;
+
+  const cluster::EventQueue& queue() const noexcept { return queue_; }
+
+ private:
+  cluster::EventQueue queue_;
+  double t_sim_ = 0.0;
+  double staging_free_at_ = 0.0;
+  std::size_t mem_used_ = 0;
+};
+
+}  // namespace xl::workflow

@@ -1,0 +1,91 @@
+// The workflow's structured event stream (paper Fig. 2's "Monitor" feed,
+// turned outward): every phase of the step pipeline, the AdaptationEngine,
+// and the staging path emit flat WorkflowEvent records through a
+// WorkflowObserver. trace_io, xlayer_cli, and the figure benches all consume
+// this one stream instead of each re-deriving per-step diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/middleware_policy.hpp"
+#include "runtime/state.hpp"
+
+namespace xl::workflow {
+
+enum class EventKind {
+  RunBegin,   ///< before the first step.
+  StepBegin,  ///< simulation advanced one step (seconds = T_i_sim).
+  Decision,   ///< adaptation engine ran (factor/cores/placement/reason).
+  Transfer,   ///< data handed to staging (bytes, seconds = wire time).
+  Analysis,   ///< analysis charged to a partition (placement, seconds).
+  StepEnd,    ///< step finished (final placement, factor, moved bytes).
+  RunEnd,     ///< timeline drained (seconds = end-to-end, eq. 6).
+};
+
+const char* event_kind_name(EventKind kind) noexcept;
+
+/// One flat record of the stream. Only the fields relevant to `kind` are
+/// meaningful; the rest keep their defaults so the record stays trivially
+/// copyable and CSV-serializable.
+struct WorkflowEvent {
+  EventKind kind = EventKind::StepBegin;
+  int step = -1;
+  double sim_clock = 0.0;      ///< simulation-partition clock (eq. 4) at emission.
+  double staging_clock = 0.0;  ///< staging-partition clock (eq. 5) at emission.
+  runtime::Placement placement = runtime::Placement::InSitu;
+  runtime::DecisionReason reason = runtime::DecisionReason::None;
+  int factor = 1;
+  int intransit_cores = 0;
+  bool app_adapted = false;
+  bool resource_adapted = false;
+  bool middleware_adapted = false;
+  std::size_t cells = 0;        ///< cells the payload covers (kind-specific).
+  std::size_t bytes = 0;        ///< payload size (Transfer/StepEnd).
+  double seconds = 0.0;         ///< kind-specific duration (see EventKind).
+  double wait_seconds = 0.0;    ///< admission wait preceding a Transfer.
+  bool skipped = false;         ///< StepEnd: temporal adaptation skipped analysis.
+};
+
+class WorkflowObserver {
+ public:
+  virtual ~WorkflowObserver() = default;
+  virtual void on_event(const WorkflowEvent& event) = 0;
+};
+
+/// Observer that records the stream in memory — the default consumer used by
+/// the CLI, the benches, and the tests.
+class EventLog final : public WorkflowObserver {
+ public:
+  void on_event(const WorkflowEvent& event) override { events_.push_back(event); }
+
+  const std::vector<WorkflowEvent>& events() const noexcept { return events_; }
+
+  std::size_t count(EventKind kind) const noexcept {
+    std::size_t n = 0;
+    for (const WorkflowEvent& e : events_) n += e.kind == kind;
+    return n;
+  }
+
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  std::vector<WorkflowEvent> events_;
+};
+
+/// Fan-out to several observers (e.g. a live printer plus an EventLog).
+class ObserverList final : public WorkflowObserver {
+ public:
+  void add(WorkflowObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  void on_event(const WorkflowEvent& event) override {
+    for (WorkflowObserver* o : observers_) o->on_event(event);
+  }
+
+ private:
+  std::vector<WorkflowObserver*> observers_;
+};
+
+}  // namespace xl::workflow

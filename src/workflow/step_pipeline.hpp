@@ -1,0 +1,165 @@
+// The per-step phase pipeline the coupled workflow executes (paper §3's
+// layered runtime made explicit). Each step flows through eight phases over
+// a shared StepContext:
+//
+//   Simulate -> Monitor -> Adapt -> Reduce -> Placement -> Transfer
+//            -> Analyze -> Drain
+//
+//  * SimulatePhase  — advance the AMR solver one step on the sim partition.
+//  * MonitorPhase   — release completed staging buffers, snapshot the
+//                     OperationalState the Adaptation Engine consumes.
+//  * AdaptPhase     — run the cross-layer engine on sampling steps; apply
+//                     the temporal-adaptation gate.
+//  * ReducePhase    — application-layer down-sampling (factor X, in-situ).
+//  * PlacementPhase — resolve where this step's analysis runs (including
+//                     the hybrid split and capacity-forced fallbacks).
+//  * TransferPhase  — admission control + transfer planning for the
+//                     in-transit share (the paper's T_insitu_wait and T_sd).
+//  * AnalyzePhase   — charge the analysis to the owning partition clock(s);
+//                     the planned transfer commits here, after the blocking
+//                     in-situ share, matching when the simulation actually
+//                     hands the buffer off.
+//  * DrainPhase     — finalize the StepRecord, accumulate run counters.
+//
+// All timing flows through the Timeline/ExecutionSubstrate seam, and every
+// phase reports into the WorkflowObserver event stream.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "amr/synthetic.hpp"
+#include "cluster/cost_model.hpp"
+#include "runtime/adaptation_engine.hpp"
+#include "runtime/monitor.hpp"
+#include "workflow/coupled_workflow.hpp"
+#include "workflow/observer.hpp"
+#include "workflow/timeline.hpp"
+
+namespace xl::workflow {
+
+/// Mutable working set one step flows through the phases. Phases only
+/// communicate through this context (and the pipeline's cross-step state).
+struct StepContext {
+  int step = 0;
+  amr::SyntheticStep geom;
+  double imbalance = 1.0;
+  std::size_t total_cells = 0;
+  std::size_t analyzed_cells = 0;  ///< cells the analysis consumes (pre-reduction).
+  std::size_t raw_bytes = 0;       ///< S_data before reduction.
+  int analysis_ncomp = 1;
+  double sim_seconds = 0.0;        ///< T_i_sim.
+  runtime::OperationalState state; ///< the monitor snapshot.
+  bool scheduled = false;          ///< temporal gate (analysis_interval).
+  bool do_analysis = false;        ///< false: remaining phases are no-ops.
+  // Post-reduction sizes.
+  std::size_t eff_cells = 0;
+  std::size_t eff_bytes = 0;
+  std::size_t active_cells = 0;
+  // Placement outcome.
+  bool split = false;              ///< hybrid: analysis split across partitions.
+  double intransit_share = 0.0;    ///< staged fraction (1.0 = everything).
+  double intransit_full_seconds = 0.0;  ///< hybrid: full-kernel in-transit time.
+  // Planned asynchronous transfer (committed by AnalyzePhase).
+  bool pending_transfer = false;
+  std::size_t transfer_bytes = 0;
+  double wire_seconds = 0.0;
+  StepRecord record;
+};
+
+class StepPipeline;
+
+class StepPhase {
+ public:
+  virtual ~StepPhase() = default;
+  virtual const char* name() const noexcept = 0;
+  virtual void run(StepContext& ctx) = 0;
+
+ protected:
+  explicit StepPhase(StepPipeline& pipeline) : p_(pipeline) {}
+  StepPipeline& p_;
+};
+
+#define XL_DECLARE_PHASE(Phase)                              \
+  class Phase final : public StepPhase {                     \
+   public:                                                   \
+    explicit Phase(StepPipeline& pipeline) : StepPhase(pipeline) {} \
+    const char* name() const noexcept override;              \
+    void run(StepContext& ctx) override;                     \
+  }
+
+XL_DECLARE_PHASE(SimulatePhase);
+XL_DECLARE_PHASE(MonitorPhase);
+XL_DECLARE_PHASE(AdaptPhase);
+XL_DECLARE_PHASE(ReducePhase);
+XL_DECLARE_PHASE(PlacementPhase);
+XL_DECLARE_PHASE(TransferPhase);
+XL_DECLARE_PHASE(AnalyzePhase);
+XL_DECLARE_PHASE(DrainPhase);
+
+#undef XL_DECLARE_PHASE
+
+/// Orchestrates the phases over an execution substrate, owning the run-wide
+/// state the phases share: monitor, adaptation engine, timeline, carried
+/// decisions, and the accumulating WorkflowResult.
+class StepPipeline {
+ public:
+  StepPipeline(const WorkflowConfig& config, ExecutionSubstrate& substrate,
+               WorkflowObserver* observer);
+
+  StepPipeline(const StepPipeline&) = delete;
+  StepPipeline& operator=(const StepPipeline&) = delete;
+
+  /// Run one step through all phases.
+  void run_step(int step);
+
+  /// Drain the substrate, finalize windows / staging trace / eq. 12, and
+  /// hand over the result. Call once, after the last step.
+  WorkflowResult finish();
+
+  /// Phase names in execution order (for docs, tracing, and tests).
+  std::vector<const char*> phase_names() const;
+
+ private:
+  friend class SimulatePhase;
+  friend class MonitorPhase;
+  friend class AdaptPhase;
+  friend class ReducePhase;
+  friend class PlacementPhase;
+  friend class TransferPhase;
+  friend class AnalyzePhase;
+  friend class DrainPhase;
+
+  int staging_nodes(int cores) const noexcept;
+  std::size_t staging_capacity(int cores) const noexcept;
+  double analysis_seconds(std::size_t cells, std::size_t active_cells,
+                          int cores) const;
+  /// Stamp the partition clocks onto `event` and forward it to the observer.
+  void emit(WorkflowEvent event);
+
+  const WorkflowConfig& config_;
+  amr::SyntheticAmrEvolution evolution_;
+  cluster::CostModel cost_;
+  runtime::Monitor monitor_;
+  Timeline timeline_;
+  WorkflowObserver* observer_;
+  std::unique_ptr<runtime::AdaptationEngine> engine_;
+  std::vector<std::unique_ptr<StepPhase>> phases_;
+  WorkflowResult result_;
+
+  // Derived constants.
+  int sim_nodes_ = 1;
+  std::size_t usable_per_core_ = 0;
+  bool adaptive_ = false;
+  bool hybrid_ = false;
+
+  // Decisions carried across steps (sampling steps refresh them).
+  int cur_factor_ = 1;
+  int cur_cores_ = 0;
+  runtime::DecisionReason cur_reason_ = runtime::DecisionReason::None;
+  bool last_app_constrained_ = false;
+  runtime::Placement cur_placement_ = runtime::Placement::InSitu;
+  double current_imbalance_ = 1.0;
+};
+
+}  // namespace xl::workflow

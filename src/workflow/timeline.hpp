@@ -1,0 +1,64 @@
+// The workflow's dual-clock timeline (paper eqs. 4-6): the simulation-
+// partition clock (T_sum_insitu), the staging-partition clock
+// (T_sum_intransit), and the end-of-run max of the two. Timeline owns the
+// run-level accounting — pure simulation seconds vs. overhead, per-step start
+// times for the window computation — and delegates the clock/memory mechanics
+// to whichever ExecutionSubstrate the run was given.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "workflow/execution_substrate.hpp"
+
+namespace xl::workflow {
+
+class Timeline {
+ public:
+  explicit Timeline(ExecutionSubstrate& substrate) : substrate_(substrate) {}
+
+  double sim_now() const noexcept { return substrate_.sim_now(); }
+  double staging_free_at() const noexcept { return substrate_.staging_free_at(); }
+  std::size_t staging_mem_used() const noexcept { return substrate_.staging_mem_used(); }
+
+  /// Seconds until the staging cores finish their backlog, as seen from the
+  /// simulation clock (the monitor's eq. 7 input); 0 when staging is idle.
+  double backlog_seconds() const noexcept {
+    return std::max(0.0, substrate_.staging_free_at() - substrate_.sim_now());
+  }
+
+  /// Mark the start of a step (window accounting).
+  void begin_step() { step_starts_.push_back(substrate_.sim_now()); }
+
+  /// Charge `seconds` to the simulation clock; `pure` marks T_i_sim proper
+  /// (everything else — reductions, analyses, waits, overheads — is overhead).
+  void advance_sim(double seconds, bool pure = false) {
+    substrate_.advance_sim(seconds);
+    if (pure) pure_sim_seconds_ += seconds;
+  }
+
+  void release_completed() { substrate_.release_completed(); }
+
+  double wait_for_staging_memory(std::size_t bytes, std::size_t capacity) {
+    return substrate_.wait_for_staging_memory(bytes, capacity);
+  }
+
+  double enqueue_intransit(double arrive, double analysis_seconds, std::size_t bytes) {
+    return substrate_.enqueue_intransit(arrive, analysis_seconds, bytes);
+  }
+
+  /// eq. 6: drain the substrate and return max of the two partition clocks.
+  double finish() { return substrate_.finish(); }
+
+  double pure_sim_seconds() const noexcept { return pure_sim_seconds_; }
+  const std::vector<double>& step_starts() const noexcept { return step_starts_; }
+  ExecutionSubstrate& substrate() noexcept { return substrate_; }
+
+ private:
+  ExecutionSubstrate& substrate_;
+  double pure_sim_seconds_ = 0.0;
+  std::vector<double> step_starts_;
+};
+
+}  // namespace xl::workflow

@@ -8,6 +8,19 @@
 
 namespace xl::workflow {
 
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::RunBegin: return "run-begin";
+    case EventKind::StepBegin: return "step-begin";
+    case EventKind::Decision: return "decision";
+    case EventKind::Transfer: return "transfer";
+    case EventKind::Analysis: return "analysis";
+    case EventKind::StepEnd: return "step-end";
+    case EventKind::RunEnd: return "run-end";
+  }
+  return "?";
+}
+
 void write_steps_csv(std::ostream& os, const WorkflowResult& result) {
   os << "step,total_cells,analyzed_cells,factor,placement,intransit_cores,"
         "sim_seconds,reduce_seconds,insitu_analysis_seconds,"
@@ -20,7 +33,7 @@ void write_steps_csv(std::ostream& os, const WorkflowResult& result) {
        << ',' << s.insitu_analysis_seconds << ',' << s.intransit_analysis_seconds
        << ',' << s.wait_seconds << ',' << s.window_seconds << ','
        << s.backlog_seconds << ',' << s.raw_bytes << ',' << s.moved_bytes << ','
-       << s.decision_reason << '\n';
+       << runtime::reason_name(s.decision_reason) << '\n';
   }
   XL_REQUIRE(os.good(), "CSV write failed");
 }
@@ -29,6 +42,28 @@ void write_steps_csv(const std::string& path, const WorkflowResult& result) {
   std::ofstream os(path);
   XL_REQUIRE(os.good(), "cannot open CSV output: " + path);
   write_steps_csv(os, result);
+}
+
+void write_events_csv(std::ostream& os, const EventLog& log) {
+  os << "event,step,sim_clock,staging_clock,placement,reason,factor,"
+        "intransit_cores,app_adapted,resource_adapted,middleware_adapted,"
+        "cells,bytes,seconds,wait_seconds,skipped\n";
+  for (const WorkflowEvent& e : log.events()) {
+    os << event_kind_name(e.kind) << ',' << e.step << ',' << e.sim_clock << ','
+       << e.staging_clock << ',' << runtime::placement_name(e.placement) << ','
+       << runtime::reason_name(e.reason) << ',' << e.factor << ','
+       << e.intransit_cores << ',' << int(e.app_adapted) << ','
+       << int(e.resource_adapted) << ',' << int(e.middleware_adapted) << ','
+       << e.cells << ',' << e.bytes << ',' << e.seconds << ','
+       << e.wait_seconds << ',' << int(e.skipped) << '\n';
+  }
+  XL_REQUIRE(os.good(), "CSV write failed");
+}
+
+void write_events_csv(const std::string& path, const EventLog& log) {
+  std::ofstream os(path);
+  XL_REQUIRE(os.good(), "cannot open CSV output: " + path);
+  write_events_csv(os, log);
 }
 
 std::string summarize(const WorkflowResult& result) {

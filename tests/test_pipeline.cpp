@@ -1,0 +1,207 @@
+// Regression tests for the step-pipeline refactor: (a) golden end-to-end
+// values captured from the pre-refactor monolithic CoupledWorkflow::run()
+// must stay byte-identical for every Mode; (b) the analytic and
+// discrete-event execution substrates must agree exactly; (c) the observer
+// event stream must be consistent with the returned WorkflowResult.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workflow/coupled_workflow.hpp"
+#include "workflow/execution_substrate.hpp"
+#include "workflow/observer.hpp"
+#include "workflow/step_pipeline.hpp"
+#include "workflow/trace_io.hpp"
+
+using namespace xl;
+using namespace xl::workflow;
+
+namespace {
+
+// Same configuration as test_workflow_modes.cpp's mode_config.
+WorkflowConfig golden_config(Mode mode) {
+  WorkflowConfig c;
+  c.machine = cluster::titan();
+  c.sim_cores = 128;
+  c.staging_cores = 8;
+  c.steps = 15;
+  c.mode = mode;
+  c.geometry.base_domain = mesh::Box::domain({128, 64, 64});
+  c.geometry.nranks = 128;
+  c.geometry.tile_size = 8;
+  c.geometry.front_speed = 0.01;
+  c.memory_model.ncomp = 1;
+  c.hints.factor_phases = {{0, {2, 4}}};
+  return c;
+}
+
+struct Golden {
+  Mode mode;
+  double end_to_end_seconds;
+  double pure_sim_seconds;
+  std::size_t bytes_moved;
+  int insitu_count;
+  int intransit_count;
+  int application_adaptations;
+  int resource_adaptations;
+  int middleware_adaptations;
+};
+
+// Captured from the pre-refactor monolithic run() (commit e05e4ec) with
+// printf("%.17g"): full double precision, byte-identical by EXPECT_EQ.
+const Golden kGoldens[] = {
+    {Mode::StaticInSitu, 0.25408763961540892, 0.22344169410258713, 0, 15, 0, 0, 0, 0},
+    {Mode::StaticInTransit, 0.22366879679378548, 0.22344169410258713, 48496640, 0, 15,
+     0, 0, 0},
+    {Mode::StaticHybrid, 0.22366879679378548, 0.22344169410258713, 48496640, 0, 15, 0,
+     0, 0},
+    {Mode::AdaptiveMiddleware, 0.2251687967937854, 0.22344169410258713, 48496640, 0,
+     15, 0, 0, 15},
+    {Mode::AdaptiveResource, 0.22653515180663042, 0.22344169410258713, 48496640, 0, 15,
+     0, 15, 0},
+    {Mode::Global, 0.22649757331523107, 0.22344169410258713, 6062080, 0, 15, 15, 15,
+     15},
+};
+
+class PipelineGolden : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(PipelineGolden, MatchesPreRefactorRun) {
+  const Golden& g = GetParam();
+  const WorkflowResult r = CoupledWorkflow(golden_config(g.mode)).run();
+  // Bit-exact, not approximate: the refactor must not change a single
+  // floating-point operation's order.
+  EXPECT_EQ(r.end_to_end_seconds, g.end_to_end_seconds) << mode_name(g.mode);
+  EXPECT_EQ(r.pure_sim_seconds, g.pure_sim_seconds) << mode_name(g.mode);
+  EXPECT_EQ(r.bytes_moved, g.bytes_moved) << mode_name(g.mode);
+  EXPECT_EQ(r.insitu_count, g.insitu_count) << mode_name(g.mode);
+  EXPECT_EQ(r.intransit_count, g.intransit_count) << mode_name(g.mode);
+  EXPECT_EQ(r.application_adaptations, g.application_adaptations) << mode_name(g.mode);
+  EXPECT_EQ(r.resource_adaptations, g.resource_adaptations) << mode_name(g.mode);
+  EXPECT_EQ(r.middleware_adaptations, g.middleware_adaptations) << mode_name(g.mode);
+}
+
+TEST_P(PipelineGolden, AnalyticAndDiscreteEventSubstratesAgree) {
+  const Golden& g = GetParam();
+  CoupledWorkflow analytic_wf(golden_config(g.mode));
+  AnalyticSubstrate analytic;
+  const WorkflowResult a = analytic_wf.run_on(analytic);
+
+  CoupledWorkflow des_wf(golden_config(g.mode));
+  EventQueueSubstrate des;
+  const WorkflowResult d = des_wf.run_on(des);
+
+  EXPECT_EQ(a.end_to_end_seconds, d.end_to_end_seconds) << mode_name(g.mode);
+  EXPECT_EQ(a.pure_sim_seconds, d.pure_sim_seconds) << mode_name(g.mode);
+  EXPECT_EQ(a.overhead_seconds, d.overhead_seconds) << mode_name(g.mode);
+  EXPECT_EQ(a.bytes_moved, d.bytes_moved) << mode_name(g.mode);
+  EXPECT_EQ(a.insitu_count, d.insitu_count) << mode_name(g.mode);
+  EXPECT_EQ(a.intransit_count, d.intransit_count) << mode_name(g.mode);
+  EXPECT_EQ(a.utilization_efficiency, d.utilization_efficiency) << mode_name(g.mode);
+  ASSERT_EQ(a.steps.size(), d.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].wait_seconds, d.steps[i].wait_seconds) << "step " << i;
+    EXPECT_EQ(a.steps[i].window_seconds, d.steps[i].window_seconds) << "step " << i;
+    EXPECT_EQ(a.steps[i].moved_bytes, d.steps[i].moved_bytes) << "step " << i;
+    EXPECT_EQ(a.steps[i].placement, d.steps[i].placement) << "step " << i;
+  }
+}
+
+TEST_P(PipelineGolden, EventStreamIsConsistentWithResult) {
+  const Golden& g = GetParam();
+  CoupledWorkflow wf(golden_config(g.mode));
+  EventLog log;
+  wf.set_observer(&log);
+  const WorkflowResult r = wf.run();
+
+  EXPECT_EQ(log.count(EventKind::RunBegin), 1u);
+  EXPECT_EQ(log.count(EventKind::RunEnd), 1u);
+  EXPECT_EQ(log.count(EventKind::StepBegin), r.steps.size());
+  EXPECT_EQ(log.count(EventKind::StepEnd), r.steps.size());
+
+  // Transfer events must account for every byte the result reports moved.
+  std::size_t transferred = 0;
+  for (const WorkflowEvent& e : log.events()) {
+    if (e.kind == EventKind::Transfer) transferred += e.bytes;
+  }
+  EXPECT_EQ(transferred, r.bytes_moved) << mode_name(g.mode);
+
+  // Adaptive modes emit one Decision per engine sample; static modes none.
+  const bool adaptive = g.mode == Mode::AdaptiveMiddleware ||
+                        g.mode == Mode::AdaptiveResource || g.mode == Mode::Global;
+  if (adaptive) {
+    EXPECT_EQ(log.count(EventKind::Decision), static_cast<std::size_t>(r.steps.size()));
+  } else {
+    EXPECT_EQ(log.count(EventKind::Decision), 0u);
+  }
+
+  // The final event carries the end-to-end time, and clocks never run
+  // backwards within the simulation partition.
+  ASSERT_FALSE(log.events().empty());
+  const WorkflowEvent& last = log.events().back();
+  EXPECT_EQ(last.kind, EventKind::RunEnd);
+  EXPECT_EQ(last.seconds, r.end_to_end_seconds);
+  double prev_clock = 0.0;
+  for (const WorkflowEvent& e : log.events()) {
+    EXPECT_GE(e.sim_clock, prev_clock);
+    prev_clock = e.sim_clock;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, PipelineGolden, ::testing::ValuesIn(kGoldens),
+    [](const ::testing::TestParamInfo<Golden>& info) {
+      std::string name = mode_name(info.param.mode);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(StepPipeline, PhaseNamesInExecutionOrder) {
+  const WorkflowConfig config = golden_config(Mode::Global);
+  AnalyticSubstrate substrate;
+  StepPipeline pipeline(config, substrate, nullptr);
+  const auto names = pipeline.phase_names();
+  ASSERT_EQ(names.size(), 8u);
+  const char* expected[] = {"simulate", "monitor",   "adapt",    "reduce",
+                            "placement", "transfer", "analyze",  "drain"};
+  for (std::size_t i = 0; i < names.size(); ++i) EXPECT_STREQ(names[i], expected[i]);
+}
+
+TEST(StepPipeline, RunMatchesRunOnAnalytic) {
+  const WorkflowConfig config = golden_config(Mode::Global);
+  const WorkflowResult a = CoupledWorkflow(config).run();
+  AnalyticSubstrate substrate;
+  const WorkflowResult b = CoupledWorkflow(config).run_on(substrate);
+  EXPECT_EQ(a.end_to_end_seconds, b.end_to_end_seconds);
+  EXPECT_EQ(a.bytes_moved, b.bytes_moved);
+}
+
+TEST(EventsCsv, WritesOneRowPerEvent) {
+  CoupledWorkflow wf(golden_config(Mode::Global));
+  EventLog log;
+  wf.set_observer(&log);
+  (void)wf.run();
+
+  std::ostringstream os;
+  write_events_csv(os, log);
+  const std::string csv = os.str();
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, log.events().size() + 1);  // header + one row per event
+  EXPECT_NE(csv.find("event,step,sim_clock"), std::string::npos);
+  EXPECT_NE(csv.find("run-end"), std::string::npos);
+  EXPECT_NE(csv.find("decision"), std::string::npos);
+}
+
+TEST(EventKindNames, AreStable) {
+  EXPECT_STREQ(event_kind_name(EventKind::RunBegin), "run-begin");
+  EXPECT_STREQ(event_kind_name(EventKind::StepBegin), "step-begin");
+  EXPECT_STREQ(event_kind_name(EventKind::Decision), "decision");
+  EXPECT_STREQ(event_kind_name(EventKind::Transfer), "transfer");
+  EXPECT_STREQ(event_kind_name(EventKind::Analysis), "analysis");
+  EXPECT_STREQ(event_kind_name(EventKind::StepEnd), "step-end");
+  EXPECT_STREQ(event_kind_name(EventKind::RunEnd), "run-end");
+}
+
+}  // namespace

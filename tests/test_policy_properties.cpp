@@ -98,7 +98,7 @@ TEST_P(MiddlewareProperty, DecisionsAreTotalAndConsistent) {
     // Determinism.
     const MiddlewareDecision d2 = decide_placement(in);
     EXPECT_EQ(d.placement, d2.placement);
-    EXPECT_STREQ(d.reason, d2.reason);
+    EXPECT_EQ(d.reason, d2.reason);
   }
 }
 

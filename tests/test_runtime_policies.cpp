@@ -110,7 +110,7 @@ TEST(MiddlewarePolicy, Case1MemoryForcedInSitu) {
   in.intransit_mem_free = 10 * MB;  // staging cannot cache S_data
   const MiddlewareDecision d = decide_placement(in);
   EXPECT_EQ(d.placement, Placement::InSitu);
-  EXPECT_STREQ(d.reason, "memory-forced");
+  EXPECT_EQ(d.reason, DecisionReason::MemoryForced);
   EXPECT_TRUE(d.feasible);
 }
 
@@ -119,7 +119,7 @@ TEST(MiddlewarePolicy, Case1MemoryForcedInTransit) {
   in.insitu_mem_available = 10 * MB;  // simulation nodes have no headroom
   const MiddlewareDecision d = decide_placement(in);
   EXPECT_EQ(d.placement, Placement::InTransit);
-  EXPECT_STREQ(d.reason, "memory-forced");
+  EXPECT_EQ(d.reason, DecisionReason::MemoryForced);
 }
 
 TEST(MiddlewarePolicy, Case2IdleStagingGoesInTransit) {
@@ -127,7 +127,7 @@ TEST(MiddlewarePolicy, Case2IdleStagingGoesInTransit) {
   // though the in-transit execution itself is slower.
   const MiddlewareDecision d = decide_placement(base_inputs());
   EXPECT_EQ(d.placement, Placement::InTransit);
-  EXPECT_STREQ(d.reason, "staging-idle");
+  EXPECT_EQ(d.reason, DecisionReason::StagingIdle);
 }
 
 TEST(MiddlewarePolicy, Case3BusyStagingComparesEstimates) {
@@ -137,13 +137,13 @@ TEST(MiddlewarePolicy, Case3BusyStagingComparesEstimates) {
   in.intransit_backlog_seconds = 5.0;  // > est_insitu_seconds = 2.0
   MiddlewareDecision d = decide_placement(in);
   EXPECT_EQ(d.placement, Placement::InSitu);
-  EXPECT_STREQ(d.reason, "insitu-faster-than-backlog");
+  EXPECT_EQ(d.reason, DecisionReason::InsituFasterThanBacklog);
 
   // Backlog nearly drained -> async send and process when cores free.
   in.intransit_backlog_seconds = 0.5;
   d = decide_placement(in);
   EXPECT_EQ(d.placement, Placement::InTransit);
-  EXPECT_STREQ(d.reason, "backlog-shorter-than-insitu");
+  EXPECT_EQ(d.reason, DecisionReason::BacklogShorterThanInsitu);
 }
 
 TEST(MiddlewarePolicy, InfeasibleBothFlagsAndFallsBack) {
@@ -153,6 +153,19 @@ TEST(MiddlewarePolicy, InfeasibleBothFlagsAndFallsBack) {
   const MiddlewareDecision d = decide_placement(in);
   EXPECT_FALSE(d.feasible);
   EXPECT_EQ(d.placement, Placement::InSitu);
+  EXPECT_EQ(d.reason, DecisionReason::InfeasibleBoth);
+}
+
+TEST(MiddlewarePolicy, ReasonNamesAreStable) {
+  // The names feed the CSV traces; downstream plots key on them.
+  EXPECT_STREQ(reason_name(DecisionReason::None), "");
+  EXPECT_STREQ(reason_name(DecisionReason::InfeasibleBoth), "infeasible-both");
+  EXPECT_STREQ(reason_name(DecisionReason::MemoryForced), "memory-forced");
+  EXPECT_STREQ(reason_name(DecisionReason::StagingIdle), "staging-idle");
+  EXPECT_STREQ(reason_name(DecisionReason::BacklogShorterThanInsitu),
+               "backlog-shorter-than-insitu");
+  EXPECT_STREQ(reason_name(DecisionReason::InsituFasterThanBacklog),
+               "insitu-faster-than-backlog");
 }
 
 // --- Resource policy (eqs. 9-10) ---------------------------------------------

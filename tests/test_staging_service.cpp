@@ -54,6 +54,37 @@ TEST(StagingService, VersionsAreIsolated) {
   EXPECT_EQ(service.get_async(3, Box::domain({64, 64, 64})).get().size(), 0u);
 }
 
+TEST(StagingService, ObserverSeesEveryRequest) {
+  std::mutex mu;
+  std::vector<ServiceEvent> seen;
+  ServiceConfig cfg = small_service();
+  cfg.observer = [&](const ServiceEvent& ev) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(ev);
+  };
+  StagingService service(cfg);
+  const Box box = Box::domain({8, 8, 8});
+  auto ack = service.put_async(3, box, Fab(box, 1, 1.5)).get();
+  EXPECT_TRUE(ack.accepted);
+  (void)service.get_async(3, box).get();
+  (void)service.analyze_async(3, box, 0.0, 0).get();
+  service.drain();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0].kind, ServiceEvent::Kind::Put);
+  EXPECT_EQ(seen[0].version, 3);
+  EXPECT_TRUE(seen[0].accepted);
+  EXPECT_GT(seen[0].bytes, 0u);
+  EXPECT_EQ(seen[1].kind, ServiceEvent::Kind::Get);
+  EXPECT_EQ(seen[1].objects, 1u);
+  EXPECT_EQ(seen[2].kind, ServiceEvent::Kind::Analysis);
+  EXPECT_EQ(seen[2].objects, 1u);
+  EXPECT_EQ(seen[3].kind, ServiceEvent::Kind::Drain);
+  EXPECT_STREQ(service_event_kind_name(seen[0].kind), "put");
+  EXPECT_STREQ(service_event_kind_name(seen[3].kind), "drain");
+}
+
 TEST(StagingService, RejectsWhenServerFull) {
   ServiceConfig cfg = small_service(1);
   cfg.memory_per_server = 1000;  // tiny

@@ -2,7 +2,7 @@
 // config file and emit the per-step trace as CSV — the entry point a
 // downstream user sweeps parameters with, no recompilation needed.
 //
-//   xlayer_cli run <config-file> [--csv <out.csv>] [--quiet]
+//   xlayer_cli run <config-file> [--csv <out.csv>] [--events <out.csv>] [--quiet]
 //   xlayer_cli print-config                 # dump the default keys
 //
 // Example config:
@@ -29,7 +29,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage:\n"
-            << "  xlayer_cli run <config-file> [--csv <out.csv>] [--quiet]\n"
+            << "  xlayer_cli run <config-file> [--csv <out.csv>]"
+               " [--events <out.csv>] [--quiet]\n"
             << "  xlayer_cli print-config\n";
   return 2;
 }
@@ -62,10 +63,13 @@ int run(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string config_path = argv[2];
   std::string csv_path;
+  std::string events_path;
   bool quiet = false;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      events_path = argv[++i];
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else {
@@ -74,9 +78,13 @@ int run(int argc, char** argv) {
   }
 
   const WorkflowConfig config = parse_workflow_config_file(config_path);
-  const WorkflowResult result = CoupledWorkflow(config).run();
+  CoupledWorkflow workflow(config);
+  EventLog log;
+  if (!events_path.empty()) workflow.set_observer(&log);
+  const WorkflowResult result = workflow.run();
 
   if (!csv_path.empty()) write_steps_csv(csv_path, result);
+  if (!events_path.empty()) write_events_csv(events_path, log);
 
   if (!quiet) {
     Table t({"metric", "value"});
@@ -97,6 +105,7 @@ int run(int argc, char** argv) {
     t.row().cell("energy (MJ)").cell(energy.total_joules() / 1e6, 3);
     std::cout << t.to_string();
     if (!csv_path.empty()) std::cout << "per-step trace -> " << csv_path << "\n";
+    if (!events_path.empty()) std::cout << "event stream -> " << events_path << "\n";
   } else {
     std::cout << summarize(result) << "\n";
   }
