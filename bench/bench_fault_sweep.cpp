@@ -1,0 +1,141 @@
+// Fault sweep: end-to-end resilience of the adaptive workflow under the
+// PR's deterministic fault injection. Two sweeps on the Titan 2K-core
+// Advection-Diffusion setup (adaptive middleware placement):
+//
+//  (a) transfer-fault rate 0..20%: every staged buffer runs the retry/backoff
+//      ladder; exhausted transfers fall back in-situ. Reported: end-to-end
+//      slowdown vs the fault-free run, retries, failures, and the fraction of
+//      analyses that were degraded to the simulation partition.
+//  (b) staging-server crash at step 10 (half the partition, then the whole
+//      partition, for varying outage lengths): recovery must re-admit
+//      in-transit work and no step may lose its analysis.
+//
+// No paper figure corresponds to this bench: the paper assumes an always-up
+// staging area. This is the robustness envelope around its §5 experiments.
+#include <iostream>
+#include <iterator>
+
+#include "bench_util.hpp"
+
+using namespace xl;
+using namespace xl::workflow;
+using xl::bench::RunCache;
+
+namespace {
+
+const double kDropRates[] = {0.0, 0.02, 0.05, 0.10, 0.20};
+
+struct CrashCase {
+  const char* label;
+  int servers;   // 0 = no crash
+  int duration;  // steps; 0 = permanent
+};
+
+const CrashCase kCrashCases[] = {
+    {"none", 0, 0},          {"half/5-steps", 64, 5},  {"half/permanent", 64, 0},
+    {"full/5-steps", 128, 5}, {"full/permanent", 128, 0},
+};
+
+WorkflowConfig drop_config(std::size_t rate_index) {
+  WorkflowConfig c = titan_middleware_experiment(0, Mode::AdaptiveMiddleware);
+  c.faults.transfer_drop_rate = kDropRates[rate_index];
+  return c;
+}
+
+WorkflowConfig crash_config(std::size_t case_index) {
+  WorkflowConfig c = titan_middleware_experiment(0, Mode::AdaptiveMiddleware);
+  const CrashCase& cc = kCrashCases[case_index];
+  if (cc.servers > 0) {
+    runtime::FaultSpec spec;
+    spec.kind = runtime::FaultKind::ServerCrash;
+    spec.step = 10;
+    spec.servers = cc.servers;
+    spec.duration_steps = cc.duration;
+    c.faults.events.push_back(spec);
+  }
+  return c;
+}
+
+std::string drop_key(std::size_t i) {
+  return "fault/drop/" + std::to_string(kDropRates[i]);
+}
+std::string crash_key(std::size_t i) {
+  return std::string("fault/crash/") + kCrashCases[i].label;
+}
+
+void bench_drop(benchmark::State& state) {
+  const auto i = static_cast<std::size_t>(state.range(0));
+  state.SetLabel(drop_key(i));
+  xl::bench::run_workflow_benchmark(state, drop_key(i), [=] { return drop_config(i); });
+}
+
+void bench_crash(benchmark::State& state) {
+  const auto i = static_cast<std::size_t>(state.range(0));
+  state.SetLabel(crash_key(i));
+  xl::bench::run_workflow_benchmark(state, crash_key(i), [=] { return crash_config(i); });
+}
+
+/// Fraction of scheduled analyses this run completed on the simulation
+/// partition only because of a fault (transfer exhausted or staging down).
+double degraded_fraction(const WorkflowResult& r) {
+  const auto analyses = static_cast<double>(r.insitu_count + r.intransit_count);
+  return analyses > 0.0 ? static_cast<double>(r.degraded_insitu_count) / analyses : 0.0;
+}
+
+void print_figure() {
+  std::cout << "\n=== Fault sweep (a): transfer-fault rate vs end-to-end cost ===\n";
+  const double base_drop =
+      RunCache::instance().get(drop_key(0), [] { return drop_config(0); }).end_to_end_seconds;
+  Table td({"drop rate", "end-to-end", "slowdown", "retries", "failures",
+            "degraded analyses", "in-transit"});
+  for (std::size_t i = 0; i < std::size(kDropRates); ++i) {
+    const WorkflowResult& r =
+        RunCache::instance().get(drop_key(i), [=] { return drop_config(i); });
+    td.row()
+        .cell(format_percent(kDropRates[i]))
+        .cell(format_seconds(r.end_to_end_seconds))
+        .cell(r.end_to_end_seconds / base_drop, 3)
+        .cell(r.transfer_retries)
+        .cell(r.transfer_failures)
+        .cell(format_percent(degraded_fraction(r)))
+        .cell(r.intransit_count);
+  }
+  std::cout << td.to_string();
+
+  std::cout << "\n=== Fault sweep (b): staging crash at step 10 ===\n";
+  const double base_crash =
+      RunCache::instance().get(crash_key(0), [] { return crash_config(0); }).end_to_end_seconds;
+  Table tc({"crash", "end-to-end", "slowdown", "recoveries", "dropped bytes",
+            "degraded analyses", "completed steps"});
+  for (std::size_t i = 0; i < std::size(kCrashCases); ++i) {
+    const WorkflowResult& r =
+        RunCache::instance().get(crash_key(i), [=] { return crash_config(i); });
+    tc.row()
+        .cell(kCrashCases[i].label)
+        .cell(format_seconds(r.end_to_end_seconds))
+        .cell(r.end_to_end_seconds / base_crash, 3)
+        .cell(r.recoveries)
+        .cell(format_bytes(static_cast<double>(r.dropped_bytes)))
+        .cell(format_percent(degraded_fraction(r)))
+        .cell(static_cast<int>(r.steps.size()));
+  }
+  std::cout << tc.to_string();
+}
+
+}  // namespace
+
+BENCHMARK(bench_drop)
+    ->DenseRange(0, static_cast<int>(std::size(kDropRates)) - 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(bench_crash)
+    ->DenseRange(0, static_cast<int>(std::size(kCrashCases)) - 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_figure();
+  return 0;
+}

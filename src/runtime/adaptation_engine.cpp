@@ -76,6 +76,9 @@ void AdaptationEngine::run_resource(const OperationalState& state,
   in.recv_seconds = 0.0;
   in.min_cores = config_.min_intransit_cores;
   in.max_cores = config_.max_intransit_cores;
+  in.cores_down = std::min(state.staging_health.servers_down,
+                           config_.max_intransit_cores - config_.min_intransit_cores);
+  in.slowdown = state.staging_health.slowdown;
   in.intransit_seconds = [this, &out](int cores) {
     return hooks_.analysis_seconds(Placement::InTransit, out.effective_cells, cores) +
            hooks_.recv_seconds(out.effective_bytes, cores);
@@ -95,10 +98,16 @@ void AdaptationEngine::run_middleware(const OperationalState& state,
   in.insitu_mem_available = state.insitu_mem_available;
   in.intransit_mem_free = state.intransit_mem_free;
   in.intransit_backlog_seconds = state.intransit_backlog_seconds;
+  in.staging_available = !state.staging_health.all_down();
+  in.staging_degraded = state.staging_health.degraded();
+  in.staging_recovered = state.staging_health.just_recovered;
   in.est_insitu_seconds =
       hooks_.analysis_seconds(Placement::InSitu, out.effective_cells, state.sim_cores);
+  // A fully-down staging partition reports 0 cores; the estimate is moot then
+  // (decide_placement returns StagingUnavailable first) but must not trip the
+  // estimator's cores >= 1 contract.
   in.est_intransit_seconds = hooks_.analysis_seconds(
-      Placement::InTransit, out.effective_cells, out.intransit_cores);
+      Placement::InTransit, out.effective_cells, std::max(1, out.intransit_cores));
   const MiddlewareDecision d = decide_placement(in);
   out.middleware = d;
   XL_LOG_DEBUG("middleware layer: " << placement_name(d.placement) << " ("

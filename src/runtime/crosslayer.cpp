@@ -27,13 +27,13 @@ CrossLayerPlanner CrossLayerPlanner::standard() {
       Layer::Middleware,
       "analysis-placement",
       {Objective::MinimizeTimeToSolution},
-      {Quantity::DataSize, Quantity::IntransitCores},
+      {Quantity::DataSize, Quantity::IntransitCores, Quantity::StagingHealth},
       {Quantity::PlacementDecision}});
   mechanisms.push_back(MechanismInfo{
       Layer::Resource,
       "intransit-allocation",
       {Objective::MaximizeResourceUtilization},
-      {Quantity::DataSize},
+      {Quantity::DataSize, Quantity::StagingHealth},
       {Quantity::IntransitCores}});
   return CrossLayerPlanner(std::move(mechanisms));
 }

@@ -26,7 +26,10 @@ enum class Layer { Application, Middleware, Resource };
 const char* layer_name(Layer layer) noexcept;
 
 /// Quantities flowing between mechanisms (the S_data and M of §4.4).
-enum class Quantity { DataSize, IntransitCores, PlacementDecision };
+/// StagingHealth is an environment input produced by the fault/monitor layer
+/// rather than by any mechanism; it gates the middleware and resource
+/// policies but never reorders the plan.
+enum class Quantity { DataSize, IntransitCores, PlacementDecision, StagingHealth };
 
 struct MechanismInfo {
   Layer layer = Layer::Application;

@@ -1,0 +1,165 @@
+#include "runtime/fault.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace xl::runtime {
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::None: return "";
+    case FaultKind::ServerCrash: return "server-crash";
+    case FaultKind::TransferDrop: return "transfer-drop";
+    case FaultKind::TransferCorrupt: return "transfer-corrupt";
+    case FaultKind::Straggler: return "straggler";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> FaultPlan::transfer_attempt_fault(std::uint64_t transfer,
+                                                           int attempt) const {
+  const double drop = config_.transfer_drop_rate;
+  const double corrupt = config_.transfer_corrupt_rate;
+  if (drop + corrupt <= 0.0) return std::nullopt;
+  // Counter-keyed stream: one fresh Rng per (transfer, attempt) pair, so the
+  // draw is independent of how many other transfers were queried before it.
+  Rng rng(config_.seed ^ (transfer * 0xD1342543DE82EF95ull) ^
+          ((static_cast<std::uint64_t>(attempt) + 1) * 0x9E3779B97F4A7C15ull));
+  const double u = rng.next_double();
+  if (u < drop) return FaultKind::TransferDrop;
+  if (u < drop + corrupt) return FaultKind::TransferCorrupt;
+  return std::nullopt;
+}
+
+double FaultPlan::backoff_seconds(int attempt) const noexcept {
+  double backoff = config_.retry_backoff_seconds;
+  for (int i = 0; i < attempt; ++i) backoff *= config_.backoff_multiplier;
+  return backoff;
+}
+
+namespace {
+
+bool window_active(const FaultSpec& spec, int step) noexcept {
+  if (step < spec.step) return false;
+  return spec.duration_steps == 0 || step < spec.step + spec.duration_steps;
+}
+
+}  // namespace
+
+int FaultPlan::servers_down_at(int step) const noexcept {
+  int down = 0;
+  for (const FaultSpec& spec : config_.events) {
+    if (spec.kind == FaultKind::ServerCrash && window_active(spec, step)) {
+      down += spec.servers;
+    }
+  }
+  return down;
+}
+
+double FaultPlan::slowdown_at(int step) const noexcept {
+  double slowdown = 1.0;
+  for (const FaultSpec& spec : config_.events) {
+    if (spec.kind == FaultKind::Straggler && window_active(spec, step) &&
+        spec.slowdown > slowdown) {
+      slowdown = spec.slowdown;
+    }
+  }
+  return slowdown;
+}
+
+namespace {
+
+double spec_to_double(const std::string& v, const std::string& clause) {
+  try {
+    return std::stod(v);
+  } catch (...) {
+    throw ContractError("fault spec: bad number in '" + clause + "'");
+  }
+}
+
+int spec_to_int(const std::string& v, const std::string& clause) {
+  try {
+    return std::stoi(v);
+  } catch (...) {
+    throw ContractError("fault spec: bad integer in '" + clause + "'");
+  }
+}
+
+/// Split "a:b:c" into up to three fields (later ones optional).
+std::vector<std::string> split_fields(const std::string& value) {
+  std::vector<std::string> fields;
+  std::istringstream ss(value);
+  std::string field;
+  while (std::getline(ss, field, ':')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+FaultConfig parse_fault_spec(const std::string& spec) {
+  FaultConfig config;
+  std::istringstream ss(spec);
+  std::string clause;
+  while (std::getline(ss, clause, ';')) {
+    if (clause.empty()) continue;
+    const auto eq = clause.find('=');
+    XL_REQUIRE(eq != std::string::npos,
+               "fault spec: expected key=value in '" + clause + "'");
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    XL_REQUIRE(!value.empty(), "fault spec: empty value in '" + clause + "'");
+
+    if (key == "seed") {
+      try {
+        config.seed = std::stoull(value);
+      } catch (...) {
+        throw ContractError("fault spec: bad seed in '" + clause + "'");
+      }
+    } else if (key == "drop") {
+      config.transfer_drop_rate = spec_to_double(value, clause);
+    } else if (key == "corrupt") {
+      config.transfer_corrupt_rate = spec_to_double(value, clause);
+    } else if (key == "retries") {
+      config.max_transfer_retries = spec_to_int(value, clause);
+    } else if (key == "backoff") {
+      config.retry_backoff_seconds = spec_to_double(value, clause);
+    } else if (key == "backoff_mult") {
+      config.backoff_multiplier = spec_to_double(value, clause);
+    } else if (key == "timeout") {
+      config.transfer_timeout_seconds = spec_to_double(value, clause);
+    } else if (key == "crash" || key == "straggler") {
+      const auto fields = split_fields(value);
+      XL_REQUIRE(!fields.empty() && fields.size() <= 3,
+                 "fault spec: '" + key + "' takes STEP[:ARG[:DURATION]]");
+      FaultSpec fault;
+      fault.step = spec_to_int(fields[0], clause);
+      if (key == "crash") {
+        fault.kind = FaultKind::ServerCrash;
+        if (fields.size() > 1) fault.servers = spec_to_int(fields[1], clause);
+        XL_REQUIRE(fault.servers >= 1, "fault spec: crash needs >= 1 server");
+      } else {
+        fault.kind = FaultKind::Straggler;
+        if (fields.size() > 1) fault.slowdown = spec_to_double(fields[1], clause);
+        XL_REQUIRE(fault.slowdown >= 1.0, "fault spec: straggler slowdown >= 1");
+      }
+      if (fields.size() > 2) fault.duration_steps = spec_to_int(fields[2], clause);
+      XL_REQUIRE(fault.step >= 0 && fault.duration_steps >= 0,
+                 "fault spec: step/duration must be non-negative");
+      config.events.push_back(fault);
+    } else {
+      throw ContractError("fault spec: unknown key '" + key + "'");
+    }
+  }
+  XL_REQUIRE(config.transfer_drop_rate >= 0.0 && config.transfer_drop_rate <= 1.0,
+             "fault spec: drop rate in [0,1]");
+  XL_REQUIRE(config.transfer_corrupt_rate >= 0.0 &&
+                 config.transfer_corrupt_rate <= 1.0,
+             "fault spec: corrupt rate in [0,1]");
+  XL_REQUIRE(config.max_transfer_retries >= 0, "fault spec: retries >= 0");
+  XL_REQUIRE(config.retry_backoff_seconds >= 0.0, "fault spec: backoff >= 0");
+  XL_REQUIRE(config.backoff_multiplier >= 1.0, "fault spec: backoff_mult >= 1");
+  return config;
+}
+
+}  // namespace xl::runtime

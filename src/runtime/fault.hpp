@@ -1,0 +1,99 @@
+// Deterministic fault injection for the staging/transport layers. A FaultPlan
+// is a seeded oracle over (transfer, attempt) pairs and per-step staging
+// health: the same plan always produces the same crashes, drops, and
+// stragglers regardless of the order callers query it, so the analytic and
+// discrete-event substrates (and repeated runs) see byte-identical failure
+// timelines. The paper's runtime assumes the staging partition never fails;
+// this module supplies the missing failure model the recovery paths in the
+// middleware/resource policies and the step pipeline react to.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace xl::runtime {
+
+/// Taxonomy of injectable faults.
+enum class FaultKind {
+  None,             ///< no fault (event records default to this).
+  ServerCrash,      ///< staging server(s) die at a step, losing their objects.
+  TransferDrop,     ///< a transfer attempt vanishes on the wire (timeout).
+  TransferCorrupt,  ///< a transfer attempt arrives corrupt (checksum reject).
+  Straggler,        ///< staging cores slowed by a multiplier for a window.
+};
+
+const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// One scheduled fault (crash or straggler window).
+struct FaultSpec {
+  FaultKind kind = FaultKind::ServerCrash;
+  int step = 0;            ///< step at which the fault fires.
+  int duration_steps = 0;  ///< steps until recovery; 0 = permanent.
+  int servers = 1;         ///< ServerCrash: staging cores/servers lost.
+  double slowdown = 2.0;   ///< Straggler: multiplier on in-transit time.
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 0x5EEDFA17u;
+  /// Per-attempt probability a transfer is dropped on the wire.
+  double transfer_drop_rate = 0.0;
+  /// Per-attempt probability a transfer arrives corrupt (and is rejected).
+  double transfer_corrupt_rate = 0.0;
+  /// Retries after the first attempt before a transfer is declared Failed.
+  int max_transfer_retries = 3;
+  /// Backoff before retry r is base * multiplier^r (exponential backoff).
+  double retry_backoff_seconds = 1.0e-3;
+  double backoff_multiplier = 2.0;
+  /// Detection deadline for a lost attempt; 0 = detected at the modeled wire
+  /// time (corrupt data is always detected on arrival).
+  double transfer_timeout_seconds = 0.0;
+  std::vector<FaultSpec> events;
+
+  bool enabled() const noexcept {
+    return transfer_drop_rate > 0.0 || transfer_corrupt_rate > 0.0 ||
+           !events.empty();
+  }
+};
+
+/// Parse a compact fault spec: semicolon-separated clauses of
+///   seed=N  drop=P  corrupt=P  retries=N  backoff=S  backoff_mult=X
+///   timeout=S  crash=STEP[:SERVERS[:DURATION]]  straggler=STEP[:SLOW[:DURATION]]
+/// e.g. "seed=7;drop=0.1;crash=10:2:5". Throws ContractError on bad input.
+FaultConfig parse_fault_spec(const std::string& spec);
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultConfig& config) : config_(config) {}
+
+  bool enabled() const noexcept { return config_.enabled(); }
+  const FaultConfig& config() const noexcept { return config_; }
+
+  /// Stateless draw: does attempt `attempt` of transfer `transfer` fail, and
+  /// how? The verdict depends only on (seed, transfer, attempt), never on
+  /// query order, so every substrate replays the same failures.
+  std::optional<FaultKind> transfer_attempt_fault(std::uint64_t transfer,
+                                                  int attempt) const;
+  bool transfer_attempt_fails(std::uint64_t transfer, int attempt) const {
+    return transfer_attempt_fault(transfer, attempt).has_value();
+  }
+
+  /// Exponential backoff before retry `attempt` (base * multiplier^attempt).
+  double backoff_seconds(int attempt) const noexcept;
+
+  /// Staging servers down at `step` (sum of the active ServerCrash windows).
+  int servers_down_at(int step) const noexcept;
+
+  /// Straggler multiplier on in-transit execution at `step` (>= 1; max of the
+  /// active Straggler windows).
+  double slowdown_at(int step) const noexcept;
+
+ private:
+  FaultConfig config_;
+};
+
+}  // namespace xl::runtime

@@ -10,6 +10,9 @@ const char* reason_name(DecisionReason reason) noexcept {
     case DecisionReason::StagingIdle: return "staging-idle";
     case DecisionReason::BacklogShorterThanInsitu: return "backlog-shorter-than-insitu";
     case DecisionReason::InsituFasterThanBacklog: return "insitu-faster-than-backlog";
+    case DecisionReason::StagingUnavailable: return "staging-unavailable";
+    case DecisionReason::DegradedInSitu: return "degraded-insitu";
+    case DecisionReason::RecoveredInTransit: return "recovered-intransit";
   }
   return "?";
 }
@@ -19,6 +22,30 @@ MiddlewareDecision decide_placement(const PlacementInputs& in) {
   const bool intransit_ok = in.data_bytes <= in.intransit_mem_free;
 
   MiddlewareDecision d;
+  if (!in.staging_available) {
+    // Fault case: the whole staging partition is down. Nothing can be placed
+    // in-transit, so run in-situ regardless of memory comfort — the
+    // application layer will shrink the data if it must.
+    d.placement = Placement::InSitu;
+    d.feasible = insitu_ok;
+    d.reason = DecisionReason::StagingUnavailable;
+    return d;
+  }
+  if (in.staging_recovered && intransit_ok) {
+    // Recovery edge: staging just came back healthy. Re-admit in-transit work
+    // immediately to refill the revived servers instead of waiting for the
+    // backlog comparison to tip over.
+    d.placement = Placement::InTransit;
+    d.reason = DecisionReason::RecoveredInTransit;
+    return d;
+  }
+  if (in.staging_degraded && insitu_ok) {
+    // Partial degradation (dead servers or stragglers): surviving staging
+    // capacity is unreliable, so prefer the placement that cannot lose data.
+    d.placement = Placement::InSitu;
+    d.reason = DecisionReason::DegradedInSitu;
+    return d;
+  }
   if (!insitu_ok && !intransit_ok) {
     // Neither side can take the analysis at full size; the caller must shrink
     // the data first (the cross-layer policy routes this to the application

@@ -37,6 +37,11 @@ struct PlacementInputs {
   /// Estimated execution times from the Monitor.
   double est_insitu_seconds = 0.0;     ///< T_insitu(N, S_i).
   double est_intransit_seconds = 0.0;  ///< T_intransit(M, S_i).
+
+  /// Fault-layer signals (defaults preserve the paper's always-up staging).
+  bool staging_available = true;   ///< false while every staging server is down.
+  bool staging_degraded = false;   ///< some servers down or stragglers active.
+  bool staging_recovered = false;  ///< first sample after full recovery.
 };
 
 /// Which trigger case fired. A value type (unlike the previous string
@@ -49,6 +54,9 @@ enum class DecisionReason {
   StagingIdle,               ///< case 2: staging idle, in-transit hides fully.
   BacklogShorterThanInsitu,  ///< case 3: staging frees up before in-situ would finish.
   InsituFasterThanBacklog,   ///< case 3: in-situ beats the staging backlog.
+  StagingUnavailable,        ///< fault: every staging server down -> in-situ.
+  DegradedInSitu,            ///< fault: staging degraded enough that in-situ wins.
+  RecoveredInTransit,        ///< fault: staging back up -> re-admit in-transit.
 };
 
 const char* reason_name(DecisionReason reason) noexcept;

@@ -58,6 +58,11 @@ class Monitor {
   /// Inject the true upcoming cost (Oracle estimator ablation only).
   void set_oracle(double insitu_seconds, double intransit_seconds);
 
+  /// Record the staging partition's liveness for this sampling period (fed by
+  /// the fault layer; defaults to all-healthy when never called).
+  void record_staging_health(const StagingHealth& health) { staging_health_ = health; }
+  const StagingHealth& staging_health() const noexcept { return staging_health_; }
+
   /// Estimated in-situ analysis time for `cells` on `cores` (eq. 7's
   /// T_insitu(N, S_data)).
   double estimate_analysis_seconds(Placement placement, std::size_t cells,
@@ -84,6 +89,7 @@ class Monitor {
   double last_sim_seconds_ = 0.0;
   std::size_t last_sim_cells_ = 0;
   std::size_t analysis_count_ = 0;
+  StagingHealth staging_health_;
 };
 
 }  // namespace xl::runtime

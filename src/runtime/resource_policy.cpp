@@ -11,30 +11,36 @@ ResourceDecision select_intransit_cores(const ResourceInputs& in) {
   XL_REQUIRE(in.min_cores >= 1, "need at least one staging core");
   XL_REQUIRE(in.max_cores >= in.min_cores, "max cores below min cores");
   XL_REQUIRE(static_cast<bool>(in.intransit_seconds), "need an in-transit time estimator");
+  XL_REQUIRE(in.cores_down >= 0, "cores_down must be non-negative");
+  XL_REQUIRE(in.slowdown >= 1.0, "slowdown multiplier must be >= 1");
+
+  // Dead staging cores shrink the pool the policy may allocate from.
+  const int max_cores = std::max(in.min_cores, in.max_cores - in.cores_down);
 
   ResourceDecision d;
   // Eq. 10: enough aggregate staging memory to cache S_data.
   const auto mem_cores = static_cast<int>(
       (in.data_bytes + in.mem_per_core - 1) / in.mem_per_core);
   d.memory_floor_cores = std::clamp(std::max(mem_cores, in.min_cores), in.min_cores,
-                                    in.max_cores);
+                                    max_cores);
 
   // Eq. 9: grow M until T_intransit(M) + T_recv <= T_{i+1}_sim + T_sd.
   const double budget = in.next_sim_seconds + in.send_seconds;
   int m = d.memory_floor_cores;
   // Doubling then binary search keeps this O(log max_cores) even for the
-  // 16K-core experiments.
+  // 16K-core experiments. (slowdown == 1.0 multiplies exactly, so the
+  // fault-free path is bit-identical to the unfaulted policy.)
   auto meets = [&](int cores) {
-    return in.intransit_seconds(cores) + in.recv_seconds <= budget;
+    return in.intransit_seconds(cores) * in.slowdown + in.recv_seconds <= budget;
   };
   if (!meets(m)) {
     int lo = m, hi = m;
-    while (hi < in.max_cores && !meets(hi)) {
+    while (hi < max_cores && !meets(hi)) {
       lo = hi;
-      hi = std::min(in.max_cores, hi * 2);
+      hi = std::min(max_cores, hi * 2);
     }
     if (!meets(hi)) {
-      d.cores = in.max_cores;
+      d.cores = max_cores;
       d.deadline_met = false;
       return d;
     }

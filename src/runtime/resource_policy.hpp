@@ -21,6 +21,11 @@ struct ResourceInputs {
   int max_cores = 1 << 20;              ///< allocation ceiling (preallocated pool).
   /// T_intransit(M, S_data) estimator, monotone non-increasing in M.
   std::function<double(int)> intransit_seconds;
+
+  /// Fault-layer signals: dead staging cores shrink the allocation ceiling;
+  /// a straggler multiplier (>= 1) inflates the in-transit time estimate.
+  int cores_down = 0;
+  double slowdown = 1.0;
 };
 
 struct ResourceDecision {

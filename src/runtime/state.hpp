@@ -26,6 +26,24 @@ enum class Placement { InSitu, InTransit };
 
 const char* placement_name(Placement placement) noexcept;
 
+/// Liveness of the staging partition, fed by the fault layer. All-healthy is
+/// the default, so code that never injects faults sees the paper's
+/// always-up staging partition.
+struct StagingHealth {
+  int servers_total = 0;   ///< configured staging cores/servers.
+  int servers_down = 0;    ///< currently dead.
+  double slowdown = 1.0;   ///< straggler multiplier on in-transit time (>= 1).
+  /// True on the first sample after servers_down returned to 0 (the
+  /// recovery edge the middleware policy re-admits in-transit work on).
+  bool just_recovered = false;
+
+  int servers_alive() const noexcept { return servers_total - servers_down; }
+  bool degraded() const noexcept { return servers_down > 0 || slowdown > 1.0; }
+  bool all_down() const noexcept {
+    return servers_total > 0 && servers_down >= servers_total;
+  }
+};
+
 /// Snapshot of the system the Monitor hands the Adaptation Engine each
 /// monitoring period.
 struct OperationalState {
@@ -47,6 +65,7 @@ struct OperationalState {
   std::size_t intransit_mem_free = 0;
   std::size_t intransit_mem_per_core = 0;
   double intransit_backlog_seconds = 0.0;  ///< time until staging cores go idle.
+  StagingHealth staging_health;            ///< fault-layer liveness signal.
 
   // Timing signals.
   double last_sim_step_seconds = 0.0;  ///< T_i_sim.

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 
 namespace xl::staging {
 
@@ -14,6 +15,8 @@ const char* service_event_kind_name(ServiceEvent::Kind kind) noexcept {
     case ServiceEvent::Kind::Get: return "get";
     case ServiceEvent::Kind::Analysis: return "analysis";
     case ServiceEvent::Kind::Drain: return "drain";
+    case ServiceEvent::Kind::ServerLost: return "server-lost";
+    case ServiceEvent::Kind::ServerRecovered: return "server-recovered";
   }
   return "?";
 }
@@ -86,6 +89,10 @@ std::future<PutAck> StagingService::put_async(int version, const mesh::Box& box,
                             std::move(*shared_payload));
         ack.accepted = true;
       }
+    }
+    if (!ack.accepted) {
+      XL_LOG_WARN("staging put rejected: version " << version << ", " << bytes
+                                                   << " bytes (space full)");
     }
     if (config_.observer) {
       ServiceEvent ev;
@@ -191,6 +198,45 @@ void StagingService::drain() {
     ev.seconds = std::chrono::duration<double>(Clock::now() - start).count();
     config_.observer(ev);
   }
+}
+
+ServerLossReport StagingService::fail_server(int server, bool requeue) {
+  ServerLossReport report;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    report = space_.fail_server(server, requeue);
+  }
+  XL_LOG_WARN("staging server " << server << " lost: dropped "
+                                << report.dropped_objects << " objects ("
+                                << report.dropped_bytes << " bytes), relocated "
+                                << report.relocated_objects);
+  if (config_.observer) {
+    ServiceEvent ev;
+    ev.kind = ServiceEvent::Kind::ServerLost;
+    ev.server = server;
+    ev.objects = report.dropped_objects;
+    ev.bytes = report.dropped_bytes;
+    config_.observer(ev);
+  }
+  return report;
+}
+
+void StagingService::recover_server(int server) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    space_.recover_server(server);
+  }
+  if (config_.observer) {
+    ServiceEvent ev;
+    ev.kind = ServiceEvent::Kind::ServerRecovered;
+    ev.server = server;
+    config_.observer(ev);
+  }
+}
+
+int StagingService::alive_servers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return space_.alive_servers();
 }
 
 std::size_t StagingService::pending_requests() const {

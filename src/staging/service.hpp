@@ -29,14 +29,15 @@ namespace xl::staging {
 /// One completed service request, reported through ServiceConfig::observer —
 /// the live-service analogue of the workflow's WorkflowObserver stream.
 struct ServiceEvent {
-  enum class Kind { Put, Get, Analysis, Drain };
+  enum class Kind { Put, Get, Analysis, Drain, ServerLost, ServerRecovered };
   Kind kind = Kind::Put;
   int version = -1;            ///< request version (-1 for Drain).
   std::uint64_t id = 0;        ///< staged-object id (Put only).
-  std::size_t bytes = 0;       ///< payload bytes (Put) / copied bytes (Get).
-  std::size_t objects = 0;     ///< objects touched (Get/Analysis).
+  std::size_t bytes = 0;       ///< payload bytes (Put) / copied (Get) / dropped (ServerLost).
+  std::size_t objects = 0;     ///< objects touched (Get/Analysis) / dropped (ServerLost).
   double seconds = 0.0;        ///< service-thread time for this request.
   bool accepted = true;        ///< Put: false when the space was full.
+  int server = -1;             ///< ServerLost/ServerRecovered: which server.
 };
 
 const char* service_event_kind_name(ServiceEvent::Kind kind) noexcept;
@@ -86,6 +87,18 @@ class StagingService {
 
   /// Block until every enqueued request has completed.
   void drain();
+
+  /// Kill one staging server (fault injection): its objects are relocated to
+  /// surviving servers where memory allows, otherwise dropped; the server
+  /// stops accepting puts. Emits ServiceEvent::ServerLost. Safe to call from
+  /// any thread; runs inline on the caller (not queued behind requests).
+  ServerLossReport fail_server(int server, bool requeue = true);
+
+  /// Bring a dead server back online (empty). Emits ServerRecovered.
+  void recover_server(int server);
+
+  /// Servers currently accepting data.
+  int alive_servers() const;
 
   /// Seconds the staging area still needs to clear its current queue,
   /// estimated from queued analysis work (the live analogue of the

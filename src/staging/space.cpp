@@ -25,9 +25,23 @@ int server_for_box(const Box& box, int num_servers) {
 
 StagingSpace::StagingSpace(int num_servers, std::size_t memory_per_server)
     : memory_per_server_(memory_per_server),
-      server_used_(static_cast<std::size_t>(num_servers), 0) {
+      server_used_(static_cast<std::size_t>(num_servers), 0),
+      server_dead_(static_cast<std::size_t>(num_servers), false) {
   XL_REQUIRE(num_servers >= 1, "need at least one staging server");
   XL_REQUIRE(memory_per_server > 0, "staging servers need memory");
+}
+
+int StagingSpace::alive_servers() const noexcept {
+  int alive = 0;
+  for (const bool dead : server_dead_) {
+    if (!dead) ++alive;
+  }
+  return alive;
+}
+
+bool StagingSpace::server_alive(int server) const {
+  XL_REQUIRE(server >= 0 && server < num_servers(), "server out of range");
+  return !server_dead_[static_cast<std::size_t>(server)];
 }
 
 std::size_t StagingSpace::used_bytes() const noexcept {
@@ -39,14 +53,27 @@ std::size_t StagingSpace::server_used_bytes(int server) const {
   return server_used_[static_cast<std::size_t>(server)];
 }
 
+int StagingSpace::target_server(const Box& box) const {
+  const int hashed = server_for_box(box, num_servers());
+  // Linear probe from the hash target so the mapping stays deterministic and
+  // collapses back to the hash once the server recovers.
+  for (int i = 0; i < num_servers(); ++i) {
+    const int candidate = (hashed + i) % num_servers();
+    if (!server_dead_[static_cast<std::size_t>(candidate)]) return candidate;
+  }
+  return -1;
+}
+
 bool StagingSpace::can_accept(const Box& box, std::size_t bytes) const {
-  const int server = server_for_box(box, num_servers());
+  const int server = target_server(box);
+  if (server < 0) return false;
   return server_used_[static_cast<std::size_t>(server)] + bytes <= memory_per_server_;
 }
 
 std::uint64_t StagingSpace::put(int version, const Box& box, int ncomp,
                                 std::size_t bytes, std::optional<Fab> payload) {
-  const int server = server_for_box(box, num_servers());
+  const int server = target_server(box);
+  XL_REQUIRE(server >= 0, "no staging server alive");
   auto& used = server_used_[static_cast<std::size_t>(server)];
   XL_REQUIRE(used + bytes <= memory_per_server_,
              "staging server out of memory (caller must check can_accept)");
@@ -95,6 +122,56 @@ std::size_t StagingSpace::erase_version(int version) {
   return freed;
 }
 
+ServerLossReport StagingSpace::fail_server(int server, bool requeue) {
+  XL_REQUIRE(server >= 0 && server < num_servers(), "server out of range");
+  const auto s = static_cast<std::size_t>(server);
+  ServerLossReport report;
+  report.server = server;
+  if (server_dead_[s]) return report;  // already down; nothing new to lose.
+  server_dead_[s] = true;
+
+  // Walk the dead server's objects in id order (map order) so relocation is
+  // deterministic: first objects get first pick of the survivors' free space.
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    StagedObject& obj = it->second;
+    if (obj.server != server) {
+      ++it;
+      continue;
+    }
+    server_used_[s] -= obj.bytes;
+    int dest = -1;
+    if (requeue) {
+      const int hashed = server_for_box(obj.box, num_servers());
+      for (int i = 0; i < num_servers(); ++i) {
+        const int candidate = (hashed + i) % num_servers();
+        const auto c = static_cast<std::size_t>(candidate);
+        if (!server_dead_[c] && server_used_[c] + obj.bytes <= memory_per_server_) {
+          dest = candidate;
+          break;
+        }
+      }
+    }
+    if (dest >= 0) {
+      obj.server = dest;
+      server_used_[static_cast<std::size_t>(dest)] += obj.bytes;
+      ++report.relocated_objects;
+      report.relocated_bytes += obj.bytes;
+      ++it;
+    } else {
+      ++report.dropped_objects;
+      report.dropped_bytes += obj.bytes;
+      it = objects_.erase(it);
+    }
+  }
+  XL_CHECK(server_used_[s] == 0, "dead server still accounts bytes");
+  return report;
+}
+
+void StagingSpace::recover_server(int server) {
+  XL_REQUIRE(server >= 0 && server < num_servers(), "server out of range");
+  server_dead_[static_cast<std::size_t>(server)] = false;
+}
+
 void StagingSpace::resize(int num_servers) {
   XL_REQUIRE(num_servers >= 1, "need at least one staging server");
   const auto target = static_cast<std::size_t>(num_servers);
@@ -104,6 +181,7 @@ void StagingSpace::resize(int num_servers) {
     }
   }
   server_used_.resize(target, 0);
+  server_dead_.resize(target, false);
 }
 
 }  // namespace xl::staging

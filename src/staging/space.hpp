@@ -3,6 +3,10 @@
 // memory accounting. Small-scale (in-process) runs store real Fab payloads;
 // machine-scale runs store metadata-only objects (byte sizes), exercising the
 // identical indexing and accounting code.
+//
+// Servers can die (fault injection): a dead server's objects are either
+// relocated to surviving servers or dropped, the server stops accepting puts,
+// and effective capacity shrinks until recover_server() brings it back.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +33,15 @@ struct StagedObject {
   int server = -1;
 };
 
+/// What happened to a dead server's contents.
+struct ServerLossReport {
+  int server = -1;
+  std::size_t relocated_objects = 0;
+  std::size_t relocated_bytes = 0;
+  std::size_t dropped_objects = 0;
+  std::size_t dropped_bytes = 0;
+};
+
 /// Deterministic box -> server mapping via the Morton key of the box center:
 /// a space-filling-curve hash like DataSpaces' distributed index, preserving
 /// spatial locality across servers.
@@ -39,20 +52,32 @@ class StagingSpace {
   StagingSpace(int num_servers, std::size_t memory_per_server);
 
   int num_servers() const noexcept { return static_cast<int>(server_used_.size()); }
+  /// Servers currently accepting data.
+  int alive_servers() const noexcept;
+  bool server_alive(int server) const;
   std::size_t memory_per_server() const noexcept { return memory_per_server_; }
+  /// Capacity of the *alive* servers only.
   std::size_t capacity_bytes() const noexcept {
-    return memory_per_server_ * server_used_.size();
+    return memory_per_server_ * static_cast<std::size_t>(alive_servers());
   }
   std::size_t used_bytes() const noexcept;
-  std::size_t free_bytes() const noexcept { return capacity_bytes() - used_bytes(); }
+  std::size_t free_bytes() const noexcept {
+    const std::size_t cap = capacity_bytes();
+    const std::size_t used = used_bytes();
+    return cap > used ? cap - used : 0;
+  }
   std::size_t server_used_bytes(int server) const;
+
+  /// Server that would hold `box` right now: the hash target if alive, else
+  /// the nearest alive server by id (deterministic probing). -1 if none alive.
+  int target_server(const Box& box) const;
 
   /// Would `put` of an object of `bytes` into the server chosen for `box`
   /// succeed right now?
   bool can_accept(const Box& box, std::size_t bytes) const;
 
   /// Insert an object (payload optional). Returns the assigned id.
-  /// Throws ContractError when the target server lacks memory.
+  /// Throws ContractError when no alive server can take it.
   std::uint64_t put(int version, const Box& box, int ncomp, std::size_t bytes,
                     std::optional<Fab> payload = std::nullopt);
 
@@ -65,6 +90,14 @@ class StagingSpace {
   /// Remove every object of `version`; returns bytes freed.
   std::size_t erase_version(int version);
 
+  /// Kill a server. Its objects are relocated (in id order) onto surviving
+  /// servers with free memory when `requeue` is true; objects that do not fit
+  /// anywhere — or all of them when `requeue` is false — are dropped.
+  ServerLossReport fail_server(int server, bool requeue = true);
+
+  /// Bring a dead server back (empty); it resumes accepting new objects.
+  void recover_server(int server);
+
   /// Grow or shrink the server group (resource-layer adaptation). Shrinking
   /// requires the vacated servers to be empty; objects are never migrated.
   void resize(int num_servers);
@@ -74,6 +107,7 @@ class StagingSpace {
  private:
   std::size_t memory_per_server_;
   std::vector<std::size_t> server_used_;
+  std::vector<bool> server_dead_;
   std::map<std::uint64_t, StagedObject> objects_;
   std::uint64_t next_id_ = 0;
 };

@@ -1,21 +1,123 @@
 #include "transport/fabric.hpp"
 
+#include <algorithm>
+#include <memory>
+
 namespace xl::transport {
 
-std::uint64_t Fabric::put(std::size_t bytes, int sender_nodes, int receiver_nodes,
-                          std::function<void(SimTime)> on_complete) {
-  const std::uint64_t id = next_id_++;
-  const double duration = cost_->transfer_seconds(bytes, sender_nodes, receiver_nodes);
-  TransferRecord rec;
-  rec.id = id;
-  rec.bytes = bytes;
-  rec.start = queue_->now();
-  rec.finish = rec.start + duration;
-  history_.emplace(id, rec);
-  total_bytes_ += bytes;
-  queue_->schedule_in(duration, [cb = std::move(on_complete), finish = rec.finish] {
-    cb(finish);
+const char* transfer_event_kind_name(TransferEvent::Kind kind) noexcept {
+  switch (kind) {
+    case TransferEvent::Kind::Started: return "started";
+    case TransferEvent::Kind::Completed: return "completed";
+    case TransferEvent::Kind::Retried: return "retried";
+    case TransferEvent::Kind::Failed: return "failed";
+  }
+  return "?";
+}
+
+TransferRecord* Fabric::record(std::uint64_t id) {
+  // History is append-only and FIFO-evicted, so scan from the back: an active
+  // transfer is almost always among the newest records.
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->id == id) return &*it;
+  }
+  return nullptr;
+}
+
+void Fabric::attempt(std::uint64_t id, std::size_t bytes, double wire_seconds,
+                     int attempt_no,
+                     std::shared_ptr<std::function<void(SimTime)>> done,
+                     std::shared_ptr<std::function<void(SimTime)>> fail) {
+  const bool faulted =
+      config_.fault_hook && config_.fault_hook(id, attempt_no);
+  if (!faulted) {
+    queue_->schedule_in(wire_seconds, [this, id, bytes, attempt_no, done] {
+      const SimTime now = queue_->now();
+      if (TransferRecord* rec = record(id)) {
+        rec->finish = now;
+        rec->attempts = attempt_no + 1;
+      }
+      ++completed_;
+      total_bytes_ += bytes;
+      TransferEvent ev;
+      ev.kind = TransferEvent::Kind::Completed;
+      ev.id = id;
+      ev.attempt = attempt_no;
+      ev.bytes = bytes;
+      ev.time = now;
+      emit(ev);
+      if (*done) (*done)(now);
+    });
+    return;
+  }
+
+  // The attempt is lost: detection happens either at the configured timeout
+  // or, absent one, when the data "should" have arrived (checksum reject).
+  const double detect = config_.timeout_seconds > 0.0
+                            ? std::min(config_.timeout_seconds, wire_seconds)
+                            : wire_seconds;
+  const bool out_of_retries = attempt_no >= config_.max_retries;
+  queue_->schedule_in(detect, [this, id, bytes, wire_seconds, attempt_no,
+                               out_of_retries, done, fail] {
+    const SimTime now = queue_->now();
+    if (TransferRecord* rec = record(id)) {
+      rec->attempts = attempt_no + 1;
+      rec->failed = out_of_retries;
+      rec->finish = now;
+    }
+    if (out_of_retries) {
+      ++failed_;
+      TransferEvent ev;
+      ev.kind = TransferEvent::Kind::Failed;
+      ev.id = id;
+      ev.attempt = attempt_no;
+      ev.bytes = bytes;
+      ev.time = now;
+      emit(ev);
+      if (*fail) (*fail)(now);
+      return;
+    }
+    double backoff = config_.retry_backoff_seconds;
+    for (int i = 0; i < attempt_no; ++i) backoff *= config_.backoff_multiplier;
+    ++retries_;
+    TransferEvent ev;
+    ev.kind = TransferEvent::Kind::Retried;
+    ev.id = id;
+    ev.attempt = attempt_no;
+    ev.bytes = bytes;
+    ev.time = now;
+    ev.backoff_seconds = backoff;
+    emit(ev);
+    queue_->schedule_in(backoff, [this, id, bytes, wire_seconds, attempt_no,
+                                  done, fail] {
+      attempt(id, bytes, wire_seconds, attempt_no + 1, done, fail);
+    });
   });
+}
+
+std::uint64_t Fabric::put(std::size_t bytes, int sender_nodes, int receiver_nodes,
+                          std::function<void(SimTime)> on_complete,
+                          std::function<void(SimTime)> on_failed) {
+  const std::uint64_t id = next_id_++;
+  const double wire = cost_->transfer_seconds(bytes, sender_nodes, receiver_nodes);
+  if (config_.history_cap > 0) {
+    while (history_.size() >= config_.history_cap) history_.pop_front();
+    TransferRecord rec;
+    rec.id = id;
+    rec.bytes = bytes;
+    rec.start = queue_->now();
+    rec.finish = rec.start + wire;
+    history_.push_back(rec);
+  }
+  TransferEvent ev;
+  ev.kind = TransferEvent::Kind::Started;
+  ev.id = id;
+  ev.bytes = bytes;
+  ev.time = queue_->now();
+  emit(ev);
+  attempt(id, bytes, wire, 0,
+          std::make_shared<std::function<void(SimTime)>>(std::move(on_complete)),
+          std::make_shared<std::function<void(SimTime)>>(std::move(on_failed)));
   return id;
 }
 

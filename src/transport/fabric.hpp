@@ -4,11 +4,18 @@
 // callback fires on the event queue when the modeled wire time elapses, which
 // is what lets the middleware policy overlap analysis with the next
 // simulation step (paper Fig. 4: "data transfer is asynchronous").
+//
+// The fabric also owns transfer reliability: an attempt can be failed by an
+// injected fault (see runtime/fault.hpp — supplied here as an opaque
+// `fault_hook` so transport stays independent of the runtime layer), in which
+// case the transfer waits out an exponential backoff and retries, up to
+// `max_retries` times, before being declared Failed.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <unordered_map>
+#include <memory>
 
 #include "cluster/cost_model.hpp"
 #include "cluster/event_queue.hpp"
@@ -22,18 +29,55 @@ struct TransferRecord {
   std::size_t bytes = 0;
   SimTime start = 0.0;
   SimTime finish = 0.0;
+  int attempts = 1;     ///< attempts consumed (1 = clean first try).
+  bool failed = false;  ///< true if the transfer exhausted its retries.
+};
+
+/// Lifecycle notification for a single transfer attempt.
+struct TransferEvent {
+  enum class Kind { Started, Completed, Retried, Failed };
+  Kind kind = Kind::Started;
+  std::uint64_t id = 0;
+  int attempt = 0;  ///< 0-based attempt this event refers to.
+  std::size_t bytes = 0;
+  SimTime time = 0.0;
+  double backoff_seconds = 0.0;  ///< Retried only: wait before next attempt.
+};
+
+const char* transfer_event_kind_name(TransferEvent::Kind kind) noexcept;
+
+struct FabricConfig {
+  /// Bound on history(); oldest records are evicted first. 0 disables history.
+  std::size_t history_cap = 1024;
+  /// Retries after the first attempt before a transfer is declared Failed.
+  int max_retries = 3;
+  /// Backoff before retry r is retry_backoff_seconds * backoff_multiplier^r.
+  double retry_backoff_seconds = 1.0e-3;
+  double backoff_multiplier = 2.0;
+  /// Failure-detection deadline for a lost attempt; 0 means the loss is only
+  /// detected at the modeled wire time (e.g. a checksum reject on arrival).
+  double timeout_seconds = 0.0;
+  /// Fault oracle: (transfer id, attempt) -> does this attempt fail? Absent
+  /// means no attempt ever fails (the default, faithful-to-paper behavior).
+  std::function<bool(std::uint64_t, int)> fault_hook;
+  /// Optional tap on every attempt's lifecycle, fired in event-queue order.
+  std::function<void(const TransferEvent&)> observer;
 };
 
 class Fabric {
  public:
-  Fabric(cluster::EventQueue& queue, const cluster::CostModel& cost)
-      : queue_(&queue), cost_(&cost) {}
+  Fabric(cluster::EventQueue& queue, const cluster::CostModel& cost,
+         FabricConfig config = {})
+      : queue_(&queue), cost_(&cost), config_(std::move(config)) {}
 
   /// Start an asynchronous transfer of `bytes` from `sender_nodes` simulation
   /// nodes to `receiver_nodes` staging nodes. `on_complete(finish_time)` runs
-  /// when the data has fully arrived. Returns the transfer id.
+  /// when the data has fully arrived (possibly after retries);
+  /// `on_failed(fail_time)`, if given, runs instead when retries are
+  /// exhausted. Returns the transfer id.
   std::uint64_t put(std::size_t bytes, int sender_nodes, int receiver_nodes,
-                    std::function<void(SimTime)> on_complete);
+                    std::function<void(SimTime)> on_complete,
+                    std::function<void(SimTime)> on_failed = nullptr);
 
   /// Blocking-equivalent estimate without enqueuing (used by policies that
   /// need T_sd / T_recv forecasts, eq. 9).
@@ -41,18 +85,33 @@ class Fabric {
     return cost_->transfer_seconds(bytes, sender_nodes, receiver_nodes);
   }
 
+  /// Bytes delivered by completed transfers (failed attempts don't count).
   std::size_t total_bytes_moved() const noexcept { return total_bytes_; }
-  std::uint64_t transfer_count() const noexcept { return next_id_; }
-  const std::unordered_map<std::uint64_t, TransferRecord>& history() const noexcept {
-    return history_;
-  }
+  std::uint64_t started_count() const noexcept { return next_id_; }
+  std::uint64_t completed_count() const noexcept { return completed_; }
+  std::uint64_t failed_count() const noexcept { return failed_; }
+  std::uint64_t retry_count() const noexcept { return retries_; }
+  const std::deque<TransferRecord>& history() const noexcept { return history_; }
+  const FabricConfig& config() const noexcept { return config_; }
 
  private:
+  void attempt(std::uint64_t id, std::size_t bytes, double wire_seconds,
+               int attempt_no, std::shared_ptr<std::function<void(SimTime)>> done,
+               std::shared_ptr<std::function<void(SimTime)>> fail);
+  TransferRecord* record(std::uint64_t id);
+  void emit(const TransferEvent& ev) const {
+    if (config_.observer) config_.observer(ev);
+  }
+
   cluster::EventQueue* queue_;
   const cluster::CostModel* cost_;
+  FabricConfig config_;
   std::uint64_t next_id_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t retries_ = 0;
   std::size_t total_bytes_ = 0;
-  std::unordered_map<std::uint64_t, TransferRecord> history_;
+  std::deque<TransferRecord> history_;
 };
 
 }  // namespace xl::transport

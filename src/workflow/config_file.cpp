@@ -127,6 +127,8 @@ WorkflowConfig parse_workflow_config(std::istream& is) {
     else if (key == "euler") c.euler = to_int(value, key) != 0;
     else if (key == "sampling_period")
       c.monitor.sampling_period = to_int(value, key);
+    else if (key == "faults")
+      c.faults = runtime::parse_fault_spec(value);
     else
       throw ContractError("config: unknown key '" + key + "'");
   }

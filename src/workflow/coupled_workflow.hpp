@@ -25,6 +25,7 @@
 #include "cluster/cost_model.hpp"
 #include "cluster/trace.hpp"
 #include "runtime/adaptation_engine.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/monitor.hpp"
 #include "runtime/state.hpp"
 
@@ -103,6 +104,12 @@ struct WorkflowConfig {
   /// (the policies are closed-form; the paper reports end-to-end overhead,
   /// adaptation included, below 6% of simulation time).
   double adaptation_overhead_seconds = 1.0e-4;
+
+  /// Fault injection (disabled by default: the paper's always-up staging).
+  /// When enabled, transfers can drop/corrupt and retry with backoff, staging
+  /// servers can crash and recover on schedule, and stragglers slow the
+  /// in-transit partition — all deterministically from the fault seed.
+  runtime::FaultConfig faults;
 };
 
 struct StepRecord {
@@ -125,6 +132,10 @@ struct StepRecord {
   double backlog_seconds = 0.0;    ///< staging backlog the monitor reported.
   /// Middleware trigger case (if adaptive); None for static placements.
   runtime::DecisionReason decision_reason = runtime::DecisionReason::None;
+  // Fault-layer diagnostics (all zero when fault injection is disabled).
+  int transfer_retries = 0;        ///< retry attempts this step's transfer took.
+  bool transfer_failed = false;    ///< transfer exhausted retries; analysis ran in-situ.
+  int servers_down = 0;            ///< staging servers down during this step.
 };
 
 struct WorkflowResult {
@@ -143,6 +154,13 @@ struct WorkflowResult {
   int middleware_adaptations = 0;
   cluster::StagingTrace staging_trace;
   double utilization_efficiency = 0.0;  ///< eq. 12.
+  // Fault/recovery accounting (all zero when fault injection is disabled).
+  int faults_injected = 0;         ///< fault events that fired (crash/straggler onsets).
+  int recoveries = 0;              ///< recovery transitions observed.
+  int transfer_retries = 0;        ///< total transfer retry attempts.
+  int transfer_failures = 0;       ///< transfers that exhausted their retries.
+  int degraded_insitu_count = 0;   ///< steps forced in-situ by staging faults.
+  std::size_t dropped_bytes = 0;   ///< staged bytes lost to server crashes.
 };
 
 class ExecutionSubstrate;

@@ -32,6 +32,27 @@ double AnalyticSubstrate::enqueue_intransit(double arrive, double analysis_secon
   return staging_free_at_;
 }
 
+ShedReport AnalyticSubstrate::shed_staged(double lost_fraction) {
+  const bool full = lost_fraction >= 1.0;
+  ShedReport report;
+  // Shrink in FIFO order, entry by entry, with the exact arithmetic the
+  // discrete-event substrate uses — zero-byte entries are kept so both
+  // substrates pop the same release sequence afterwards.
+  for (auto& [release, bytes] : staged_) {
+    const std::size_t lost =
+        full ? bytes
+             : static_cast<std::size_t>(lost_fraction * static_cast<double>(bytes));
+    if (lost == 0) continue;
+    bytes -= lost;
+    mem_used_ -= lost;
+    report.bytes += lost;
+    ++report.buffers;
+  }
+  // A full outage abandons the backlog: the staging clock stops accruing.
+  if (full) staging_free_at_ = std::min(staging_free_at_, t_sim_);
+  return report;
+}
+
 double AnalyticSubstrate::finish() {
   return std::max(t_sim_, staging_free_at_);
 }
@@ -55,8 +76,35 @@ double EventQueueSubstrate::enqueue_intransit(double arrive, double analysis_sec
   const double start = std::max(arrive, staging_free_at_);
   staging_free_at_ = start + analysis_seconds;
   mem_used_ += bytes;
-  queue_.schedule_at(staging_free_at_, [this, bytes] { mem_used_ -= bytes; });
+  // The release event looks the bytes up at fire time (not capture time) so a
+  // later shed_staged can shrink the buffer while its release is in flight.
+  const std::uint64_t id = next_staged_id_++;
+  staged_bytes_.emplace(id, bytes);
+  queue_.schedule_at(staging_free_at_, [this, id] {
+    auto it = staged_bytes_.find(id);
+    if (it != staged_bytes_.end()) {
+      mem_used_ -= it->second;
+      staged_bytes_.erase(it);
+    }
+  });
   return staging_free_at_;
+}
+
+ShedReport EventQueueSubstrate::shed_staged(double lost_fraction) {
+  const bool full = lost_fraction >= 1.0;
+  ShedReport report;
+  for (auto& [id, bytes] : staged_bytes_) {
+    const std::size_t lost =
+        full ? bytes
+             : static_cast<std::size_t>(lost_fraction * static_cast<double>(bytes));
+    if (lost == 0) continue;
+    bytes -= lost;
+    mem_used_ -= lost;
+    report.bytes += lost;
+    ++report.buffers;
+  }
+  if (full) staging_free_at_ = std::min(staging_free_at_, t_sim_);
+  return report;
 }
 
 double EventQueueSubstrate::finish() {

@@ -15,12 +15,20 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <utility>
 
 #include "cluster/event_queue.hpp"
 
 namespace xl::workflow {
+
+/// What a staging-server loss cost the in-flight staged buffers.
+struct ShedReport {
+  std::size_t bytes = 0;    ///< staged bytes dropped.
+  std::size_t buffers = 0;  ///< staged buffers that lost data.
+};
 
 class ExecutionSubstrate {
  public:
@@ -57,6 +65,12 @@ class ExecutionSubstrate {
   virtual double enqueue_intransit(double arrive, double analysis_seconds,
                                    std::size_t bytes) = 0;
 
+  /// Fault path: staging servers died, losing `lost_fraction` of every
+  /// in-flight staged buffer (1.0 = the whole partition went down, which also
+  /// abandons the backlog). Buffers shrink in FIFO order with identical
+  /// arithmetic on both substrates so faulted timelines stay bit-identical.
+  virtual ShedReport shed_staged(double lost_fraction) = 0;
+
   /// Drain all outstanding staging work and return the time-to-solution:
   /// max of the two partition clocks (eq. 6).
   virtual double finish() = 0;
@@ -79,6 +93,8 @@ class AnalyticSubstrate final : public ExecutionSubstrate {
 
   double enqueue_intransit(double arrive, double analysis_seconds,
                            std::size_t bytes) override;
+
+  ShedReport shed_staged(double lost_fraction) override;
 
   double finish() override;
 
@@ -109,6 +125,8 @@ class EventQueueSubstrate final : public ExecutionSubstrate {
   double enqueue_intransit(double arrive, double analysis_seconds,
                            std::size_t bytes) override;
 
+  ShedReport shed_staged(double lost_fraction) override;
+
   double finish() override;
 
   const cluster::EventQueue& queue() const noexcept { return queue_; }
@@ -118,6 +136,11 @@ class EventQueueSubstrate final : public ExecutionSubstrate {
   double t_sim_ = 0.0;
   double staging_free_at_ = 0.0;
   std::size_t mem_used_ = 0;
+  /// Live bytes per staged buffer, keyed by insertion id (map iteration is
+  /// FIFO order). Release events look bytes up here rather than capturing
+  /// them, so a shed can shrink a buffer after its release was scheduled.
+  std::map<std::uint64_t, std::size_t> staged_bytes_;
+  std::uint64_t next_staged_id_ = 0;
 };
 
 }  // namespace xl::workflow

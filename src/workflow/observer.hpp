@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "runtime/fault.hpp"
 #include "runtime/middleware_policy.hpp"
 #include "runtime/state.hpp"
 
@@ -21,6 +22,9 @@ enum class EventKind {
   Analysis,   ///< analysis charged to a partition (placement, seconds).
   StepEnd,    ///< step finished (final placement, factor, moved bytes).
   RunEnd,     ///< timeline drained (seconds = end-to-end, eq. 6).
+  Fault,      ///< injected fault fired (fault kind, servers_down, bytes lost).
+  Retry,      ///< transfer attempt failed; retrying after backoff.
+  Recovery,   ///< staging partition returned to full health.
 };
 
 const char* event_kind_name(EventKind kind) noexcept;
@@ -45,6 +49,11 @@ struct WorkflowEvent {
   double seconds = 0.0;         ///< kind-specific duration (see EventKind).
   double wait_seconds = 0.0;    ///< admission wait preceding a Transfer.
   bool skipped = false;         ///< StepEnd: temporal adaptation skipped analysis.
+  // Fault-stream fields (Fault/Retry/Recovery; defaults otherwise).
+  runtime::FaultKind fault = runtime::FaultKind::None;
+  int attempt = 0;              ///< Retry: 0-based attempt that just failed.
+  double backoff_seconds = 0.0; ///< Retry: wait before the next attempt.
+  int servers_down = 0;         ///< Fault/Recovery: staging servers down after it.
 };
 
 class WorkflowObserver {

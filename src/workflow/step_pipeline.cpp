@@ -80,6 +80,7 @@ StepPipeline::StepPipeline(const WorkflowConfig& config, ExecutionSubstrate& sub
               config_.mode == Mode::AdaptiveResource || config_.mode == Mode::Global;
   hybrid_ = config_.mode == Mode::StaticHybrid;
   cur_cores_ = config_.staging_cores;
+  fault_plan_ = runtime::FaultPlan(config_.faults);
   cur_placement_ = config_.mode == Mode::StaticInSitu ? Placement::InSitu
                                                       : Placement::InTransit;
 
@@ -283,6 +284,62 @@ void MonitorPhase::run(StepContext& ctx) {
   const WorkflowConfig& config = p_.config_;
   p_.timeline_.release_completed();
 
+  // Fault layer: apply this step's scheduled crashes/stragglers before the
+  // snapshot, so the policies see the post-fault staging partition. Every
+  // branch here is inert when fault injection is disabled.
+  if (p_.fault_plan_.enabled()) {
+    const int down =
+        std::min(p_.fault_plan_.servers_down_at(ctx.step), config.staging_cores);
+    const double slowdown = p_.fault_plan_.slowdown_at(ctx.step);
+    if (down > p_.prev_servers_down_) {
+      // Crash onset: the newly dead servers take their (uniform) share of the
+      // in-flight staged buffers with them.
+      const int alive_before = config.staging_cores - p_.prev_servers_down_;
+      const double lost_fraction =
+          down >= config.staging_cores
+              ? 1.0
+              : static_cast<double>(down - p_.prev_servers_down_) /
+                    static_cast<double>(alive_before);
+      const ShedReport shed = p_.timeline_.shed_staged(lost_fraction);
+      p_.result_.dropped_bytes += shed.bytes;
+      ++p_.result_.faults_injected;
+      WorkflowEvent ev;
+      ev.kind = EventKind::Fault;
+      ev.step = ctx.step;
+      ev.fault = runtime::FaultKind::ServerCrash;
+      ev.servers_down = down;
+      ev.bytes = shed.bytes;
+      p_.emit(ev);
+    }
+    if (slowdown > 1.0 && p_.prev_slowdown_ <= 1.0) {
+      ++p_.result_.faults_injected;
+      WorkflowEvent ev;
+      ev.kind = EventKind::Fault;
+      ev.step = ctx.step;
+      ev.fault = runtime::FaultKind::Straggler;
+      ev.servers_down = down;
+      ev.seconds = slowdown;
+      p_.emit(ev);
+    }
+    const bool servers_recovered = p_.prev_servers_down_ > 0 && down == 0;
+    const bool straggler_ended = p_.prev_slowdown_ > 1.0 && slowdown <= 1.0;
+    if (servers_recovered || straggler_ended) {
+      ++p_.result_.recoveries;
+      WorkflowEvent ev;
+      ev.kind = EventKind::Recovery;
+      ev.step = ctx.step;
+      ev.servers_down = down;
+      p_.emit(ev);
+    }
+    // Sticky until the adaptation engine consumes it (the recovery edge may
+    // land between sampling steps).
+    if (servers_recovered) p_.staging_recovered_now_ = true;
+    p_.servers_down_now_ = down;
+    p_.slowdown_now_ = slowdown;
+    p_.prev_servers_down_ = down;
+    p_.prev_slowdown_ = slowdown;
+  }
+
   runtime::OperationalState& state = ctx.state;
   state.step = ctx.step;
   state.now_seconds = p_.timeline_.sim_now();
@@ -297,14 +354,19 @@ void MonitorPhase::run(StepContext& ctx) {
     const std::size_t cap = config.machine.mem_per_core_bytes();
     state.insitu_mem_available = worst >= cap ? 0 : cap - worst;
   }
-  state.intransit_cores = p_.cur_cores_;
+  state.intransit_cores = p_.effective_cores();
   state.intransit_mem_per_core = p_.usable_per_core_;
   {
-    const std::size_t cap = p_.staging_capacity(p_.cur_cores_);
+    const std::size_t cap = p_.staging_capacity(p_.effective_cores());
     const std::size_t used = p_.timeline_.staging_mem_used();
     state.intransit_mem_free = used >= cap ? 0 : cap - used;
   }
   state.intransit_backlog_seconds = p_.timeline_.backlog_seconds();
+  state.staging_health.servers_total = config.staging_cores;
+  state.staging_health.servers_down = p_.servers_down_now_;
+  state.staging_health.slowdown = p_.slowdown_now_;
+  state.staging_health.just_recovered = p_.staging_recovered_now_;
+  p_.monitor_.record_staging_health(state.staging_health);
   state.last_sim_step_seconds = ctx.sim_seconds;
 
   // Temporal resolution: only every analysis_interval-th step is analyzed.
@@ -326,9 +388,11 @@ void AdaptPhase::run(StepContext& ctx) {
       p_.monitor_.set_oracle(
           p_.analysis_seconds(ctx.analyzed_cells, active, config.sim_cores) *
               ctx.imbalance,
-          p_.analysis_seconds(ctx.analyzed_cells, active, p_.cur_cores_));
+          p_.analysis_seconds(ctx.analyzed_cells, active,
+                              std::max(1, p_.effective_cores())));
     }
     const runtime::EngineDecisions dec = p_.engine_->adapt(ctx.state);
+    p_.staging_recovered_now_ = false;  // the engine saw the recovery edge.
     p_.result_.application_adaptations += dec.app.has_value();
     p_.result_.resource_adaptations += dec.resource.has_value();
     p_.result_.middleware_adaptations += dec.middleware.has_value();
@@ -353,7 +417,8 @@ void AdaptPhase::run(StepContext& ctx) {
   rec.analyzed_cells = ctx.analyzed_cells;
   rec.raw_bytes = ctx.raw_bytes;
   rec.factor = p_.cur_factor_;
-  rec.intransit_cores = p_.cur_cores_;
+  rec.intransit_cores = p_.effective_cores();
+  rec.servers_down = p_.servers_down_now_;
   rec.sim_seconds = ctx.sim_seconds;
 
   // Temporal adaptation gate: skipped steps run neither the reduction nor
@@ -398,19 +463,30 @@ const char* PlacementPhase::name() const noexcept { return "placement"; }
 void PlacementPhase::run(StepContext& ctx) {
   if (!ctx.do_analysis) return;
 
+  const int alive = p_.effective_cores();
+  if (p_.fault_plan_.enabled() && alive <= 0) {
+    // The whole staging partition is down: every mode — static ones included
+    // — degrades to in-situ so the step still completes.
+    ctx.split = false;
+    ctx.intransit_share = 0.0;
+    ctx.record.placement = Placement::InSitu;
+    ctx.record.decision_reason = runtime::DecisionReason::StagingUnavailable;
+    return;
+  }
+
   if (p_.hybrid_) {
     // Split the analysis: stage the largest share that stays hidden under
     // the (estimated ~ current) step duration; the remainder blocks the
     // simulation in-situ. Both partitions work on disjoint subsets, so
     // their costs are the per-share fractions of the full-kernel times.
     const double full_intransit =
-        p_.analysis_seconds(ctx.eff_cells, ctx.active_cells, p_.cur_cores_);
+        p_.analysis_seconds(ctx.eff_cells, ctx.active_cells, alive);
     double intransit_share =
         full_intransit > 0.0 ? std::min(1.0, ctx.sim_seconds / full_intransit) : 1.0;
     const auto staged_bytes = static_cast<std::size_t>(
         intransit_share * static_cast<double>(ctx.eff_bytes));
     if (p_.timeline_.staging_mem_used() + staged_bytes >
-        p_.staging_capacity(p_.cur_cores_)) {
+        p_.staging_capacity(alive)) {
       intransit_share = 0.0;  // staging full: everything in-situ this step
     }
     ctx.split = true;
@@ -423,7 +499,7 @@ void PlacementPhase::run(StepContext& ctx) {
 
   Placement placement = p_.cur_placement_;
   if (placement == Placement::InTransit &&
-      ctx.eff_bytes > p_.staging_capacity(p_.cur_cores_)) {
+      ctx.eff_bytes > p_.staging_capacity(alive)) {
     // The staging area can never cache this step, even drained: forced
     // in-situ (middleware case 1 degenerate).
     placement = Placement::InSitu;
@@ -439,20 +515,72 @@ const char* TransferPhase::name() const noexcept { return "transfer"; }
 void TransferPhase::run(StepContext& ctx) {
   if (!ctx.do_analysis || ctx.intransit_share <= 0.0) return;
 
-  if (ctx.split) {
-    // The hybrid share was sized against free staging memory in
-    // PlacementPhase; no admission wait is needed.
-    ctx.transfer_bytes = static_cast<std::size_t>(
-        ctx.intransit_share * static_cast<double>(ctx.eff_bytes));
-  } else {
-    // Admission: block the simulation until the staging area has memory
-    // (the paper's T_insitu_wait).
-    ctx.record.wait_seconds = p_.timeline_.wait_for_staging_memory(
-        ctx.eff_bytes, p_.staging_capacity(p_.cur_cores_));
-    ctx.transfer_bytes = ctx.eff_bytes;
-  }
+  const int alive = std::max(1, p_.effective_cores());
+  ctx.transfer_bytes =
+      ctx.split ? static_cast<std::size_t>(ctx.intransit_share *
+                                           static_cast<double>(ctx.eff_bytes))
+                : ctx.eff_bytes;
   ctx.wire_seconds = p_.cost_.transfer_seconds(ctx.transfer_bytes, p_.sim_nodes_,
-                                               p_.staging_nodes(p_.cur_cores_));
+                                               p_.staging_nodes(alive));
+
+  // Resolve the transfer's fate against the fault oracle BEFORE admission:
+  // each dropped/corrupt attempt blocks the sender for its detection time
+  // (the timeout, or the full wire time for a checksum reject) plus an
+  // exponential backoff, then retries; exhausting the retry budget fails the
+  // transfer and this step's analysis falls back in-situ without ever
+  // charging an admission wait.
+  if (p_.fault_plan_.enabled()) {
+    const std::uint64_t tid = p_.transfer_seq_++;
+    const runtime::FaultConfig& fc = p_.fault_plan_.config();
+    const double detect = fc.transfer_timeout_seconds > 0.0
+                              ? std::min(fc.transfer_timeout_seconds, ctx.wire_seconds)
+                              : ctx.wire_seconds;
+    int attempt = 0;
+    bool failed = false;
+    while (const auto fate = p_.fault_plan_.transfer_attempt_fault(tid, attempt)) {
+      p_.timeline_.advance_sim(detect);
+      if (attempt >= fc.max_transfer_retries) {
+        failed = true;
+        ++p_.result_.transfer_failures;
+        WorkflowEvent ev;
+        ev.kind = EventKind::Fault;
+        ev.step = ctx.step;
+        ev.fault = *fate;
+        ev.attempt = attempt;
+        ev.bytes = ctx.transfer_bytes;
+        p_.emit(ev);
+        break;
+      }
+      const double backoff = p_.fault_plan_.backoff_seconds(attempt);
+      ++p_.result_.transfer_retries;
+      ++ctx.record.transfer_retries;
+      WorkflowEvent ev;
+      ev.kind = EventKind::Retry;
+      ev.step = ctx.step;
+      ev.fault = *fate;
+      ev.attempt = attempt;
+      ev.backoff_seconds = backoff;
+      ev.bytes = ctx.transfer_bytes;
+      p_.emit(ev);
+      p_.timeline_.advance_sim(backoff);
+      ++attempt;
+    }
+    if (failed) {
+      ctx.record.transfer_failed = true;
+      ctx.split = false;
+      ctx.intransit_share = 0.0;
+      ctx.record.placement = Placement::InSitu;
+      return;  // AnalyzePhase runs the whole analysis in-situ.
+    }
+  }
+
+  if (!ctx.split) {
+    // Admission: block the simulation until the staging area has memory
+    // (the paper's T_insitu_wait). The hybrid share was already sized against
+    // free staging memory in PlacementPhase.
+    ctx.record.wait_seconds = p_.timeline_.wait_for_staging_memory(
+        ctx.eff_bytes, p_.staging_capacity(p_.effective_cores()));
+  }
   ctx.pending_transfer = true;
 
   WorkflowEvent ev;
@@ -461,7 +589,7 @@ void TransferPhase::run(StepContext& ctx) {
   ev.bytes = ctx.transfer_bytes;
   ev.seconds = ctx.wire_seconds;
   ev.wait_seconds = ctx.record.wait_seconds;
-  ev.intransit_cores = p_.cur_cores_;
+  ev.intransit_cores = p_.effective_cores();
   ev.placement = Placement::InTransit;
   p_.emit(ev);
 }
@@ -513,16 +641,21 @@ void AnalyzePhase::run(StepContext& ctx) {
   if (ctx.pending_transfer) {
     p_.timeline_.advance_sim(0.01 * ctx.wire_seconds);
     const double arrive = p_.timeline_.sim_now() + ctx.wire_seconds;
+    const int alive = std::max(1, p_.effective_cores());
+    // Straggler faults stretch the staging-side kernel; slowdown_now_ is
+    // exactly 1.0 whenever no straggler window is active, so the multiply is
+    // bit-identical to the fault-free path.
     const double analysis =
-        ctx.split ? ctx.intransit_share * ctx.intransit_full_seconds
-                  : p_.analysis_seconds(ctx.eff_cells, ctx.active_cells, p_.cur_cores_);
+        (ctx.split ? ctx.intransit_share * ctx.intransit_full_seconds
+                   : p_.analysis_seconds(ctx.eff_cells, ctx.active_cells, alive)) *
+        p_.slowdown_now_;
     p_.timeline_.enqueue_intransit(arrive, analysis, ctx.transfer_bytes);
     p_.result_.bytes_moved += ctx.transfer_bytes;
     rec.moved_bytes = ctx.transfer_bytes;
     rec.intransit_analysis_seconds = analysis;
     if (!ctx.split) {
       p_.monitor_.record_analysis(
-          {ctx.step, Placement::InTransit, ctx.eff_cells, p_.cur_cores_, analysis});
+          {ctx.step, Placement::InTransit, ctx.eff_cells, alive, analysis});
     }
     WorkflowEvent ev;
     ev.kind = EventKind::Analysis;
@@ -544,6 +677,11 @@ void DrainPhase::run(StepContext& ctx) {
     ++p_.result_.skipped_count;
   } else if (ctx.record.placement == Placement::InSitu) {
     ++p_.result_.insitu_count;
+    if (ctx.record.decision_reason == runtime::DecisionReason::StagingUnavailable ||
+        ctx.record.decision_reason == runtime::DecisionReason::DegradedInSitu ||
+        ctx.record.transfer_failed) {
+      ++p_.result_.degraded_insitu_count;
+    }
   } else {
     ++p_.result_.intransit_count;
   }
@@ -561,6 +699,7 @@ void DrainPhase::run(StepContext& ctx) {
   ev.seconds = ctx.record.sim_seconds;
   ev.wait_seconds = ctx.record.wait_seconds;
   ev.skipped = ctx.record.analysis_skipped;
+  ev.servers_down = ctx.record.servers_down;
   p_.emit(ev);
 }
 

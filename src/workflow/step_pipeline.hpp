@@ -25,6 +25,8 @@
 // phase reports into the WorkflowObserver event stream.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -134,6 +136,12 @@ class StepPipeline {
   std::size_t staging_capacity(int cores) const noexcept;
   double analysis_seconds(std::size_t cells, std::size_t active_cells,
                           int cores) const;
+  /// Staging cores actually usable this step: the allocation minus the
+  /// servers the fault plan killed (0 = whole partition down). Equals
+  /// cur_cores_ whenever fault injection is disabled.
+  int effective_cores() const noexcept {
+    return std::max(0, cur_cores_ - servers_down_now_);
+  }
   /// Stamp the partition clocks onto `event` and forward it to the observer.
   void emit(WorkflowEvent event);
 
@@ -160,6 +168,16 @@ class StepPipeline {
   bool last_app_constrained_ = false;
   runtime::Placement cur_placement_ = runtime::Placement::InSitu;
   double current_imbalance_ = 1.0;
+
+  // Fault-injection state (inert when config.faults is disabled).
+  runtime::FaultPlan fault_plan_;
+  int servers_down_now_ = 0;
+  int prev_servers_down_ = 0;
+  double slowdown_now_ = 1.0;
+  double prev_slowdown_ = 1.0;
+  /// Recovery edge, sticky until the adaptation engine consumes it.
+  bool staging_recovered_now_ = false;
+  std::uint64_t transfer_seq_ = 0;  ///< fault-oracle key for each transfer.
 };
 
 }  // namespace xl::workflow

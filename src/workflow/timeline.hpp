@@ -48,6 +48,12 @@ class Timeline {
     return substrate_.enqueue_intransit(arrive, analysis_seconds, bytes);
   }
 
+  /// Fault path: drop `lost_fraction` of every in-flight staged buffer
+  /// (staging servers died); 1.0 abandons the whole staging backlog.
+  ShedReport shed_staged(double lost_fraction) {
+    return substrate_.shed_staged(lost_fraction);
+  }
+
   /// eq. 6: drain the substrate and return max of the two partition clocks.
   double finish() { return substrate_.finish(); }
 

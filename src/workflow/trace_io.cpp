@@ -17,6 +17,9 @@ const char* event_kind_name(EventKind kind) noexcept {
     case EventKind::Analysis: return "analysis";
     case EventKind::StepEnd: return "step-end";
     case EventKind::RunEnd: return "run-end";
+    case EventKind::Fault: return "fault";
+    case EventKind::Retry: return "retry";
+    case EventKind::Recovery: return "recovery";
   }
   return "?";
 }
@@ -47,7 +50,8 @@ void write_steps_csv(const std::string& path, const WorkflowResult& result) {
 void write_events_csv(std::ostream& os, const EventLog& log) {
   os << "event,step,sim_clock,staging_clock,placement,reason,factor,"
         "intransit_cores,app_adapted,resource_adapted,middleware_adapted,"
-        "cells,bytes,seconds,wait_seconds,skipped\n";
+        "cells,bytes,seconds,wait_seconds,skipped,fault,attempt,"
+        "backoff_seconds,servers_down\n";
   for (const WorkflowEvent& e : log.events()) {
     os << event_kind_name(e.kind) << ',' << e.step << ',' << e.sim_clock << ','
        << e.staging_clock << ',' << runtime::placement_name(e.placement) << ','
@@ -55,7 +59,9 @@ void write_events_csv(std::ostream& os, const EventLog& log) {
        << e.intransit_cores << ',' << int(e.app_adapted) << ','
        << int(e.resource_adapted) << ',' << int(e.middleware_adapted) << ','
        << e.cells << ',' << e.bytes << ',' << e.seconds << ','
-       << e.wait_seconds << ',' << int(e.skipped) << '\n';
+       << e.wait_seconds << ',' << int(e.skipped) << ','
+       << runtime::fault_kind_name(e.fault) << ',' << e.attempt << ','
+       << e.backoff_seconds << ',' << e.servers_down << '\n';
   }
   XL_REQUIRE(os.good(), "CSV write failed");
 }
@@ -75,6 +81,15 @@ std::string summarize(const WorkflowResult& result) {
      << " insitu=" << result.insitu_count
      << " intransit=" << result.intransit_count
      << " staging_utilization=" << result.utilization_efficiency;
+  if (result.faults_injected > 0 || result.transfer_retries > 0 ||
+      result.transfer_failures > 0) {
+    os << " faults=" << result.faults_injected
+       << " recoveries=" << result.recoveries
+       << " retries=" << result.transfer_retries
+       << " transfer_failures=" << result.transfer_failures
+       << " degraded_insitu=" << result.degraded_insitu_count
+       << " dropped_bytes=" << result.dropped_bytes;
+  }
   return os.str();
 }
 

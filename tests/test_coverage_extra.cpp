@@ -197,7 +197,7 @@ TEST(FabricDetails, HistoryRecordsStartAndFinish) {
   });
   queue.run_until_empty();
   ASSERT_EQ(fabric.history().size(), 1u);
-  const transport::TransferRecord& rec = fabric.history().begin()->second;
+  const transport::TransferRecord& rec = fabric.history().front();
   EXPECT_DOUBLE_EQ(rec.start, 2.0);
   EXPECT_NEAR(rec.finish - rec.start, cost.transfer_seconds(1 << 20, 2, 2), 1e-12);
   EXPECT_EQ(rec.bytes, std::size_t{1} << 20);

@@ -1,0 +1,536 @@
+// Tests for the fault-injection and recovery subsystem: the deterministic
+// FaultPlan oracle, transport-level retry/backoff, staging-server loss and
+// relocation, and the workflow-level guarantees — identical failure
+// timelines on both execution substrates, and every step completing (via
+// in-situ fallback) through staging crashes.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "runtime/fault.hpp"
+#include "staging/space.hpp"
+#include "transport/fabric.hpp"
+#include "workflow/coupled_workflow.hpp"
+#include "workflow/execution_substrate.hpp"
+#include "workflow/observer.hpp"
+#include "workflow/trace_io.hpp"
+
+using namespace xl;
+using namespace xl::workflow;
+using runtime::FaultConfig;
+using runtime::FaultKind;
+using runtime::FaultPlan;
+using runtime::FaultSpec;
+
+namespace {
+
+// --- FaultPlan oracle --------------------------------------------------------
+
+TEST(FaultPlan, DisabledByDefault) {
+  const FaultConfig config;
+  EXPECT_FALSE(config.enabled());
+  const FaultPlan plan(config);
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_FALSE(plan.transfer_attempt_fault(0, 0).has_value());
+  EXPECT_EQ(plan.servers_down_at(0), 0);
+  EXPECT_DOUBLE_EQ(plan.slowdown_at(0), 1.0);
+}
+
+TEST(FaultPlan, VerdictIsIndependentOfQueryOrder) {
+  FaultConfig config;
+  config.transfer_drop_rate = 0.3;
+  config.transfer_corrupt_rate = 0.2;
+  const FaultPlan plan(config);
+
+  std::vector<std::optional<FaultKind>> forward, backward;
+  for (std::uint64_t t = 0; t < 16; ++t) {
+    for (int a = 0; a < 4; ++a) forward.push_back(plan.transfer_attempt_fault(t, a));
+  }
+  for (std::uint64_t t = 16; t-- > 0;) {
+    for (int a = 4; a-- > 0;) backward.push_back(plan.transfer_attempt_fault(t, a));
+  }
+  ASSERT_EQ(forward.size(), backward.size());
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i], backward[forward.size() - 1 - i]) << "draw " << i;
+  }
+}
+
+TEST(FaultPlan, RatesPartitionTheDraw) {
+  FaultConfig all_drop;
+  all_drop.transfer_drop_rate = 1.0;
+  FaultConfig all_corrupt;
+  all_corrupt.transfer_corrupt_rate = 1.0;
+  for (std::uint64_t t = 0; t < 8; ++t) {
+    EXPECT_EQ(FaultPlan(all_drop).transfer_attempt_fault(t, 0),
+              std::optional<FaultKind>(FaultKind::TransferDrop));
+    EXPECT_EQ(FaultPlan(all_corrupt).transfer_attempt_fault(t, 0),
+              std::optional<FaultKind>(FaultKind::TransferCorrupt));
+  }
+}
+
+TEST(FaultPlan, SeedChangesTheVerdicts) {
+  FaultConfig a, b;
+  a.transfer_drop_rate = b.transfer_drop_rate = 0.5;
+  a.seed = 1;
+  b.seed = 2;
+  int differing = 0;
+  for (std::uint64_t t = 0; t < 64; ++t) {
+    differing += FaultPlan(a).transfer_attempt_fails(t, 0) !=
+                 FaultPlan(b).transfer_attempt_fails(t, 0);
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlan, BackoffGrowsExponentially) {
+  FaultConfig config;
+  config.retry_backoff_seconds = 0.01;
+  config.backoff_multiplier = 3.0;
+  const FaultPlan plan(config);
+  EXPECT_DOUBLE_EQ(plan.backoff_seconds(0), 0.01);
+  EXPECT_DOUBLE_EQ(plan.backoff_seconds(1), 0.03);
+  EXPECT_DOUBLE_EQ(plan.backoff_seconds(2), 0.09);
+}
+
+TEST(FaultPlan, CrashAndStragglerWindows) {
+  FaultConfig config;
+  FaultSpec crash;
+  crash.kind = FaultKind::ServerCrash;
+  crash.step = 5;
+  crash.servers = 2;
+  crash.duration_steps = 3;
+  FaultSpec crash2 = crash;
+  crash2.step = 6;
+  crash2.servers = 1;
+  crash2.duration_steps = 0;  // permanent
+  FaultSpec slow;
+  slow.kind = FaultKind::Straggler;
+  slow.step = 4;
+  slow.slowdown = 2.5;
+  slow.duration_steps = 2;
+  config.events = {crash, crash2, slow};
+  const FaultPlan plan(config);
+  EXPECT_TRUE(plan.enabled());
+
+  EXPECT_EQ(plan.servers_down_at(4), 0);
+  EXPECT_EQ(plan.servers_down_at(5), 2);
+  EXPECT_EQ(plan.servers_down_at(6), 3);   // overlapping windows sum
+  EXPECT_EQ(plan.servers_down_at(7), 3);
+  EXPECT_EQ(plan.servers_down_at(8), 1);   // first window closed
+  EXPECT_EQ(plan.servers_down_at(100), 1); // permanent crash never recovers
+
+  EXPECT_DOUBLE_EQ(plan.slowdown_at(3), 1.0);
+  EXPECT_DOUBLE_EQ(plan.slowdown_at(4), 2.5);
+  EXPECT_DOUBLE_EQ(plan.slowdown_at(5), 2.5);
+  EXPECT_DOUBLE_EQ(plan.slowdown_at(6), 1.0);
+}
+
+TEST(FaultSpecParse, ParsesEveryClause) {
+  const FaultConfig c = runtime::parse_fault_spec(
+      "seed=7;drop=0.1;corrupt=0.05;retries=5;backoff=0.01;backoff_mult=3;"
+      "timeout=0.5;crash=10:2:5;straggler=3:2.5:4");
+  EXPECT_EQ(c.seed, 7u);
+  EXPECT_DOUBLE_EQ(c.transfer_drop_rate, 0.1);
+  EXPECT_DOUBLE_EQ(c.transfer_corrupt_rate, 0.05);
+  EXPECT_EQ(c.max_transfer_retries, 5);
+  EXPECT_DOUBLE_EQ(c.retry_backoff_seconds, 0.01);
+  EXPECT_DOUBLE_EQ(c.backoff_multiplier, 3.0);
+  EXPECT_DOUBLE_EQ(c.transfer_timeout_seconds, 0.5);
+  ASSERT_EQ(c.events.size(), 2u);
+  EXPECT_EQ(c.events[0].kind, FaultKind::ServerCrash);
+  EXPECT_EQ(c.events[0].step, 10);
+  EXPECT_EQ(c.events[0].servers, 2);
+  EXPECT_EQ(c.events[0].duration_steps, 5);
+  EXPECT_EQ(c.events[1].kind, FaultKind::Straggler);
+  EXPECT_EQ(c.events[1].step, 3);
+  EXPECT_DOUBLE_EQ(c.events[1].slowdown, 2.5);
+  EXPECT_EQ(c.events[1].duration_steps, 4);
+  EXPECT_TRUE(c.enabled());
+}
+
+TEST(FaultSpecParse, RejectsBadInput) {
+  EXPECT_THROW(runtime::parse_fault_spec("bogus=1"), ContractError);
+  EXPECT_THROW(runtime::parse_fault_spec("drop=1.5"), ContractError);
+  EXPECT_THROW(runtime::parse_fault_spec("drop=abc"), ContractError);
+  EXPECT_THROW(runtime::parse_fault_spec("retries=-1"), ContractError);
+  EXPECT_THROW(runtime::parse_fault_spec("backoff_mult=0.5"), ContractError);
+  EXPECT_THROW(runtime::parse_fault_spec("crash="), ContractError);
+}
+
+// --- transport-layer retry/backoff -------------------------------------------
+
+struct FabricFixture {
+  cluster::EventQueue queue;
+  cluster::CostModel cost{cluster::test_machine()};
+  std::vector<transport::TransferEvent> events;
+
+  transport::Fabric make(transport::FabricConfig config) {
+    config.observer = [this](const transport::TransferEvent& ev) {
+      events.push_back(ev);
+    };
+    return transport::Fabric(queue, cost, std::move(config));
+  }
+};
+
+TEST(FabricFault, RetriesThenCompletes) {
+  FabricFixture fx;
+  transport::FabricConfig config;
+  config.retry_backoff_seconds = 0.25;
+  config.fault_hook = [](std::uint64_t, int attempt) { return attempt == 0; };
+  transport::Fabric fabric = fx.make(config);
+
+  const std::size_t bytes = std::size_t{1} << 20;
+  const double wire = fx.cost.transfer_seconds(bytes, 2, 2);
+  double completed_at = -1.0;
+  fabric.put(bytes, 2, 2, [&](double t) { completed_at = t; });
+  fx.queue.run_until_empty();
+
+  // Lost first attempt detected at wire time, backoff, clean second attempt.
+  EXPECT_DOUBLE_EQ(completed_at, wire + 0.25 + wire);
+  EXPECT_EQ(fabric.completed_count(), 1u);
+  EXPECT_EQ(fabric.retry_count(), 1u);
+  EXPECT_EQ(fabric.failed_count(), 0u);
+  EXPECT_EQ(fabric.total_bytes_moved(), bytes);
+  ASSERT_EQ(fx.events.size(), 3u);
+  EXPECT_EQ(fx.events[0].kind, transport::TransferEvent::Kind::Started);
+  EXPECT_EQ(fx.events[1].kind, transport::TransferEvent::Kind::Retried);
+  EXPECT_DOUBLE_EQ(fx.events[1].backoff_seconds, 0.25);
+  EXPECT_EQ(fx.events[2].kind, transport::TransferEvent::Kind::Completed);
+  EXPECT_EQ(fx.events[2].attempt, 1);
+  ASSERT_EQ(fabric.history().size(), 1u);
+  EXPECT_EQ(fabric.history().front().attempts, 2);
+  EXPECT_FALSE(fabric.history().front().failed);
+}
+
+TEST(FabricFault, ExhaustsRetriesAndFails) {
+  FabricFixture fx;
+  transport::FabricConfig config;
+  config.max_retries = 2;
+  config.retry_backoff_seconds = 0.1;
+  config.backoff_multiplier = 2.0;
+  config.fault_hook = [](std::uint64_t, int) { return true; };
+  transport::Fabric fabric = fx.make(config);
+
+  double completed_at = -1.0;
+  double failed_at = -1.0;
+  fabric.put(std::size_t{1} << 20, 2, 2, [&](double t) { completed_at = t; },
+             [&](double t) { failed_at = t; });
+  fx.queue.run_until_empty();
+
+  const double wire = fx.cost.transfer_seconds(std::size_t{1} << 20, 2, 2);
+  EXPECT_DOUBLE_EQ(completed_at, -1.0);
+  // Three attempts (initial + 2 retries), two backoffs (0.1, 0.2).
+  EXPECT_DOUBLE_EQ(failed_at, 3 * wire + 0.1 + 0.2);
+  EXPECT_EQ(fabric.completed_count(), 0u);
+  EXPECT_EQ(fabric.failed_count(), 1u);
+  EXPECT_EQ(fabric.retry_count(), 2u);
+  EXPECT_EQ(fabric.total_bytes_moved(), 0u);
+  ASSERT_EQ(fx.events.size(), 4u);
+  EXPECT_EQ(fx.events.back().kind, transport::TransferEvent::Kind::Failed);
+  EXPECT_EQ(fx.events.back().attempt, 2);
+  EXPECT_TRUE(fabric.history().front().failed);
+  EXPECT_EQ(fabric.history().front().attempts, 3);
+}
+
+TEST(FabricFault, TimeoutDetectsLossEarly) {
+  FabricFixture fx;
+  const std::size_t bytes = std::size_t{8} << 20;
+  const double wire = fx.cost.transfer_seconds(bytes, 2, 2);
+  transport::FabricConfig config;
+  config.timeout_seconds = 0.5 * wire;
+  config.retry_backoff_seconds = 0.0;
+  config.fault_hook = [](std::uint64_t, int attempt) { return attempt == 0; };
+  transport::Fabric fabric = fx.make(config);
+
+  double completed_at = -1.0;
+  fabric.put(bytes, 2, 2, [&](double t) { completed_at = t; });
+  fx.queue.run_until_empty();
+  EXPECT_DOUBLE_EQ(completed_at, 0.5 * wire + wire);
+}
+
+TEST(Fabric, HistoryIsBoundedWithFifoEviction) {
+  FabricFixture fx;
+  transport::FabricConfig config;
+  config.history_cap = 4;
+  transport::Fabric fabric = fx.make(config);
+  for (int i = 0; i < 6; ++i) fabric.put(1 << 10, 2, 2, [](double) {});
+  fx.queue.run_until_empty();
+
+  EXPECT_EQ(fabric.started_count(), 6u);
+  EXPECT_EQ(fabric.completed_count(), 6u);
+  ASSERT_EQ(fabric.history().size(), 4u);
+  EXPECT_EQ(fabric.history().front().id, 2u);  // 0 and 1 evicted
+  EXPECT_EQ(fabric.history().back().id, 5u);
+}
+
+TEST(Fabric, HistoryCanBeDisabled) {
+  FabricFixture fx;
+  transport::FabricConfig config;
+  config.history_cap = 0;
+  transport::Fabric fabric = fx.make(config);
+  fabric.put(1 << 10, 2, 2, [](double) {});
+  fx.queue.run_until_empty();
+  EXPECT_TRUE(fabric.history().empty());
+  EXPECT_EQ(fabric.completed_count(), 1u);
+}
+
+// --- staging-space server loss -----------------------------------------------
+
+TEST(StagingSpaceFault, FailServerRelocatesOntoSurvivors) {
+  staging::StagingSpace space(2, std::size_t{1} << 20);
+  std::size_t total = 0;
+  for (int i = 0; i < 8; ++i) {
+    const mesh::Box box = mesh::Box::cube({8 * i, 0, 0}, 4);
+    space.put(0, box, 1, std::size_t{1} << 10);
+    total += std::size_t{1} << 10;
+  }
+  ASSERT_EQ(space.used_bytes(), total);
+  // Fail whichever server the Morton hash loaded (hash-agnostic).
+  const int victim = space.server_used_bytes(0) > 0 ? 0 : 1;
+  const std::size_t on_victim = space.server_used_bytes(victim);
+  ASSERT_GT(on_victim, 0u);
+
+  const staging::ServerLossReport report = space.fail_server(victim);
+  EXPECT_EQ(report.server, victim);
+  // Plenty of room on the survivor: everything relocates, nothing dropped.
+  EXPECT_EQ(report.relocated_bytes, on_victim);
+  EXPECT_EQ(report.dropped_bytes, 0u);
+  EXPECT_EQ(space.used_bytes(), total);
+  EXPECT_EQ(space.server_used_bytes(victim), 0u);
+  EXPECT_EQ(space.alive_servers(), 1);
+  EXPECT_EQ(space.capacity_bytes(), std::size_t{1} << 20);
+  EXPECT_FALSE(space.server_alive(victim));
+  // All 8 objects still queryable.
+  EXPECT_EQ(space.query(0, mesh::Box::domain({128, 8, 8})).size(), 8u);
+}
+
+TEST(StagingSpaceFault, FailServerDropsWithoutRequeue) {
+  staging::StagingSpace space(2, std::size_t{1} << 20);
+  for (int i = 0; i < 8; ++i) {
+    space.put(0, mesh::Box::cube({8 * i, 0, 0}, 4), 1, std::size_t{1} << 10);
+  }
+  const std::size_t before = space.used_bytes();
+  const int victim = space.server_used_bytes(1) > 0 ? 1 : 0;
+  const std::size_t on_victim = space.server_used_bytes(victim);
+  const staging::ServerLossReport report = space.fail_server(victim, /*requeue=*/false);
+  EXPECT_EQ(report.relocated_bytes, 0u);
+  EXPECT_EQ(report.dropped_bytes, on_victim);
+  EXPECT_EQ(space.used_bytes(), before - on_victim);
+}
+
+TEST(StagingSpaceFault, PutProbesPastDeadServer) {
+  staging::StagingSpace space(3, std::size_t{1} << 20);
+  const mesh::Box box = mesh::Box::cube({0, 0, 0}, 4);
+  const int hashed = staging::server_for_box(box, 3);
+  space.fail_server(hashed, false);
+  EXPECT_NE(space.target_server(box), hashed);
+  EXPECT_TRUE(space.can_accept(box, 1 << 10));
+  const std::uint64_t id = space.put(0, box, 1, 1 << 10);
+  (void)id;
+  EXPECT_EQ(space.server_used_bytes(hashed), 0u);
+}
+
+TEST(StagingSpaceFault, RecoverRestoresCapacityAndHashTarget) {
+  staging::StagingSpace space(2, std::size_t{1} << 20);
+  space.fail_server(0);
+  ASSERT_EQ(space.alive_servers(), 1);
+  space.recover_server(0);
+  EXPECT_EQ(space.alive_servers(), 2);
+  EXPECT_TRUE(space.server_alive(0));
+  EXPECT_EQ(space.capacity_bytes(), std::size_t{2} << 20);
+  const mesh::Box box = mesh::Box::cube({0, 0, 0}, 4);
+  EXPECT_EQ(space.target_server(box), staging::server_for_box(box, 2));
+}
+
+TEST(StagingSpaceFault, NoAliveServerRejectsPuts) {
+  staging::StagingSpace space(2, std::size_t{1} << 20);
+  space.fail_server(0, false);
+  space.fail_server(1, false);
+  EXPECT_EQ(space.alive_servers(), 0);
+  const mesh::Box box = mesh::Box::cube({0, 0, 0}, 4);
+  EXPECT_EQ(space.target_server(box), -1);
+  EXPECT_FALSE(space.can_accept(box, 1 << 10));
+  EXPECT_THROW(space.put(0, box, 1, 1 << 10), ContractError);
+}
+
+// --- workflow-level determinism and recovery ---------------------------------
+
+// Same configuration as test_pipeline.cpp's golden_config.
+WorkflowConfig fault_config(Mode mode) {
+  WorkflowConfig c;
+  c.machine = cluster::titan();
+  c.sim_cores = 128;
+  c.staging_cores = 8;
+  c.steps = 15;
+  c.mode = mode;
+  c.geometry.base_domain = mesh::Box::domain({128, 64, 64});
+  c.geometry.nranks = 128;
+  c.geometry.tile_size = 8;
+  c.geometry.front_speed = 0.01;
+  c.memory_model.ncomp = 1;
+  c.hints.factor_phases = {{0, {2, 4}}};
+  return c;
+}
+
+FaultConfig stormy_faults() {
+  // Drops AND a partial crash AND a straggler window, all in one run.
+  FaultConfig f = runtime::parse_fault_spec(
+      "seed=11;drop=0.3;retries=2;backoff=0.001;crash=5:4:4;straggler=9:2:3");
+  return f;
+}
+
+std::string events_csv_of(const WorkflowConfig& config, ExecutionSubstrate& substrate) {
+  CoupledWorkflow wf(config);
+  EventLog log;
+  wf.set_observer(&log);
+  (void)wf.run_on(substrate);
+  std::ostringstream os;
+  write_events_csv(os, log);
+  return os.str();
+}
+
+TEST(FaultPipeline, SubstratesEmitByteIdenticalEventLogs) {
+  for (Mode mode : {Mode::StaticInTransit, Mode::AdaptiveMiddleware, Mode::Global}) {
+    WorkflowConfig config = fault_config(mode);
+    config.faults = stormy_faults();
+    AnalyticSubstrate analytic;
+    EventQueueSubstrate des;
+    const std::string a = events_csv_of(config, analytic);
+    const std::string d = events_csv_of(config, des);
+    EXPECT_EQ(a, d) << mode_name(mode);
+    // The storm actually happened: the log contains fault traffic.
+    EXPECT_NE(a.find("fault"), std::string::npos) << mode_name(mode);
+  }
+}
+
+TEST(FaultPipeline, SameSeedReproducesTheRun) {
+  WorkflowConfig config = fault_config(Mode::AdaptiveMiddleware);
+  config.faults = stormy_faults();
+  AnalyticSubstrate s1, s2;
+  EXPECT_EQ(events_csv_of(config, s1), events_csv_of(config, s2));
+}
+
+TEST(FaultPipeline, MidRunCrashStillCompletesEveryStep) {
+  WorkflowConfig config = fault_config(Mode::StaticInTransit);
+  // The whole staging partition dies at step 5 and returns at step 10.
+  config.faults = runtime::parse_fault_spec("crash=5:8:5");
+
+  CoupledWorkflow wf(config);
+  EventLog log;
+  wf.set_observer(&log);
+  const WorkflowResult r = wf.run();
+
+  // No aborts, no lost steps: every step ran its analysis.
+  ASSERT_EQ(r.steps.size(), 15u);
+  EXPECT_EQ(r.skipped_count, 0);
+  for (const StepRecord& s : r.steps) {
+    EXPECT_FALSE(s.analysis_skipped) << "step " << s.step;
+    const bool outage = s.step >= 5 && s.step < 10;
+    EXPECT_EQ(s.placement,
+              outage ? runtime::Placement::InSitu : runtime::Placement::InTransit)
+        << "step " << s.step;
+    if (outage) {
+      EXPECT_EQ(s.decision_reason, runtime::DecisionReason::StagingUnavailable)
+          << "step " << s.step;
+      EXPECT_EQ(s.servers_down, 8) << "step " << s.step;
+    }
+  }
+  EXPECT_EQ(r.insitu_count, 5);
+  EXPECT_EQ(r.intransit_count, 10);
+  EXPECT_EQ(r.degraded_insitu_count, 5);
+  EXPECT_EQ(r.faults_injected, 1);
+  EXPECT_EQ(r.recoveries, 1);
+  EXPECT_EQ(log.count(EventKind::Fault), 1u);
+  EXPECT_EQ(log.count(EventKind::Recovery), 1u);
+}
+
+TEST(FaultPipeline, PermanentCrashDegradesTheRestOfTheRun) {
+  WorkflowConfig config = fault_config(Mode::StaticInTransit);
+  config.faults = runtime::parse_fault_spec("crash=5:8");  // permanent
+
+  const WorkflowResult r = CoupledWorkflow(config).run();
+  ASSERT_EQ(r.steps.size(), 15u);
+  EXPECT_EQ(r.skipped_count, 0);
+  for (const StepRecord& s : r.steps) {
+    EXPECT_EQ(s.placement, s.step >= 5 ? runtime::Placement::InSitu
+                                       : runtime::Placement::InTransit)
+        << "step " << s.step;
+  }
+  EXPECT_EQ(r.recoveries, 0);
+  EXPECT_EQ(r.degraded_insitu_count, 10);
+}
+
+TEST(FaultPipeline, TransferRetriesAreAccountedConsistently) {
+  WorkflowConfig config = fault_config(Mode::StaticInTransit);
+  config.faults = runtime::parse_fault_spec("seed=3;drop=0.5;retries=4");
+
+  CoupledWorkflow wf(config);
+  EventLog log;
+  wf.set_observer(&log);
+  const WorkflowResult r = wf.run();
+
+  EXPECT_GT(r.transfer_retries, 0);
+  int per_step_retries = 0;
+  for (const StepRecord& s : r.steps) per_step_retries += s.transfer_retries;
+  EXPECT_EQ(per_step_retries, r.transfer_retries);
+  EXPECT_EQ(log.count(EventKind::Retry),
+            static_cast<std::size_t>(r.transfer_retries));
+  ASSERT_EQ(r.steps.size(), 15u);
+  EXPECT_EQ(r.skipped_count, 0);
+}
+
+TEST(FaultPipeline, ExhaustedTransfersFallBackInSitu) {
+  WorkflowConfig config = fault_config(Mode::StaticInTransit);
+  config.faults = runtime::parse_fault_spec("drop=1;retries=1");
+
+  const WorkflowResult r = CoupledWorkflow(config).run();
+  ASSERT_EQ(r.steps.size(), 15u);
+  EXPECT_EQ(r.skipped_count, 0);
+  EXPECT_EQ(r.transfer_failures, 15);
+  EXPECT_EQ(r.insitu_count, 15);
+  EXPECT_EQ(r.degraded_insitu_count, 15);
+  EXPECT_EQ(r.bytes_moved, 0u);
+  for (const StepRecord& s : r.steps) {
+    EXPECT_TRUE(s.transfer_failed) << "step " << s.step;
+    // One retry (the budget) before the second attempt is declared fatal.
+    EXPECT_EQ(s.transfer_retries, 1) << "step " << s.step;
+  }
+}
+
+TEST(FaultPipeline, StragglerStretchesInTransitWorkThenRecovers) {
+  WorkflowConfig baseline_config = fault_config(Mode::StaticInTransit);
+  const WorkflowResult baseline = CoupledWorkflow(baseline_config).run();
+
+  WorkflowConfig config = fault_config(Mode::StaticInTransit);
+  config.faults = runtime::parse_fault_spec("straggler=5:3:5");
+  const WorkflowResult r = CoupledWorkflow(config).run();
+
+  ASSERT_EQ(r.steps.size(), baseline.steps.size());
+  EXPECT_EQ(r.faults_injected, 1);
+  EXPECT_EQ(r.recoveries, 1);
+  for (std::size_t i = 0; i < r.steps.size(); ++i) {
+    const bool windowed = r.steps[i].step >= 5 && r.steps[i].step < 10;
+    const double expected = baseline.steps[i].intransit_analysis_seconds *
+                            (windowed ? 3.0 : 1.0);
+    EXPECT_DOUBLE_EQ(r.steps[i].intransit_analysis_seconds, expected)
+        << "step " << i;
+  }
+  EXPECT_GE(r.end_to_end_seconds, baseline.end_to_end_seconds);
+}
+
+TEST(FaultPipeline, SeedAloneDoesNotEnableInjection) {
+  // A changed fault seed with no rates/events must leave the run untouched.
+  const WorkflowResult base = CoupledWorkflow(fault_config(Mode::Global)).run();
+  WorkflowConfig config = fault_config(Mode::Global);
+  config.faults.seed = 0xDEADBEEF;
+  EXPECT_FALSE(config.faults.enabled());
+  const WorkflowResult r = CoupledWorkflow(config).run();
+  EXPECT_EQ(r.end_to_end_seconds, base.end_to_end_seconds);
+  EXPECT_EQ(r.bytes_moved, base.bytes_moved);
+  EXPECT_EQ(r.faults_injected, 0);
+  EXPECT_EQ(r.transfer_retries, 0);
+}
+
+}  // namespace

@@ -170,6 +170,69 @@ TEST(StagingService, DrainWaitsForQueue) {
   EXPECT_EQ(service.used_bytes(), 0u);
 }
 
+TEST(StagingService, FailServerEmitsServerLostAndShrinksCapacity) {
+  std::mutex mu;
+  std::vector<ServiceEvent> seen;
+  ServiceConfig cfg = small_service(2);
+  cfg.observer = [&](const ServiceEvent& ev) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(ev);
+  };
+  StagingService service(cfg);
+  const Box box = Box::domain({8, 8, 8});
+  ASSERT_TRUE(service.put_async(0, box, Fab(box, 1, 1.0)).get().accepted);
+  const std::size_t staged = service.used_bytes();
+  ASSERT_GT(staged, 0u);
+
+  // Kill both servers: the first loss relocates onto the survivor, the
+  // second drops whatever is left.
+  const ServerLossReport first = service.fail_server(0);
+  EXPECT_EQ(service.alive_servers(), 1);
+  EXPECT_EQ(first.dropped_bytes, 0u);  // the survivor has room to relocate
+  const ServerLossReport second = service.fail_server(1);
+  EXPECT_EQ(service.alive_servers(), 0);
+  EXPECT_EQ(second.dropped_bytes, staged);  // nowhere left to relocate
+  EXPECT_EQ(service.used_bytes(), 0u);
+  EXPECT_EQ(service.free_bytes(), 0u);
+
+  service.recover_server(0);
+  EXPECT_EQ(service.alive_servers(), 1);
+  EXPECT_TRUE(service.put_async(1, box, Fab(box, 1, 2.0)).get().accepted);
+  service.drain();
+
+  std::lock_guard<std::mutex> lock(mu);
+  std::size_t lost = 0, recovered = 0;
+  for (const ServiceEvent& ev : seen) {
+    lost += ev.kind == ServiceEvent::Kind::ServerLost;
+    recovered += ev.kind == ServiceEvent::Kind::ServerRecovered;
+  }
+  EXPECT_EQ(lost, 2u);
+  EXPECT_EQ(recovered, 1u);
+  EXPECT_STREQ(service_event_kind_name(ServiceEvent::Kind::ServerLost),
+               "server-lost");
+  EXPECT_STREQ(service_event_kind_name(ServiceEvent::Kind::ServerRecovered),
+               "server-recovered");
+}
+
+TEST(StagingService, FailServerIsSafeUnderConcurrentTraffic) {
+  // Kill and revive a server while puts/analyses are in flight: nothing may
+  // crash or deadlock, and accounting must stay exact after drain.
+  StagingService service(small_service(4));
+  const Box box = Box::domain({12, 12, 12});
+  std::vector<std::future<AnalysisResult>> futures;
+  for (int v = 0; v < 12; ++v) {
+    ASSERT_TRUE(service.put_async(v, box, sphere_fab(box, 4.0, 6, 6, 6)).get().accepted);
+    futures.push_back(service.analyze_async(v, box, 0.0, 0));
+    if (v == 4) service.fail_server(1);
+    if (v == 8) service.recover_server(1);
+  }
+  for (auto& f : futures) (void)f.get();
+  service.drain();
+  EXPECT_EQ(service.pending_requests(), 0u);
+  EXPECT_EQ(service.used_bytes(), 0u);
+  EXPECT_EQ(service.alive_servers(), 4);
+}
+
 TEST(StagingService, ManyConcurrentPutsAccountExactly) {
   StagingService service(small_service(4));
   const int n = 32;

@@ -37,7 +37,7 @@ TEST(Fabric, ConcurrentTransfersCompleteInSizeOrder) {
   fabric.put(std::size_t{1} << 20, 4, 4, [&](double) { done.push_back(1); });
   q.run_until_empty();
   EXPECT_EQ(done, (std::vector<int>{1, 0}));  // small one lands first
-  EXPECT_EQ(fabric.transfer_count(), 2u);
+  EXPECT_EQ(fabric.completed_count(), 2u);
   EXPECT_EQ(fabric.history().size(), 2u);
 }
 

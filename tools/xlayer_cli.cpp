@@ -2,7 +2,8 @@
 // config file and emit the per-step trace as CSV — the entry point a
 // downstream user sweeps parameters with, no recompilation needed.
 //
-//   xlayer_cli run <config-file> [--csv <out.csv>] [--events <out.csv>] [--quiet]
+//   xlayer_cli run <config-file> [--csv <out.csv>] [--events <out.csv>]
+//              [--faults <spec>] [--quiet]
 //   xlayer_cli print-config                 # dump the default keys
 //
 // Example config:
@@ -30,8 +31,12 @@ namespace {
 int usage() {
   std::cerr << "usage:\n"
             << "  xlayer_cli run <config-file> [--csv <out.csv>]"
-               " [--events <out.csv>] [--quiet]\n"
-            << "  xlayer_cli print-config\n";
+               " [--events <out.csv>] [--faults <spec>] [--quiet]\n"
+            << "  xlayer_cli print-config\n"
+            << "fault spec clauses (';'-separated):\n"
+            << "  seed=N drop=RATE corrupt=RATE retries=N backoff=SECONDS\n"
+            << "  backoff_mult=X timeout=SECONDS\n"
+            << "  crash=STEP[:SERVERS[:DURATION]] straggler=STEP[:SLOW[:DURATION]]\n";
   return 2;
 }
 
@@ -56,7 +61,8 @@ void print_default_config() {
                "active_cell_fraction = 0.03\n"
                "staging_usable_fraction = 0.06\n"
                "factors = 2 4\n"
-               "sampling_period = 1\n";
+               "sampling_period = 1\n"
+               "# faults = drop=0.05;retries=3;crash=10:64:5   # fault injection (off by default)\n";
 }
 
 int run(int argc, char** argv) {
@@ -64,12 +70,15 @@ int run(int argc, char** argv) {
   const std::string config_path = argv[2];
   std::string csv_path;
   std::string events_path;
+  std::string fault_spec;
   bool quiet = false;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
       events_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      fault_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else {
@@ -77,7 +86,8 @@ int run(int argc, char** argv) {
     }
   }
 
-  const WorkflowConfig config = parse_workflow_config_file(config_path);
+  WorkflowConfig config = parse_workflow_config_file(config_path);
+  if (!fault_spec.empty()) config.faults = runtime::parse_fault_spec(fault_spec);
   CoupledWorkflow workflow(config);
   EventLog log;
   if (!events_path.empty()) workflow.set_observer(&log);
@@ -101,6 +111,18 @@ int run(int argc, char** argv) {
               std::to_string(result.skipped_count));
     t.row().cell("staging utilization (eq. 12)")
         .cell(format_percent(result.utilization_efficiency));
+    if (config.faults.enabled()) {
+      t.row().cell("faults / recoveries")
+          .cell(std::to_string(result.faults_injected) + " / " +
+                std::to_string(result.recoveries));
+      t.row().cell("transfer retries / failures")
+          .cell(std::to_string(result.transfer_retries) + " / " +
+                std::to_string(result.transfer_failures));
+      t.row().cell("degraded in-situ steps")
+          .cell(std::to_string(result.degraded_insitu_count));
+      t.row().cell("staged bytes dropped")
+          .cell(format_bytes(static_cast<double>(result.dropped_bytes)));
+    }
     const EnergyReport energy = estimate_energy(result, config.sim_cores);
     t.row().cell("energy (MJ)").cell(energy.total_joules() / 1e6, 3);
     std::cout << t.to_string();
