@@ -1,0 +1,142 @@
+// Thread-scaling benchmark: run the real analysis kernels serially and on
+// the shared xl::ThreadPool at 2 and 4 workers, and report the measured
+// speedups. This grounds cluster::KernelCosts::thread_efficiency (the DES
+// divides analysis kernel times by T^thread_efficiency when `threads` is
+// set) the same way bench_calibration_kernels grounds the flops/cell
+// constants. Outputs are bit-identical across thread counts by construction,
+// which the harness asserts on every run.
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/compress.hpp"
+#include "analysis/downsample.hpp"
+#include "analysis/entropy.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "viz/marching_cubes.hpp"
+
+using namespace xl;
+
+namespace {
+
+constexpr int kN = 128;       // field edge: large enough for threading to win
+constexpr int kRepeats = 5;   // keep the min — least-noise estimate
+
+mesh::Fab sample_field(int n) {
+  mesh::Fab fab(mesh::Box::domain({n, n, n}), 1);
+  const double c = n / 2.0;
+  for (mesh::BoxIterator it(fab.box()); it.ok(); ++it) {
+    const double dx = (*it)[0] + 0.5 - c, dy = (*it)[1] + 0.5 - c,
+                 dz = (*it)[2] + 0.5 - c;
+    fab(*it) = std::sqrt(dx * dx + dy * dy + dz * dz) - n / 4.0;
+  }
+  return fab;
+}
+
+double min_seconds(const std::function<void()>& body) {
+  double best = 0.0;
+  for (int r = 0; r < kRepeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+struct Kernel {
+  std::string name;
+  /// Runs the kernel and returns a digest of its output (summed bytes,
+  /// triangle counts, ...) so we can assert thread-count invariance.
+  std::function<double()> run;
+};
+
+double checksum(std::span<const double> data) {
+  double sum = 0.0;
+  for (double v : data) sum += v;
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  const mesh::Fab field = sample_field(kN);
+  const mesh::Box cells(field.box().lo(), field.box().hi() - 1);
+  analysis::CompressConfig ccfg;
+
+  const std::vector<Kernel> kernels = {
+      {"marching cubes",
+       [&] {
+         return static_cast<double>(
+             viz::extract_isosurface(field, cells, 0.0).triangle_count());
+       }},
+      {"downsample (average)",
+       [&] {
+         return checksum(
+             analysis::downsample(field, 2, analysis::DownsampleMethod::Average).flat());
+       }},
+      {"block entropy", [&] { return analysis::block_entropy(field, field.box()); }},
+      {"compress + decompress",
+       [&] {
+         return checksum(analysis::decompress(analysis::compress(field, ccfg)).flat());
+       }},
+  };
+
+  const std::vector<std::size_t> thread_counts = {0, 2, 4};
+
+  Table t({"kernel", "serial (ms)", "2 threads (ms)", "4 threads (ms)",
+           "speedup @2", "speedup @4"});
+  bool mismatch = false;
+  double best_speedup4 = 0.0;
+  for (const Kernel& k : kernels) {
+    std::vector<double> seconds;
+    std::vector<double> digests;
+    for (std::size_t workers : thread_counts) {
+      ThreadPool::set_global_workers(workers);
+      k.run();  // warm up (page in, populate caches) before timing
+      seconds.push_back(min_seconds([&] { k.run(); }));
+      digests.push_back(k.run());
+    }
+    ThreadPool::set_global_workers(0);
+    for (double d : digests) {
+      if (d != digests.front()) mismatch = true;
+    }
+    const double s2 = seconds[0] / seconds[1];
+    const double s4 = seconds[0] / seconds[2];
+    best_speedup4 = std::max(best_speedup4, s4);
+    t.row()
+        .cell(k.name)
+        .cell(seconds[0] * 1e3, 2)
+        .cell(seconds[1] * 1e3, 2)
+        .cell(seconds[2] * 1e3, 2)
+        .cell(s2, 2)
+        .cell(s4, 2);
+  }
+  std::cout << t.to_string();
+  if (mismatch) {
+    std::cerr << "FAIL: kernel output changed with thread count\n";
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "\noutputs bit-identical across thread counts: yes\n"
+            << "host hardware concurrency: " << hw << "\n"
+            << "best 4-thread speedup: " << best_speedup4 << "x\n"
+            << "model exponent check: KernelCosts::thread_efficiency = 0.9 "
+               "predicts 4^0.9 = "
+            << std::pow(4.0, 0.9) << "x on a dedicated 4-core node\n";
+  if (hw < 4) {
+    std::cout << "note: fewer than 4 hardware threads available — measured "
+                 "speedups reflect oversubscription, not the kernels' "
+                 "scaling; rerun on a multi-core host to calibrate "
+                 "thread_efficiency\n";
+  }
+  return 0;
+}

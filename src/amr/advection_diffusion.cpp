@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace xl::amr {
 
@@ -40,15 +41,21 @@ void AdvectionDiffusion::face_flux(const Fab& u, const Box& faces, int dim, doub
   XL_REQUIRE(flux.box().contains(faces), "flux fab does not cover faces");
   const double vel = config_.velocity[dim];
   const double d_over_dx = config_.diffusivity / dx;
-  for (BoxIterator it(faces); it.ok(); ++it) {
-    IntVect lo = *it;
-    lo[dim] -= 1;
-    const double ul = u(lo, 0);
-    const double ur = u(*it, 0);
-    const double advective = vel >= 0.0 ? vel * ul : vel * ur;
-    const double diffusive = -d_over_dx * (ur - ul);
-    flux(*it, 0) = advective + diffusive;
-  }
+  // Each face is computed from the two neighbouring cells and written in
+  // place: slab partitioning cannot change the result.
+  const auto nz = static_cast<std::size_t>(faces.size()[2]);
+  parallel_for(ThreadPool::global(), 0, nz,
+               [&](std::size_t zb, std::size_t ze) {
+    for (BoxIterator it(mesh::z_slab(faces, zb, ze)); it.ok(); ++it) {
+      IntVect lo = *it;
+      lo[dim] -= 1;
+      const double ul = u(lo, 0);
+      const double ur = u(*it, 0);
+      const double advective = vel >= 0.0 ? vel * ul : vel * ur;
+      const double diffusive = -d_over_dx * (ur - ul);
+      flux(*it, 0) = advective + diffusive;
+    }
+  });
 }
 
 }  // namespace xl::amr

@@ -7,6 +7,7 @@
 
 #include "amr/interp.hpp"
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 
 namespace xl::amr {
 
@@ -37,16 +38,19 @@ double AmrSimulation::dx(std::size_t level) const {
 void AmrSimulation::init_level_from_physics(std::size_t lev) {
   AmrLevel& level = hierarchy_.level(lev);
   const double d = dx(lev);
-  std::vector<double> value(static_cast<std::size_t>(physics_->ncomp()));
-  for (std::size_t i = 0; i < level.layout.num_boxes(); ++i) {
-    Fab& fab = level.data[i];
-    // Fill ghosts too: cheap, and gives tagging valid one-sided stencils even
-    // before the first exchange.
-    for (BoxIterator it(fab.box()); it.ok(); ++it) {
-      physics_->initial_value(*it, d, value.data());
-      for (int c = 0; c < physics_->ncomp(); ++c) fab(*it, c) = value[c];
+  parallel_for(ThreadPool::global(), 0, level.layout.num_boxes(),
+               [&](std::size_t blo, std::size_t bhi) {
+    std::vector<double> value(static_cast<std::size_t>(physics_->ncomp()));
+    for (std::size_t i = blo; i < bhi; ++i) {
+      Fab& fab = level.data[i];
+      // Fill ghosts too: cheap, and gives tagging valid one-sided stencils
+      // even before the first exchange.
+      for (BoxIterator it(fab.box()); it.ok(); ++it) {
+        physics_->initial_value(*it, d, value.data());
+        for (int c = 0; c < physics_->ncomp(); ++c) fab(*it, c) = value[c];
+      }
     }
-  }
+  });
 }
 
 void AmrSimulation::initialize() {
@@ -88,9 +92,18 @@ double AmrSimulation::stable_dt() const {
   for (std::size_t lev = 0; lev < hierarchy_.num_levels(); ++lev) {
     const AmrLevel& level = hierarchy_.level(lev);
     const double d = dx(lev);
-    for (std::size_t i = 0; i < level.layout.num_boxes(); ++i) {
-      const double speed =
-          physics_->max_wave_speed(level.data[i], level.layout.box(i), d);
+    // min() over per-box wave speeds is exact under any partition, so the
+    // parallel reduction matches the serial dt bit for bit.
+    const std::size_t nboxes = level.layout.num_boxes();
+    std::vector<double> box_speed(nboxes, 0.0);
+    parallel_for(ThreadPool::global(), 0, nboxes,
+                 [&](std::size_t blo, std::size_t bhi) {
+      for (std::size_t i = blo; i < bhi; ++i) {
+        box_speed[i] =
+            physics_->max_wave_speed(level.data[i], level.layout.box(i), d);
+      }
+    });
+    for (double speed : box_speed) {
       if (speed > 0.0) dt = std::min(dt, level_scale * cfl_ * d / speed);
     }
     if (config_.subcycle) level_scale *= static_cast<double>(config_.ref_ratio);
@@ -115,14 +128,19 @@ void AmrSimulation::advance_recursive(std::size_t lev, double dt) {
 void AmrSimulation::advance_level(std::size_t lev, double dt) {
   AmrLevel& level = hierarchy_.level(lev);
   const double d = dx(lev);
-  std::vector<Fab> updated;
-  updated.reserve(level.layout.num_boxes());
-  for (std::size_t i = 0; i < level.layout.num_boxes(); ++i) {
-    Fab out(level.data[i].box(), physics_->ncomp());
-    out.copy_from(level.data[i], level.data[i].box());
-    godunov_update(*physics_, level.data[i], level.layout.box(i), d, dt, out);
-    updated.push_back(std::move(out));
-  }
+  // Each box reads only its own fab (ghosts were filled beforehand) and
+  // writes its own updated copy, so boxes advance independently.
+  const std::size_t nboxes = level.layout.num_boxes();
+  std::vector<Fab> updated(nboxes);
+  parallel_for(ThreadPool::global(), 0, nboxes,
+               [&](std::size_t blo, std::size_t bhi) {
+    for (std::size_t i = blo; i < bhi; ++i) {
+      Fab out(level.data[i].box(), physics_->ncomp());
+      out.copy_from(level.data[i], level.data[i].box());
+      godunov_update(*physics_, level.data[i], level.layout.box(i), d, dt, out);
+      updated[i] = std::move(out);
+    }
+  });
   for (std::size_t i = 0; i < updated.size(); ++i) {
     level.data[i] = std::move(updated[i]);
   }

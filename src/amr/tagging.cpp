@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/thread_pool.hpp"
+
 namespace xl::amr {
 
 using mesh::BoxIterator;
@@ -10,24 +12,37 @@ using mesh::IntVectHash;
 
 std::vector<IntVect> tag_cells(const AmrLevel& level, const TagCriterion& criterion) {
   std::vector<IntVect> tags;
+  ThreadPool& pool = ThreadPool::global();
   for (std::size_t i = 0; i < level.layout.num_boxes(); ++i) {
     const mesh::Fab& fab = level.data[i];
     const Box valid = level.layout.box(i);
-    for (BoxIterator it(valid); it.ok(); ++it) {
-      const IntVect& p = *it;
-      const double center = fab(p, criterion.comp);
-      double grad = 0.0;
-      for (int d = 0; d < mesh::kDim; ++d) {
-        IntVect lo = p, hi = p;
-        lo[d] -= 1;
-        hi[d] += 1;
-        // Fab includes ghosts, so neighbours are always readable.
-        const double diff = 0.5 * (fab(hi, criterion.comp) - fab(lo, criterion.comp));
-        grad += diff * diff;
+    // Each z-slab collects its tags into a private vector; appending the
+    // per-slab vectors in slab order reproduces the serial tag order exactly.
+    const auto nz = static_cast<std::size_t>(valid.size()[2]);
+    const std::size_t nchunks = parallel_chunk_count(pool, nz);
+    std::vector<std::vector<IntVect>> parts(nchunks);
+    parallel_for_chunks(pool, 0, nz,
+                        [&](std::size_t c, std::size_t zb, std::size_t ze) {
+      std::vector<IntVect>& out = parts[c];
+      for (BoxIterator it(mesh::z_slab(valid, zb, ze)); it.ok(); ++it) {
+        const IntVect& p = *it;
+        const double center = fab(p, criterion.comp);
+        double grad = 0.0;
+        for (int d = 0; d < mesh::kDim; ++d) {
+          IntVect lo = p, hi = p;
+          lo[d] -= 1;
+          hi[d] += 1;
+          // Fab includes ghosts, so neighbours are always readable.
+          const double diff = 0.5 * (fab(hi, criterion.comp) - fab(lo, criterion.comp));
+          grad += diff * diff;
+        }
+        grad = std::sqrt(grad);
+        const double scale = std::max(std::fabs(center), criterion.abs_floor);
+        if (grad / scale > criterion.rel_threshold) out.push_back(p);
       }
-      grad = std::sqrt(grad);
-      const double scale = std::max(std::fabs(center), criterion.abs_floor);
-      if (grad / scale > criterion.rel_threshold) tags.push_back(p);
+    });
+    for (std::vector<IntVect>& part : parts) {
+      tags.insert(tags.end(), part.begin(), part.end());
     }
   }
   return tags;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace xl::analysis {
 
@@ -15,10 +16,8 @@ std::size_t block_payload_bytes(std::size_t n, int bits) {
   return (n * static_cast<std::size_t>(bits) + 7) / 8;
 }
 
-void append_double(std::vector<std::uint8_t>& out, double v) {
-  std::uint8_t raw[sizeof(double)];
-  std::memcpy(raw, &v, sizeof(double));
-  out.insert(out.end(), raw, raw + sizeof(double));
+void store_double(std::uint8_t* dst, double v) {
+  std::memcpy(dst, &v, sizeof(double));
 }
 
 double read_double(const std::uint8_t*& p) {
@@ -48,6 +47,41 @@ void linear_fit(const double* v, std::size_t n, double& a, double& b) {
   a = (sum_v - b * sum_i) / nn;
 }
 
+/// Encode one block of `n` values into `dst` (header + zeroed packed bits).
+void encode_block(const double* v, std::size_t n, int bits, std::uint32_t levels,
+                  std::vector<std::uint32_t>& q, std::uint8_t* dst) {
+  double a, b;
+  linear_fit(v, n, a, b);
+  double rmin = 0.0, rmax = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = v[i] - (a + b * static_cast<double>(i));
+    rmin = i == 0 ? r : std::min(rmin, r);
+    rmax = i == 0 ? r : std::max(rmax, r);
+  }
+  const double step = rmax > rmin ? (rmax - rmin) / levels : 0.0;
+  store_double(dst + 0 * sizeof(double), a);
+  store_double(dst + 1 * sizeof(double), b);
+  store_double(dst + 2 * sizeof(double), rmin);
+  store_double(dst + 3 * sizeof(double), step);
+  // Quantize then bit-pack.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = v[i] - (a + b * static_cast<double>(i));
+    q[i] = step > 0.0
+               ? static_cast<std::uint32_t>(std::lround((r - rmin) / step))
+               : 0u;
+    if (q[i] > levels) q[i] = levels;
+  }
+  std::uint8_t* packed = dst + kBlockHeaderBytes;
+  std::size_t bitpos = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int bit = 0; bit < bits; ++bit, ++bitpos) {
+      if (q[i] & (1u << bit)) {
+        packed[bitpos / 8] |= static_cast<std::uint8_t>(1u << (bitpos % 8));
+      }
+    }
+  }
+}
+
 void validate(const CompressConfig& config) {
   XL_REQUIRE(config.residual_bits >= 1 && config.residual_bits <= 16,
              "residual bits must be in [1,16]");
@@ -65,46 +99,27 @@ CompressedField compress(const mesh::Fab& fab, const CompressConfig& config) {
 
   const std::span<const double> data = fab.flat();
   const auto levels = (1u << config.residual_bits) - 1u;
-  std::vector<std::uint32_t> q(static_cast<std::size_t>(config.block));
+  const auto block = static_cast<std::size_t>(config.block);
+  const std::size_t nblocks = (data.size() + block - 1) / block;
+  // Every block's output size is known up front (only the tail block is
+  // shorter), so blocks encode in parallel into disjoint payload slices —
+  // the stream is byte-identical for any thread count.
+  const std::size_t full_bytes =
+      kBlockHeaderBytes + block_payload_bytes(block, config.residual_bits);
+  const std::size_t tail_n = data.size() - (nblocks - 1) * block;
+  out.payload.resize((nblocks - 1) * full_bytes + kBlockHeaderBytes +
+                         block_payload_bytes(tail_n, config.residual_bits),
+                     0);
 
-  for (std::size_t start = 0; start < data.size();
-       start += static_cast<std::size_t>(config.block)) {
-    const std::size_t n =
-        std::min<std::size_t>(config.block, data.size() - start);
-    const double* v = data.data() + start;
-    double a, b;
-    linear_fit(v, n, a, b);
-    double rmin = 0.0, rmax = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double r = v[i] - (a + b * static_cast<double>(i));
-      rmin = i == 0 ? r : std::min(rmin, r);
-      rmax = i == 0 ? r : std::max(rmax, r);
+  parallel_for(ThreadPool::global(), 0, nblocks,
+               [&](std::size_t blo, std::size_t bhi) {
+    std::vector<std::uint32_t> q(block);
+    for (std::size_t b = blo; b < bhi; ++b) {
+      const std::size_t n = b + 1 == nblocks ? tail_n : block;
+      encode_block(data.data() + b * block, n, config.residual_bits, levels, q,
+                   out.payload.data() + b * full_bytes);
     }
-    const double step = rmax > rmin ? (rmax - rmin) / levels : 0.0;
-    append_double(out.payload, a);
-    append_double(out.payload, b);
-    append_double(out.payload, rmin);
-    append_double(out.payload, step);
-    // Quantize then bit-pack.
-    for (std::size_t i = 0; i < n; ++i) {
-      const double r = v[i] - (a + b * static_cast<double>(i));
-      q[i] = step > 0.0
-                 ? static_cast<std::uint32_t>(std::lround((r - rmin) / step))
-                 : 0u;
-      if (q[i] > levels) q[i] = levels;
-    }
-    const std::size_t packed = block_payload_bytes(n, config.residual_bits);
-    const std::size_t base = out.payload.size();
-    out.payload.resize(base + packed, 0);
-    std::size_t bitpos = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (int bit = 0; bit < config.residual_bits; ++bit, ++bitpos) {
-        if (q[i] & (1u << bit)) {
-          out.payload[base + bitpos / 8] |= static_cast<std::uint8_t>(1u << (bitpos % 8));
-        }
-      }
-    }
-  }
+  });
   return out;
 }
 
@@ -112,31 +127,37 @@ mesh::Fab decompress(const CompressedField& field) {
   validate(field.config);
   mesh::Fab out(field.box, field.ncomp);
   std::span<double> data = out.flat();
-  const std::uint8_t* p = field.payload.data();
-  const std::uint8_t* end = p + field.payload.size();
 
-  for (std::size_t start = 0; start < data.size();
-       start += static_cast<std::size_t>(field.config.block)) {
-    const std::size_t n =
-        std::min<std::size_t>(field.config.block, data.size() - start);
-    XL_REQUIRE(p + kBlockHeaderBytes <= end, "truncated compressed stream");
-    const double a = read_double(p);
-    const double b = read_double(p);
-    const double rmin = read_double(p);
-    const double step = read_double(p);
-    const std::size_t packed = block_payload_bytes(n, field.config.residual_bits);
-    XL_REQUIRE(p + packed <= end, "truncated compressed block payload");
-    std::size_t bitpos = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      std::uint32_t q = 0;
-      for (int bit = 0; bit < field.config.residual_bits; ++bit, ++bitpos) {
-        if (p[bitpos / 8] & (1u << (bitpos % 8))) q |= 1u << bit;
+  const auto block = static_cast<std::size_t>(field.config.block);
+  const int bits = field.config.residual_bits;
+  const std::size_t nblocks = (data.size() + block - 1) / block;
+  const std::size_t full_bytes = kBlockHeaderBytes + block_payload_bytes(block, bits);
+  const std::size_t tail_n = data.size() - (nblocks - 1) * block;
+  XL_REQUIRE(field.payload.size() == (nblocks - 1) * full_bytes +
+                                         kBlockHeaderBytes +
+                                         block_payload_bytes(tail_n, bits),
+             "compressed stream size does not match its header geometry");
+
+  parallel_for(ThreadPool::global(), 0, nblocks,
+               [&](std::size_t blo, std::size_t bhi) {
+    for (std::size_t b = blo; b < bhi; ++b) {
+      const std::size_t n = b + 1 == nblocks ? tail_n : block;
+      const std::uint8_t* p = field.payload.data() + b * full_bytes;
+      const double a = read_double(p);
+      const double bb = read_double(p);
+      const double rmin = read_double(p);
+      const double step = read_double(p);
+      const std::size_t start = b * block;
+      std::size_t bitpos = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t q = 0;
+        for (int bit = 0; bit < bits; ++bit, ++bitpos) {
+          if (p[bitpos / 8] & (1u << (bitpos % 8))) q |= 1u << bit;
+        }
+        data[start + i] = a + bb * static_cast<double>(i) + rmin + step * q;
       }
-      data[start + i] = a + b * static_cast<double>(i) + rmin + step * q;
     }
-    p += packed;
-  }
-  XL_CHECK(p == end, "compressed stream has trailing bytes");
+  });
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace xl::analysis {
 
@@ -22,29 +23,36 @@ Fab downsample(const Fab& src, int factor, DownsampleMethod method) {
   const Box coarse_box = src.box().coarsen(rvec);
   Fab out(coarse_box, src.ncomp());
   const double inv_vol = 1.0 / static_cast<double>(factor) / factor / factor;
-  for (int c = 0; c < src.ncomp(); ++c) {
-    for (BoxIterator it(coarse_box); it.ok(); ++it) {
-      const IntVect base = (*it).refine(rvec);
-      switch (method) {
-        case DownsampleMethod::Stride: {
-          // Sample the first child cell that lies inside the source box (the
-          // coarsened box can overhang when sizes are not multiples of X).
-          const IntVect probe = base.max(src.box().lo()).min(src.box().hi());
-          out(*it, c) = src(probe, c);
-          break;
-        }
-        case DownsampleMethod::Average: {
-          const Box children = Box(base, base + (factor - 1)) & src.box();
-          double sum = 0.0;
-          for (BoxIterator fit(children); fit.ok(); ++fit) sum += src(*fit, c);
-          out(*it, c) = children.num_cells() == factor * factor * factor
-                            ? sum * inv_vol
-                            : sum / static_cast<double>(children.num_cells());
-          break;
+  // Every coarse cell is computed independently and written in place:
+  // identical output for any slab partition / thread count.
+  const auto nz = static_cast<std::size_t>(coarse_box.size()[2]);
+  parallel_for(ThreadPool::global(), 0, nz,
+               [&](std::size_t zb, std::size_t ze) {
+    const Box slab = mesh::z_slab(coarse_box, zb, ze);
+    for (int c = 0; c < src.ncomp(); ++c) {
+      for (BoxIterator it(slab); it.ok(); ++it) {
+        const IntVect base = (*it).refine(rvec);
+        switch (method) {
+          case DownsampleMethod::Stride: {
+            // Sample the first child cell that lies inside the source box (the
+            // coarsened box can overhang when sizes are not multiples of X).
+            const IntVect probe = base.max(src.box().lo()).min(src.box().hi());
+            out(*it, c) = src(probe, c);
+            break;
+          }
+          case DownsampleMethod::Average: {
+            const Box children = Box(base, base + (factor - 1)) & src.box();
+            double sum = 0.0;
+            for (BoxIterator fit(children); fit.ok(); ++fit) sum += src(*fit, c);
+            out(*it, c) = children.num_cells() == factor * factor * factor
+                              ? sum * inv_vol
+                              : sum / static_cast<double>(children.num_cells());
+            break;
+          }
         }
       }
     }
-  }
+  });
   return out;
 }
 

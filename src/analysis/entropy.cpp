@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "mesh/layout.hpp"
 
 namespace xl::analysis {
@@ -18,28 +20,67 @@ double block_entropy(const Fab& fab, const Box& region, const EntropyConfig& con
   const Box scan = fab.box() & region;
   XL_REQUIRE(!scan.empty(), "entropy of empty region");
 
+  ThreadPool& pool = ThreadPool::global();
+  const auto nz = static_cast<std::size_t>(scan.size()[2]);
+
   double lo = config.range_lo, hi = config.range_hi;
   if (lo >= hi) {
+    const std::size_t nchunks = parallel_chunk_count(pool, nz);
+    std::vector<double> slab_lo(nchunks, std::numeric_limits<double>::infinity());
+    std::vector<double> slab_hi(nchunks, -std::numeric_limits<double>::infinity());
+    parallel_for_chunks(pool, 0, nz,
+                        [&](std::size_t c, std::size_t zb, std::size_t ze) {
+      double l = slab_lo[c], h = slab_hi[c];
+      for (BoxIterator it(mesh::z_slab(scan, zb, ze)); it.ok(); ++it) {
+        const double v = fab(*it, config.comp);
+        l = std::min(l, v);
+        h = std::max(h, v);
+      }
+      slab_lo[c] = l;
+      slab_hi[c] = h;
+    });
     lo = std::numeric_limits<double>::infinity();
     hi = -lo;
-    for (BoxIterator it(scan); it.ok(); ++it) {
-      const double v = fab(*it, config.comp);
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      lo = std::min(lo, slab_lo[c]);
+      hi = std::max(hi, slab_hi[c]);
     }
     if (hi <= lo) return 0.0;  // constant block carries no information
   }
 
-  std::vector<std::size_t> counts(static_cast<std::size_t>(config.bins), 0);
+  const auto bins = static_cast<std::size_t>(config.bins);
   const double scale = static_cast<double>(config.bins) / (hi - lo);
+  const double last_bin = static_cast<double>(config.bins - 1);
+  const std::size_t nchunks = parallel_chunk_count(pool, nz);
+  std::vector<std::vector<std::size_t>> slab_counts(
+      nchunks, std::vector<std::size_t>(bins, 0));
+  std::vector<std::size_t> slab_total(nchunks, 0);
+  parallel_for_chunks(pool, 0, nz,
+                      [&](std::size_t c, std::size_t zb, std::size_t ze) {
+    std::vector<std::size_t>& counts = slab_counts[c];
+    std::size_t total = 0;
+    for (BoxIterator it(mesh::z_slab(scan, zb, ze)); it.ok(); ++it) {
+      const double v = fab(*it, config.comp);
+      // Guard the bin cast: NaN (and inf-range artifacts) poison the
+      // float->int conversion with UB. NaN cells carry no bin and are
+      // dropped; ±inf clamps to the edge bins in floating point first.
+      const double idx = (v - lo) * scale;
+      if (std::isnan(idx)) continue;
+      ++counts[static_cast<std::size_t>(std::clamp(idx, 0.0, last_bin))];
+      ++total;
+    }
+    slab_total[c] = total;
+  });
+
+  // Integer merges: bit-identical for any slab partition, thread count included.
+  std::vector<std::size_t> counts(bins, 0);
   std::size_t total = 0;
-  for (BoxIterator it(scan); it.ok(); ++it) {
-    const double v = fab(*it, config.comp);
-    auto bin = static_cast<std::ptrdiff_t>((v - lo) * scale);
-    bin = std::clamp<std::ptrdiff_t>(bin, 0, config.bins - 1);
-    ++counts[static_cast<std::size_t>(bin)];
-    ++total;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    for (std::size_t b = 0; b < bins; ++b) counts[b] += slab_counts[c][b];
+    total += slab_total[c];
   }
+  if (total == 0) return 0.0;  // every cell was NaN
+
   double entropy = 0.0;
   for (std::size_t c : counts) {
     if (c == 0) continue;
@@ -70,14 +111,21 @@ std::vector<BlockDecision> entropy_downsample_plan(const Fab& fab, int block_siz
                                                    const std::vector<int>& factors,
                                                    const EntropyConfig& config) {
   XL_REQUIRE(block_size >= 1, "block size must be positive");
-  std::vector<BlockDecision> plan;
-  for (const Box& block : mesh::decompose(fab.box(), block_size)) {
-    BlockDecision d;
-    d.block = block;
-    d.entropy = block_entropy(fab, block, config);
-    d.factor = factor_for_entropy(d.entropy, thresholds, factors);
-    plan.push_back(d);
-  }
+  const std::vector<Box> blocks = mesh::decompose(fab.box(), block_size);
+  std::vector<BlockDecision> plan(blocks.size());
+  // One independent decision per block, written by index: deterministic for
+  // any thread count. block_entropy's own parallel loops run inline here
+  // (nested parallelism degrades to serial on pool workers).
+  parallel_for(ThreadPool::global(), 0, blocks.size(),
+               [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      BlockDecision d;
+      d.block = blocks[i];
+      d.entropy = block_entropy(fab, blocks[i], config);
+      d.factor = factor_for_entropy(d.entropy, thresholds, factors);
+      plan[i] = d;
+    }
+  });
   return plan;
 }
 

@@ -16,6 +16,11 @@ double CostModel::kernel_seconds(double flops_per_cell, std::size_t cells,
          (effective_cores * machine_.core_flops);
 }
 
+double CostModel::thread_speedup() const {
+  if (threads_ <= 1) return 1.0;
+  return std::pow(static_cast<double>(threads_), costs_.thread_efficiency);
+}
+
 double CostModel::sim_step_seconds(std::size_t cells, int cores, bool euler) const {
   return kernel_seconds(
       euler ? costs_.sim_euler_flops_per_cell : costs_.sim_advect_flops_per_cell, cells,
@@ -24,24 +29,29 @@ double CostModel::sim_step_seconds(std::size_t cells, int cores, bool euler) con
 
 double CostModel::marching_cubes_seconds(std::size_t cells_scanned,
                                          std::size_t active_cells, int cores) const {
-  return kernel_seconds(costs_.mc_scan_flops_per_cell, cells_scanned, cores) +
-         kernel_seconds(costs_.mc_active_flops_per_cell, active_cells, cores);
+  return (kernel_seconds(costs_.mc_scan_flops_per_cell, cells_scanned, cores) +
+          kernel_seconds(costs_.mc_active_flops_per_cell, active_cells, cores)) /
+         thread_speedup();
 }
 
 double CostModel::downsample_seconds(std::size_t output_cells, int cores) const {
-  return kernel_seconds(costs_.reduce_flops_per_cell, output_cells, cores);
+  return kernel_seconds(costs_.reduce_flops_per_cell, output_cells, cores) /
+         thread_speedup();
 }
 
 double CostModel::entropy_seconds(std::size_t cells, int cores) const {
-  return kernel_seconds(costs_.entropy_flops_per_cell, cells, cores);
+  return kernel_seconds(costs_.entropy_flops_per_cell, cells, cores) /
+         thread_speedup();
 }
 
 double CostModel::statistics_seconds(std::size_t cells, int cores) const {
-  return kernel_seconds(costs_.stats_flops_per_cell, cells, cores);
+  return kernel_seconds(costs_.stats_flops_per_cell, cells, cores) /
+         thread_speedup();
 }
 
 double CostModel::subsetting_seconds(std::size_t cells, int cores) const {
-  return kernel_seconds(costs_.subset_flops_per_cell, cells, cores);
+  return kernel_seconds(costs_.subset_flops_per_cell, cells, cores) /
+         thread_speedup();
 }
 
 double CostModel::transfer_seconds(std::size_t bytes, int sender_nodes,

@@ -30,15 +30,28 @@ struct KernelCosts {
   /// Parallel efficiency exponent: time ~ cells / (P^eff * core_flops).
   /// < 1 models synchronization/imbalance losses at scale.
   double parallel_efficiency = 0.95;
+  /// Intra-rank threading efficiency exponent for the analysis kernels:
+  /// with T worker threads their time divides by T^thread_efficiency.
+  /// Slightly below the inter-rank exponent — shared caches and the
+  /// fork/join barrier of the on-node pool cost more than rank-parallel
+  /// domain decomposition (bench_kernel_scaling measures the real curve).
+  double thread_efficiency = 0.9;
 };
 
 class CostModel {
  public:
-  CostModel(const MachineSpec& machine, const KernelCosts& costs = {})
-      : machine_(machine), costs_(costs) {}
+  /// `threads` is the per-rank analysis thread count (the CLI `--threads`
+  /// knob). 0 or 1 means the kernels run serially, matching the calibrated
+  /// constants; N > 1 divides only the *analysis* kernel times (marching
+  /// cubes, downsample, entropy, statistics, subsetting) by
+  /// N^thread_efficiency. The simulation step is rank-parallel already and
+  /// is left untouched.
+  CostModel(const MachineSpec& machine, const KernelCosts& costs = {}, int threads = 0)
+      : machine_(machine), costs_(costs), threads_(threads) {}
 
   const MachineSpec& machine() const noexcept { return machine_; }
   const KernelCosts& costs() const noexcept { return costs_; }
+  int threads() const noexcept { return threads_; }
 
   /// Seconds for `flops_per_cell * cells` spread over `cores` cores with
   /// imperfect parallel efficiency. The per-rank imbalance of a layout is
@@ -59,8 +72,12 @@ class CostModel {
   double transfer_seconds(std::size_t bytes, int sender_nodes, int receiver_nodes) const;
 
  private:
+  /// Speedup divisor for the threaded analysis kernels: max(1,T)^thread_eff.
+  double thread_speedup() const;
+
   MachineSpec machine_;
   KernelCosts costs_;
+  int threads_ = 0;
 };
 
 }  // namespace xl::cluster

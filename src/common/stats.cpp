@@ -50,15 +50,16 @@ double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 double SampleSet::quantile(double q) const {
   XL_REQUIRE(!samples_.empty(), "quantile of empty sample set");
   XL_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (sorted_cache_.size() != samples_.size()) {
+    sorted_cache_ = samples_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
   }
-  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const double pos = q * static_cast<double>(sorted_cache_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted_cache_.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  return sorted_cache_[lo] * (1.0 - frac) + sorted_cache_[hi] * frac;
 }
 
 double SampleSet::mean() const noexcept {
@@ -74,10 +75,14 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
-  double idx = (x - lo_) / width_;
-  auto bin = static_cast<std::ptrdiff_t>(idx);
-  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  // NaN has no bin: casting it to an integer is UB, and clamping it to an
+  // edge bin would silently distort the distribution — drop it instead.
+  if (std::isnan(x)) return;
+  // Clamp in floating point BEFORE the integer cast: ±inf and values whose
+  // bin index exceeds the integer range are UB to cast directly.
+  const double idx = (x - lo_) / width_;
+  const double last = static_cast<double>(counts_.size() - 1);
+  ++counts_[static_cast<std::size_t>(std::clamp(idx, 0.0, last))];
   ++total_;
 }
 

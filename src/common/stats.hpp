@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,20 +37,42 @@ class RunningStats {
 
 /// Retains every sample; exact quantiles. Fine for per-step experiment series
 /// (tens of thousands of samples at most).
+///
+/// Concurrent const reads are safe: quantile() sorts into a separate cache
+/// guarded by a mutex instead of mutating the sample storage in place (the
+/// old lazy in-place sort raced when pool workers read stats). Writers
+/// (add()) still need external synchronization against readers.
 class SampleSet {
  public:
-  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  SampleSet() = default;
+  SampleSet(const SampleSet& other) : samples_(other.samples_) {}
+  SampleSet& operator=(const SampleSet& other) {
+    if (this != &other) {
+      samples_ = other.samples_;
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      sorted_cache_.clear();
+    }
+    return *this;
+  }
+
+  void add(double x) {
+    samples_.push_back(x);
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    sorted_cache_.clear();
+  }
   std::size_t count() const noexcept { return samples_.size(); }
   double quantile(double q) const;  ///< q in [0,1]; linear interpolation.
   double median() const { return quantile(0.5); }
   double mean() const noexcept;
   double min() const { return quantile(0.0); }
   double max() const { return quantile(1.0); }
+  /// Samples in insertion order (never reordered by const accessors).
   const std::vector<double>& samples() const noexcept { return samples_; }
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_cache_;  // guarded by cache_mutex_
+  mutable std::mutex cache_mutex_;
 };
 
 /// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the

@@ -1,16 +1,77 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 
 #include "common/error.hpp"
 
 namespace xl {
+
+namespace {
+
+thread_local bool tl_on_worker = false;
+
+/// Chunks per worker: >1 evens out imbalanced bodies (marching cubes spends
+/// most of its time in a few active slabs) without changing results — chunk
+/// boundaries only affect scheduling, never merge order.
+constexpr std::size_t kChunksPerWorker = 4;
+
+std::size_t default_global_workers() {
+  const char* env = std::getenv("XL_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  const long n = std::strtol(env, nullptr, 10);
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
+struct GlobalPool {
+  std::mutex mutex;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+GlobalPool& global_slot() {
+  static GlobalPool slot;
+  return slot;
+}
+
+}  // namespace
+
+// --- TaskGroup ---------------------------------------------------------------
+
+ThreadPool::TaskGroup::TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+ThreadPool::TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(pool_.mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::TaskGroup::run(std::function<void()> task) {
+  if (pool_.threads_.empty()) {
+    task();
+    return;
+  }
+  pool_.enqueue(std::move(task), *this);
+}
+
+void ThreadPool::TaskGroup::wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(pool_.mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    std::swap(error, first_error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+// --- ThreadPool --------------------------------------------------------------
 
 ThreadPool::ThreadPool(std::size_t workers) {
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
   }
+  // Constructed after the threads so no task can reference it before it exists.
+  default_group_ = std::make_unique<TaskGroup>(*this);
 }
 
 ThreadPool::~ThreadPool() {
@@ -22,84 +83,112 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  if (threads_.empty()) {
-    task();
-    return;
-  }
+void ThreadPool::enqueue(std::function<void()> task, TaskGroup& group) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(std::move(task));
+    queue_.push(Task{std::move(task), &group});
+    ++group.pending_;
   }
   work_cv_.notify_one();
 }
 
-void ThreadPool::wait() {
-  if (!threads_.empty()) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
-  }
-  std::exception_ptr error;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::swap(error, first_error_);
-  }
-  if (error) std::rethrow_exception(error);
+void ThreadPool::submit(std::function<void()> task) {
+  default_group_->run(std::move(task));
 }
+
+void ThreadPool::wait() { default_group_->wait(); }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(std::max<std::size_t>(1, std::thread::hardware_concurrency()) - 1);
-  return pool;
+  GlobalPool& slot = global_slot();
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (!slot.pool) slot.pool = std::make_unique<ThreadPool>(default_global_workers());
+  return *slot.pool;
 }
 
+void ThreadPool::set_global_workers(std::size_t workers) {
+  GlobalPool& slot = global_slot();
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (slot.pool && slot.pool->worker_count() == workers) return;
+  slot.pool.reset();  // joins the old workers before the new pool spins up
+  slot.pool = std::make_unique<ThreadPool>(workers);
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return tl_on_worker; }
+
 void ThreadPool::worker_loop() {
+  tl_on_worker = true;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
-      ++in_flight_;
     }
+    std::exception_ptr error;
     try {
-      task();
+      task.fn();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      error = std::current_exception();
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      TaskGroup& group = *task.group;
+      if (error && !group.first_error_) group.first_error_ = error;
+      if (--group.pending_ == 0) group.done_cv_.notify_all();
     }
   }
 }
 
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t, std::size_t)>& body) {
+// --- parallel loops ----------------------------------------------------------
+
+std::size_t parallel_chunk_count(const ThreadPool& pool, std::size_t n) {
+  if (n <= 1 || pool.worker_count() <= 1 || ThreadPool::on_worker_thread()) {
+    return n == 0 ? 0 : 1;
+  }
+  return std::min(n, pool.worker_count() * kChunksPerWorker);
+}
+
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
   XL_REQUIRE(begin <= end, "parallel_for range is inverted");
   if (begin == end) return;
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::max<std::size_t>(1, pool.worker_count());
+  const std::size_t chunks = parallel_chunk_count(pool, n);
   if (chunks == 1) {
-    body(begin, end);
+    body(0, begin, end);
     return;
   }
   const std::size_t chunk = (n + chunks - 1) / chunks;
+  ThreadPool::TaskGroup group(pool);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk;
     if (lo >= end) break;
     const std::size_t hi = std::min(end, lo + chunk);
-    pool.submit([&body, lo, hi] { body(lo, hi); });
+    group.run([&body, c, lo, hi] { body(c, lo, hi); });
   }
-  pool.wait();
+  group.wait();
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for_chunks(pool, begin, end,
+                      [&body](std::size_t, std::size_t lo, std::size_t hi) {
+                        body(lo, hi);
+                      });
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& body) {
   parallel_for(ThreadPool::global(), begin, end, body);
+}
+
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  parallel_for_chunks(ThreadPool::global(), begin, end, body);
 }
 
 }  // namespace xl

@@ -1,11 +1,18 @@
 // Shared-memory work distribution for the real kernels (AMR sweeps, marching
 // cubes, entropy). OpenMP-style static chunking over an index range; the pool
 // is optional — with 0 or 1 workers parallel_for degrades to a serial loop.
+//
+// Determinism contract: every kernel built on parallel_for/parallel_for_chunks
+// merges per-chunk results in chunk order, so any worker count (including 0)
+// produces bit-identical output. The process-wide default pool starts with 0
+// workers (serial); it is sized by `xlayer_cli --threads`, the `threads`
+// config key, or the XL_THREADS environment variable.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -14,9 +21,39 @@
 namespace xl {
 
 /// Fixed-size worker pool with a simple task queue. Tasks must not throw
-/// across the pool boundary; exceptions are captured and rethrown by wait().
+/// across the pool boundary; exceptions are captured and rethrown by the
+/// owning TaskGroup's wait() (or by ThreadPool::wait() for bare submits).
 class ThreadPool {
  public:
+  /// Waitable set of tasks submitted to one pool. Each parallel_for call owns
+  /// its own group, so two concurrent parallel_fors on the same pool never
+  /// wait on each other's tasks.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool& pool);
+    /// Blocks until every task of THIS group finished; pending exceptions are
+    /// swallowed here — call wait() explicitly to observe them.
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Enqueue a task into this group; runs inline when the pool has no
+    /// workers (exceptions then propagate directly from run()).
+    void run(std::function<void()> task);
+
+    /// Block until every task of this group finished; rethrows the first
+    /// captured exception, if any. The group is reusable afterwards.
+    void wait();
+
+   private:
+    friend class ThreadPool;
+    ThreadPool& pool_;
+    std::size_t pending_ = 0;          // guarded by pool_.mutex_
+    std::exception_ptr first_error_;   // guarded by pool_.mutex_
+    std::condition_variable done_cv_;
+  };
+
   /// @param workers number of worker threads; 0 means "run inline on the caller".
   explicit ThreadPool(std::size_t workers);
   ~ThreadPool();
@@ -26,36 +63,71 @@ class ThreadPool {
 
   std::size_t worker_count() const noexcept { return threads_.size(); }
 
-  /// Enqueue a task; runs inline when the pool has no workers.
+  /// Enqueue a task into the pool's default group; runs inline when the pool
+  /// has no workers.
   void submit(std::function<void()> task);
 
-  /// Block until the queue is drained and all workers are idle; rethrows the
-  /// first captured exception, if any.
+  /// Block until the default group (bare submit()s) is drained; rethrows the
+  /// first captured exception, if any. Tasks owned by explicit TaskGroups are
+  /// NOT waited on here — each group scopes its own wait.
   void wait();
 
-  /// Process-wide default pool sized to the hardware.
+  /// Process-wide default pool. Starts with XL_THREADS workers (0 — serial —
+  /// when unset), resizable via set_global_workers().
   static ThreadPool& global();
 
+  /// Resize the global pool. Must not be called while kernels are in flight
+  /// (intended for startup / between runs: CLI flag, config key, tests).
+  static void set_global_workers(std::size_t workers);
+
+  /// True when the calling thread is a worker of any ThreadPool. parallel_for
+  /// uses this to run nested parallelism inline instead of deadlocking on a
+  /// queue its own worker would have to drain.
+  static bool on_worker_thread() noexcept;
+
  private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  void enqueue(std::function<void()> task, TaskGroup& group);
   void worker_loop();
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::size_t in_flight_ = 0;
   bool stop_ = false;
-  std::exception_ptr first_error_;
+  std::unique_ptr<TaskGroup> default_group_;
 };
 
 /// Static-chunked parallel loop over [begin, end). The body receives a
-/// half-open subrange [lo, hi); chunk count defaults to worker count.
+/// half-open subrange [lo, hi). Runs serially when the pool has <= 1 workers
+/// or when called from inside a pool worker (nested parallelism).
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& body);
 
 /// Convenience overload on the global pool.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Number of chunks parallel_for_chunks will split an n-element range into on
+/// this pool from the calling thread (1 on the serial paths). Call sites that
+/// accumulate per-chunk results pre-size their buffers with this.
+std::size_t parallel_chunk_count(const ThreadPool& pool, std::size_t n);
+
+/// Like parallel_for, but the body also receives the chunk index c in
+/// [0, parallel_chunk_count(pool, end - begin)). Chunks partition the range
+/// in order (chunk 0 is the lowest subrange), so merging per-chunk results by
+/// chunk index reproduces the serial traversal order exactly.
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+/// Convenience overload on the global pool.
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
 
 }  // namespace xl

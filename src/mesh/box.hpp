@@ -138,6 +138,19 @@ class Box {
 
 std::ostream& operator<<(std::ostream& os, const Box& b);
 
+/// Sub-box of `b` covering rows [zlo, zhi) of its z extent (z is the
+/// slowest-varying BoxIterator dimension, so slabs taken in order traverse
+/// exactly the serial iteration order — the parallel kernels rely on this to
+/// merge per-slab results bit-identically to a serial run).
+inline Box z_slab(const Box& b, std::size_t zlo, std::size_t zhi) {
+  XL_REQUIRE(zlo < zhi && zhi <= static_cast<std::size_t>(b.size()[2]),
+             "z-slab range outside box");
+  IntVect lo = b.lo(), hi = b.hi();
+  lo[2] = b.lo()[2] + static_cast<int>(zlo);
+  hi[2] = b.lo()[2] + static_cast<int>(zhi) - 1;
+  return Box(lo, hi);
+}
+
 /// Iterate the cells of a box in Fortran order. Usage:
 ///   for (BoxIterator it(b); it.ok(); ++it) { const IntVect& p = *it; ... }
 class BoxIterator {

@@ -1,5 +1,7 @@
 #include "viz/amr_isosurface.hpp"
 
+#include "common/thread_pool.hpp"
+
 namespace xl::viz {
 
 using amr::AmrHierarchy;
@@ -11,30 +13,49 @@ TriangleMesh extract_amr_isosurface(const AmrHierarchy& hierarchy, double isoval
                                     int comp, double dx0, IsosurfaceStats* stats) {
   TriangleMesh mesh;
   double dx = dx0;
+  ThreadPool& pool = ThreadPool::global();
   for (std::size_t lev = 0; lev < hierarchy.num_levels(); ++lev) {
     const amr::AmrLevel& level = hierarchy.level(lev);
-    for (std::size_t i = 0; i < level.layout.num_boxes(); ++i) {
-      const Box valid = level.layout.box(i);
-      if (lev + 1 == hierarchy.num_levels()) {
-        // Finest level: extract over the whole valid region at once.
-        TriangleMesh part = extract_isosurface(level.data[i], valid, isovalue, comp, dx);
-        if (stats) {
-          stats->cells_scanned += static_cast<std::size_t>(valid.num_cells());
-          stats->active_cells += count_active_cells(level.data[i], valid, isovalue, comp);
-        }
-        mesh.append(part);
-      } else {
-        // Masked extraction: walk cells, skip those covered by finer data.
-        for (BoxIterator it(valid); it.ok(); ++it) {
-          if (!hierarchy.is_finest_at(lev, *it)) continue;
-          const Box cell(*it, *it);
-          TriangleMesh part = extract_isosurface(level.data[i], cell, isovalue, comp, dx);
+    const std::size_t nboxes = level.layout.num_boxes();
+    const bool finest = lev + 1 == hierarchy.num_levels();
+    // Boxes are independent: extract each into its own part mesh, then append
+    // in box order — identical to the serial traversal for any thread count.
+    // With few boxes the box loop runs on the caller and the per-box
+    // extraction parallelizes internally instead (nested loops run inline).
+    std::vector<TriangleMesh> parts(nboxes);
+    std::vector<std::size_t> scanned(nboxes, 0);
+    std::vector<std::size_t> active(nboxes, 0);
+    parallel_for(pool, 0, nboxes, [&](std::size_t blo, std::size_t bhi) {
+      for (std::size_t i = blo; i < bhi; ++i) {
+        const Box valid = level.layout.box(i);
+        if (finest) {
+          // Finest level: extract over the whole valid region at once.
+          parts[i] = extract_isosurface(level.data[i], valid, isovalue, comp, dx);
           if (stats) {
-            ++stats->cells_scanned;
-            stats->active_cells += count_active_cells(level.data[i], cell, isovalue, comp);
+            scanned[i] = static_cast<std::size_t>(valid.num_cells());
+            active[i] = count_active_cells(level.data[i], valid, isovalue, comp);
           }
-          mesh.append(part);
+        } else {
+          // Masked extraction: walk cells, skip those covered by finer data.
+          for (BoxIterator it(valid); it.ok(); ++it) {
+            if (!hierarchy.is_finest_at(lev, *it)) continue;
+            const Box cell(*it, *it);
+            TriangleMesh part =
+                extract_isosurface(level.data[i], cell, isovalue, comp, dx);
+            if (stats) {
+              ++scanned[i];
+              active[i] += count_active_cells(level.data[i], cell, isovalue, comp);
+            }
+            parts[i].append(part);
+          }
         }
+      }
+    });
+    for (std::size_t i = 0; i < nboxes; ++i) {
+      mesh.append(parts[i]);
+      if (stats) {
+        stats->cells_scanned += scanned[i];
+        stats->active_cells += active[i];
       }
     }
     dx /= static_cast<double>(hierarchy.config().ref_ratio);

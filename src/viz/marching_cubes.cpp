@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "viz/mc_tables.hpp"
 
 namespace xl::viz {
@@ -37,12 +38,9 @@ int cube_index(const Fab& fab, const IntVect& p, double iso, int comp, double co
   return index;
 }
 
-}  // namespace
-
-TriangleMesh extract_isosurface(const Fab& fab, const Box& region, double isovalue,
-                                int comp, double dx, const Vec3& origin) {
-  XL_REQUIRE(comp >= 0 && comp < fab.ncomp(), "component out of range");
-  TriangleMesh mesh;
+/// Serial triangulation over `region`, appended to `mesh` in iteration order.
+void extract_into(const Fab& fab, const Box& region, double isovalue, int comp,
+                  double dx, const Vec3& origin, TriangleMesh& mesh) {
   double corner[8];
   Vec3 edge_vertex[12];
   for (BoxIterator it(region); it.ok(); ++it) {
@@ -69,17 +67,54 @@ TriangleMesh extract_isosurface(const Fab& fab, const Box& region, double isoval
       mesh.vertices.push_back(edge_vertex[kTriTable[index][t + 2]]);
     }
   }
+}
+
+}  // namespace
+
+TriangleMesh extract_isosurface(const Fab& fab, const Box& region, double isovalue,
+                                int comp, double dx, const Vec3& origin) {
+  XL_REQUIRE(comp >= 0 && comp < fab.ncomp(), "component out of range");
+  if (region.empty()) return {};
+  ThreadPool& pool = ThreadPool::global();
+  const auto nz = static_cast<std::size_t>(region.size()[2]);
+  const std::size_t nchunks = parallel_chunk_count(pool, nz);
+  if (nchunks <= 1) {
+    TriangleMesh mesh;
+    extract_into(fab, region, isovalue, comp, dx, origin, mesh);
+    return mesh;
+  }
+  // Per-slab meshes appended in slab order reproduce the serial vertex order
+  // exactly (slabs partition the region along the slowest iteration axis).
+  std::vector<TriangleMesh> parts(nchunks);
+  parallel_for_chunks(pool, 0, nz,
+                      [&](std::size_t c, std::size_t zb, std::size_t ze) {
+    extract_into(fab, mesh::z_slab(region, zb, ze), isovalue, comp, dx, origin,
+                 parts[c]);
+  });
+  TriangleMesh mesh;
+  for (TriangleMesh& part : parts) mesh.append(part);
   return mesh;
 }
 
 std::size_t count_active_cells(const Fab& fab, const Box& region, double isovalue,
                                int comp) {
+  if (region.empty()) return 0;
+  ThreadPool& pool = ThreadPool::global();
+  const auto nz = static_cast<std::size_t>(region.size()[2]);
+  const std::size_t nchunks = parallel_chunk_count(pool, nz);
+  std::vector<std::size_t> slab_active(nchunks, 0);
+  parallel_for_chunks(pool, 0, nz,
+                      [&](std::size_t c, std::size_t zb, std::size_t ze) {
+    std::size_t active = 0;
+    double corner[8];
+    for (BoxIterator it(mesh::z_slab(region, zb, ze)); it.ok(); ++it) {
+      const int index = cube_index(fab, *it, isovalue, comp, corner);
+      if (index > 0 && index < 255) ++active;
+    }
+    slab_active[c] = active;
+  });
   std::size_t active = 0;
-  double corner[8];
-  for (BoxIterator it(region); it.ok(); ++it) {
-    const int index = cube_index(fab, *it, isovalue, comp, corner);
-    if (index > 0 && index < 255) ++active;
-  }
+  for (std::size_t a : slab_active) active += a;
   return active;
 }
 

@@ -94,6 +94,11 @@ WorkflowConfig parse_workflow_config(std::istream& is) {
       c.sim_cores = to_int(value, key);
       c.geometry.nranks = c.sim_cores;
     } else if (key == "staging_cores") c.staging_cores = to_int(value, key);
+    else if (key == "threads") {
+      c.threads = to_int(value, key);
+      XL_REQUIRE(c.threads >= 0, "config: threads must be >= 0");
+    } else if (key == "thread_efficiency")
+      c.costs.thread_efficiency = to_double(value, key);
     else if (key == "steps") c.steps = to_int(value, key);
     else if (key == "ncomp") c.ncomp = to_int(value, key);
     else if (key == "analysis_ncomp") c.analysis_ncomp = to_int(value, key);

@@ -19,6 +19,8 @@ namespace xl::workflow {
 ///   analysis = isosurface | statistics | subsetting
 ///   sim_cores, staging_cores, steps, ncomp, analysis_ncomp,
 ///   analysis_interval = <int>
+///   threads = <int>                (per-rank analysis threads, 0 = serial)
+///   thread_efficiency = <float>    (threading-speedup exponent, see KernelCosts)
 ///   domain = NX NY NZ
 ///   max_levels, ref_ratio, max_box_size, tile_size = <int>
 ///   front_radius0, front_speed, front_thickness, front_decay = <float>

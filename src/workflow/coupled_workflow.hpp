@@ -60,6 +60,12 @@ struct WorkflowConfig {
   int sim_cores = 2048;       ///< N.
   int staging_cores = 128;    ///< preallocated M (the 16:1 pool).
   int steps = 50;
+  /// Per-rank worker threads for the analysis kernels (the CLI `--threads`
+  /// knob). 0 (default) models the serial calibrated kernels and leaves the
+  /// timeline byte-identical; N > 1 divides the analysis kernel times by
+  /// N^KernelCosts::thread_efficiency, which the Monitor's T_insitu estimate
+  /// (eq. 7) then reflects through the recorded samples.
+  int threads = 0;
   Mode mode = Mode::AdaptiveMiddleware;
   bool euler = false;         ///< PolytropicGas (true) or AdvectionDiffusion.
   int ncomp = 1;

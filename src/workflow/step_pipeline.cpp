@@ -66,7 +66,7 @@ StepPipeline::StepPipeline(const WorkflowConfig& config, ExecutionSubstrate& sub
                            WorkflowObserver* observer)
     : config_(config),
       evolution_(config.geometry),
-      cost_(config.machine, config.costs),
+      cost_(config.machine, config.costs, config.threads),
       monitor_(config.monitor),
       timeline_(substrate),
       observer_(observer) {

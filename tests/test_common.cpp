@@ -2,9 +2,12 @@
 // table formatting, thread pool, and the contract-check macros.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -239,6 +242,125 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   bool called = false;
   parallel_for(pool, 5, 5, [&](std::size_t, std::size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughParallelFor) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [&](std::size_t lo, std::size_t) {
+                              if (lo == 0) throw std::runtime_error("chunk failed");
+                            }),
+               std::runtime_error);
+  // The pool survives the failed loop.
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 10, [&](std::size_t lo, std::size_t hi) {
+    count += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  std::atomic<bool> nested_was_inline{true};
+  parallel_for(pool, 0, 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // A nested loop on the same pool must degrade to inline execution
+      // (one chunk, no cross-worker wait) instead of deadlocking in wait().
+      if (parallel_chunk_count(pool, 100) != 1) nested_was_inline = false;
+      parallel_for(pool, 0, 100, [&](std::size_t ilo, std::size_t ihi) {
+        inner_total += static_cast<int>(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 100);
+  EXPECT_TRUE(nested_was_inline.load());
+}
+
+TEST(ThreadPool, ConcurrentParallelForsWaitOnlyOnTheirOwnTasks) {
+  // Two threads drive independent parallel_fors on the SAME pool; each wait()
+  // is scoped to its own TaskGroup, so both complete with correct results.
+  ThreadPool pool(3);
+  std::atomic<int> total_a{0};
+  std::atomic<int> total_b{0};
+  std::thread other([&] {
+    for (int rep = 0; rep < 50; ++rep) {
+      parallel_for(pool, 0, 64, [&](std::size_t lo, std::size_t hi) {
+        total_b += static_cast<int>(hi - lo);
+      });
+    }
+  });
+  for (int rep = 0; rep < 50; ++rep) {
+    parallel_for(pool, 0, 64, [&](std::size_t lo, std::size_t hi) {
+      total_a += static_cast<int>(hi - lo);
+    });
+  }
+  other.join();
+  EXPECT_EQ(total_a.load(), 50 * 64);
+  EXPECT_EQ(total_b.load(), 50 * 64);
+}
+
+TEST(ThreadPool, ParallelForChunksCoversRangeInChunkOrder) {
+  ThreadPool pool(3);
+  const std::size_t n = 100;
+  const std::size_t nchunks = parallel_chunk_count(pool, n);
+  ASSERT_GT(nchunks, 1u);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(nchunks);
+  parallel_for_chunks(pool, 0, n,
+                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+    ranges[c] = {lo, hi};
+  });
+  // Chunks tile [0, n) in increasing chunk index order.
+  std::size_t expect_lo = 0;
+  for (const auto& [lo, hi] : ranges) {
+    EXPECT_EQ(lo, expect_lo);
+    EXPECT_LT(lo, hi);
+    expect_lo = hi;
+  }
+  EXPECT_EQ(expect_lo, n);
+}
+
+TEST(ThreadPool, SetGlobalWorkersResizesTheSharedPool) {
+  ThreadPool::set_global_workers(3);
+  EXPECT_EQ(ThreadPool::global().worker_count(), 3u);
+  std::atomic<int> count{0};
+  parallel_for(0, 100, [&](std::size_t lo, std::size_t hi) {
+    count += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 100);
+  ThreadPool::set_global_workers(0);
+  EXPECT_EQ(ThreadPool::global().worker_count(), 0u);
+}
+
+TEST(SampleSet, ConcurrentQuantileReadsAreSafe) {
+  SampleSet s;
+  for (int i = 0; i < 1000; ++i) s.add(static_cast<double>(i));
+  // quantile() is const but sorts lazily; concurrent readers must agree.
+  std::vector<std::thread> readers;
+  std::atomic<int> bad{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int rep = 0; rep < 100; ++rep) {
+        if (s.quantile(0.5) != 499.5) ++bad;
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Histogram, IgnoresNaNSamples) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::nan(""));
+  EXPECT_EQ(h.total(), 0u);
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 1u);
+  // Infinities clamp to the edge bins instead of invoking UB.
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
 }
 
 TEST(Log, ThresholdFiltering) {

@@ -62,6 +62,14 @@ TEST(ConfigFile, RejectsUnknownKey) {
   EXPECT_THROW(parse("definitely_not_a_key = 3"), ContractError);
 }
 
+TEST(ConfigFile, ParsesThreadsKnob) {
+  EXPECT_EQ(parse("").threads, 0);  // serial default: goldens stay byte-identical
+  const WorkflowConfig c = parse("threads = 4\nthread_efficiency = 0.8");
+  EXPECT_EQ(c.threads, 4);
+  EXPECT_DOUBLE_EQ(c.costs.thread_efficiency, 0.8);
+  EXPECT_THROW(parse("threads = -2"), ContractError);
+}
+
 TEST(ConfigFile, RejectsBadValues) {
   EXPECT_THROW(parse("machine = cray-1"), ContractError);
   EXPECT_THROW(parse("mode = teleport"), ContractError);

@@ -1,0 +1,252 @@
+// Determinism contract of the threaded kernels (see common/thread_pool.hpp):
+// every kernel that runs on the shared pool must produce BIT-IDENTICAL output
+// for any worker count, because the adaptation experiments compare traces and
+// goldens across machines and thread settings. Each test runs a kernel
+// serially and at several awkward worker counts (2, 3, 5 — never dividing the
+// range evenly) and compares raw bytes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "amr/advection_diffusion.hpp"
+#include "amr/amr_simulation.hpp"
+#include "amr/polytropic_gas.hpp"
+#include "amr/tagging.hpp"
+#include "analysis/compress.hpp"
+#include "analysis/downsample.hpp"
+#include "analysis/entropy.hpp"
+#include "common/thread_pool.hpp"
+#include "viz/amr_isosurface.hpp"
+#include "viz/marching_cubes.hpp"
+
+namespace xl {
+namespace {
+
+using mesh::Box;
+using mesh::BoxIterator;
+using mesh::Fab;
+
+/// Restores the global pool to serial even when a test fails mid-way.
+struct GlobalWorkersGuard {
+  ~GlobalWorkersGuard() { ThreadPool::set_global_workers(0); }
+};
+
+const std::vector<std::size_t> kWorkerCounts = {0, 2, 3, 5};
+
+/// Runs `make` once per worker count and checks every result's bytes against
+/// the serial run via `as_bytes`.
+template <typename T>
+void expect_invariant_under_threading(
+    const std::function<T()>& make,
+    const std::function<std::vector<std::uint8_t>(const T&)>& as_bytes) {
+  GlobalWorkersGuard guard;
+  ThreadPool::set_global_workers(kWorkerCounts[0]);
+  const T serial = make();
+  const std::vector<std::uint8_t> want = as_bytes(serial);
+  for (std::size_t i = 1; i < kWorkerCounts.size(); ++i) {
+    ThreadPool::set_global_workers(kWorkerCounts[i]);
+    const T threaded = make();
+    EXPECT_EQ(as_bytes(threaded), want)
+        << "output changed with " << kWorkerCounts[i] << " workers";
+  }
+}
+
+std::vector<std::uint8_t> fab_bytes(const Fab& fab) {
+  const std::span<const double> flat = fab.flat();
+  std::vector<std::uint8_t> bytes(flat.size_bytes());
+  std::memcpy(bytes.data(), flat.data(), flat.size_bytes());
+  return bytes;
+}
+
+Fab wavy_field(int n, int ncomp = 1) {
+  Fab fab(Box::domain({n, n, n}), ncomp);
+  for (int c = 0; c < ncomp; ++c) {
+    for (BoxIterator it(fab.box()); it.ok(); ++it) {
+      const auto& p = *it;
+      fab(p, c) = std::sin(0.3 * p[0] + c) * std::cos(0.2 * p[1]) +
+                  0.05 * p[2] + 1e-3 * c;
+    }
+  }
+  return fab;
+}
+
+TEST(ParallelKernels, BlockEntropyIsThreadCountInvariant) {
+  const Fab field = wavy_field(19);  // odd size: uneven slabs
+  expect_invariant_under_threading<double>(
+      [&] { return analysis::block_entropy(field, field.box()); },
+      [](const double& e) {
+        std::vector<std::uint8_t> bytes(sizeof(double));
+        std::memcpy(bytes.data(), &e, sizeof(double));
+        return bytes;
+      });
+}
+
+TEST(ParallelKernels, EntropyPlanIsThreadCountInvariant) {
+  const Fab field = wavy_field(24);
+  expect_invariant_under_threading<std::vector<analysis::BlockDecision>>(
+      [&] {
+        return analysis::entropy_downsample_plan(field, 8, {2.0, 4.0}, {4, 2, 1});
+      },
+      [](const std::vector<analysis::BlockDecision>& plan) {
+        std::vector<std::uint8_t> bytes;
+        for (const analysis::BlockDecision& d : plan) {
+          const auto* p = reinterpret_cast<const std::uint8_t*>(&d.entropy);
+          bytes.insert(bytes.end(), p, p + sizeof(double));
+          bytes.push_back(static_cast<std::uint8_t>(d.factor));
+          for (int dim = 0; dim < mesh::kDim; ++dim) {
+            bytes.push_back(static_cast<std::uint8_t>(d.block.lo()[dim] & 0xff));
+            bytes.push_back(static_cast<std::uint8_t>(d.block.hi()[dim] & 0xff));
+          }
+        }
+        return bytes;
+      });
+}
+
+TEST(ParallelKernels, DownsampleIsThreadCountInvariant) {
+  const Fab field = wavy_field(21, 2);
+  for (const auto method :
+       {analysis::DownsampleMethod::Stride, analysis::DownsampleMethod::Average}) {
+    expect_invariant_under_threading<Fab>(
+        [&] { return analysis::downsample(field, 2, method); }, fab_bytes);
+  }
+}
+
+TEST(ParallelKernels, CompressedStreamIsThreadCountInvariant) {
+  const Fab field = wavy_field(17);
+  analysis::CompressConfig cfg;
+  expect_invariant_under_threading<analysis::CompressedField>(
+      [&] { return analysis::compress(field, cfg); },
+      [](const analysis::CompressedField& c) { return c.payload; });
+  // Round trip decodes identically at any worker count, too.
+  const analysis::CompressedField stream = analysis::compress(field, cfg);
+  expect_invariant_under_threading<Fab>(
+      [&] { return analysis::decompress(stream); }, fab_bytes);
+}
+
+TEST(ParallelKernels, MarchingCubesIsThreadCountInvariant) {
+  const Fab field = wavy_field(23);
+  const Box cells(field.box().lo(), field.box().hi() - 1);
+  expect_invariant_under_threading<viz::TriangleMesh>(
+      [&] { return viz::extract_isosurface(field, cells, 0.5); },
+      [](const viz::TriangleMesh& mesh) {
+        std::vector<std::uint8_t> bytes(mesh.vertices.size() * sizeof(viz::Vec3));
+        std::memcpy(bytes.data(), mesh.vertices.data(), bytes.size());
+        return bytes;
+      });
+  GlobalWorkersGuard guard;
+  ThreadPool::set_global_workers(0);
+  const std::size_t serial_active = viz::count_active_cells(field, cells, 0.5);
+  for (std::size_t workers : kWorkerCounts) {
+    ThreadPool::set_global_workers(workers);
+    EXPECT_EQ(viz::count_active_cells(field, cells, 0.5), serial_active);
+  }
+}
+
+amr::AmrConfig shock_config() {
+  amr::AmrConfig cfg;
+  cfg.base_domain = Box::domain({16, 16, 16});
+  cfg.max_levels = 2;
+  cfg.ref_ratio = 2;
+  cfg.max_box_size = 8;
+  cfg.blocking_factor = 4;
+  cfg.nghost = 2;
+  cfg.nranks = 2;
+  cfg.fill_ratio = 0.7;
+  return cfg;
+}
+
+std::vector<std::uint8_t> hierarchy_bytes(const amr::AmrHierarchy& h) {
+  std::vector<std::uint8_t> bytes;
+  for (std::size_t lev = 0; lev < h.num_levels(); ++lev) {
+    const amr::AmrLevel& level = h.level(lev);
+    for (std::size_t i = 0; i < level.layout.num_boxes(); ++i) {
+      const std::vector<std::uint8_t> fb = fab_bytes(level.data[i]);
+      bytes.insert(bytes.end(), fb.begin(), fb.end());
+    }
+  }
+  return bytes;
+}
+
+TEST(ParallelKernels, AmrAdvanceIsThreadCountInvariant) {
+  amr::TagCriterion crit;
+  crit.comp = amr::PolytropicGas::kRho;
+  crit.rel_threshold = 0.05;
+  expect_invariant_under_threading<std::vector<std::uint8_t>>(
+      [&]() -> std::vector<std::uint8_t> {
+        amr::AmrSimulation sim(shock_config(),
+                               std::make_shared<amr::PolytropicGas>(), crit, 0.3,
+                               /*regrid_interval=*/2);
+        sim.initialize();
+        for (int s = 0; s < 3; ++s) sim.advance();
+        return hierarchy_bytes(sim.hierarchy());
+      },
+      [](const std::vector<std::uint8_t>& b) { return b; });
+}
+
+TEST(ParallelKernels, TaggingIsThreadCountInvariant) {
+  amr::AmrSimulation sim(shock_config(), std::make_shared<amr::PolytropicGas>(),
+                         {}, 0.3);
+  sim.initialize();
+  amr::TagCriterion crit;
+  crit.comp = amr::PolytropicGas::kRho;
+  crit.rel_threshold = 0.05;
+  expect_invariant_under_threading<std::vector<mesh::IntVect>>(
+      [&] { return amr::tag_cells(sim.hierarchy().level(0), crit); },
+      [](const std::vector<mesh::IntVect>& tags) {
+        // Tag ORDER matters: Berger-Rigoutsos consumes the list as-is.
+        std::vector<std::uint8_t> bytes(tags.size() * sizeof(mesh::IntVect));
+        std::memcpy(bytes.data(), tags.data(), bytes.size());
+        return bytes;
+      });
+}
+
+TEST(ParallelKernels, AmrIsosurfaceIsThreadCountInvariant) {
+  amr::TagCriterion crit;
+  crit.comp = amr::PolytropicGas::kRho;
+  crit.rel_threshold = 0.05;
+  amr::AmrSimulation sim(shock_config(), std::make_shared<amr::PolytropicGas>(),
+                         crit, 0.3);
+  sim.initialize();
+  const double dx0 = 1.0 / 16.0;
+  expect_invariant_under_threading<viz::TriangleMesh>(
+      [&] {
+        return viz::extract_amr_isosurface(sim.hierarchy(), 0.6,
+                                           amr::PolytropicGas::kRho, dx0);
+      },
+      [](const viz::TriangleMesh& mesh) {
+        std::vector<std::uint8_t> bytes(mesh.vertices.size() * sizeof(viz::Vec3));
+        std::memcpy(bytes.data(), mesh.vertices.data(), bytes.size());
+        return bytes;
+      });
+  // The per-level statistics are integer sums: also invariant.
+  GlobalWorkersGuard guard;
+  ThreadPool::set_global_workers(0);
+  viz::IsosurfaceStats serial_stats;
+  viz::extract_amr_isosurface(sim.hierarchy(), 0.6, amr::PolytropicGas::kRho, dx0,
+                              &serial_stats);
+  ThreadPool::set_global_workers(3);
+  viz::IsosurfaceStats threaded_stats;
+  viz::extract_amr_isosurface(sim.hierarchy(), 0.6, amr::PolytropicGas::kRho, dx0,
+                              &threaded_stats);
+  EXPECT_EQ(threaded_stats.cells_scanned, serial_stats.cells_scanned);
+  EXPECT_EQ(threaded_stats.active_cells, serial_stats.active_cells);
+  EXPECT_EQ(threaded_stats.triangles, serial_stats.triangles);
+}
+
+TEST(ParallelKernels, EntropyIgnoresNaNCells) {
+  Fab field = wavy_field(8);
+  field({1, 1, 1}, 0) = std::nan("");
+  const double with_nan = analysis::block_entropy(field, field.box());
+  EXPECT_TRUE(std::isfinite(with_nan));
+  // An all-NaN block histograms nothing and reports zero entropy.
+  Fab poisoned(Box::domain({4, 4, 4}), 1);
+  for (BoxIterator it(poisoned.box()); it.ok(); ++it) poisoned(*it) = std::nan("");
+  EXPECT_EQ(analysis::block_entropy(poisoned, poisoned.box()), 0.0);
+}
+
+}  // namespace
+}  // namespace xl

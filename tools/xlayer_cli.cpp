@@ -3,7 +3,7 @@
 // downstream user sweeps parameters with, no recompilation needed.
 //
 //   xlayer_cli run <config-file> [--csv <out.csv>] [--events <out.csv>]
-//              [--faults <spec>] [--quiet]
+//              [--faults <spec>] [--threads <N>] [--quiet]
 //   xlayer_cli print-config                 # dump the default keys
 //
 // Example config:
@@ -14,11 +14,14 @@
 //   domain = 1024 1024 512
 //   steps = 50
 //   factors = 2 4
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "workflow/config_file.hpp"
 #include "workflow/energy.hpp"
 #include "workflow/trace_io.hpp"
@@ -31,8 +34,12 @@ namespace {
 int usage() {
   std::cerr << "usage:\n"
             << "  xlayer_cli run <config-file> [--csv <out.csv>]"
-               " [--events <out.csv>] [--faults <spec>] [--quiet]\n"
+               " [--events <out.csv>] [--faults <spec>] [--threads <N>]"
+               " [--quiet]\n"
             << "  xlayer_cli print-config\n"
+            << "--threads N: per-rank analysis worker threads (0 = serial;"
+               " overrides the config's `threads` key and sizes the process"
+               " thread pool)\n"
             << "fault spec clauses (';'-separated):\n"
             << "  seed=N drop=RATE corrupt=RATE retries=N backoff=SECONDS\n"
             << "  backoff_mult=X timeout=SECONDS\n"
@@ -48,6 +55,7 @@ void print_default_config() {
                "objective = time           # time | movement | utilization\n"
                "sim_cores = 2048\n"
                "staging_cores = 128\n"
+               "threads = 0                # per-rank analysis worker threads (0 = serial)\n"
                "steps = 50\n"
                "ncomp = 1\n"
                "domain = 1024 1024 512\n"
@@ -71,6 +79,7 @@ int run(int argc, char** argv) {
   std::string csv_path;
   std::string events_path;
   std::string fault_spec;
+  int threads = -1;  // -1 = not given on the command line
   bool quiet = false;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
@@ -79,6 +88,9 @@ int run(int argc, char** argv) {
       events_path = argv[++i];
     } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
       fault_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 0) return usage();
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else {
@@ -88,6 +100,11 @@ int run(int argc, char** argv) {
 
   WorkflowConfig config = parse_workflow_config_file(config_path);
   if (!fault_spec.empty()) config.faults = runtime::parse_fault_spec(fault_spec);
+  if (threads >= 0) config.threads = threads;
+  // Size the process-wide pool to match, so any real kernels invoked in this
+  // process (calibration, validation paths) use the same thread count the
+  // cost model assumes.
+  ThreadPool::set_global_workers(static_cast<std::size_t>(std::max(0, config.threads)));
   CoupledWorkflow workflow(config);
   EventLog log;
   if (!events_path.empty()) workflow.set_observer(&log);
@@ -101,6 +118,9 @@ int run(int argc, char** argv) {
     t.row().cell("machine").cell(config.machine.name);
     t.row().cell("mode").cell(mode_name(config.mode));
     t.row().cell("analysis").cell(analysis_kind_name(config.analysis_kind));
+    if (config.threads > 1) {
+      t.row().cell("analysis threads").cell(std::to_string(config.threads));
+    }
     t.row().cell("time-to-solution").cell(format_seconds(result.end_to_end_seconds));
     t.row().cell("simulation time").cell(format_seconds(result.pure_sim_seconds));
     t.row().cell("overhead").cell(format_seconds(result.overhead_seconds));
