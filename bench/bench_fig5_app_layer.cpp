@@ -9,6 +9,7 @@
 // high-resolution requirement and the factor climbs; by the final steps the
 // adaptive resolution reaches the minimum.
 #include <benchmark/benchmark.h>
+#include <cstdint>
 
 #include <algorithm>
 #include <iostream>

@@ -5,7 +5,9 @@
 // the per-block factor (low-entropy blocks reduced 4x, high-entropy kept),
 // and the quantitative fidelity of the result (triangle counts + RMSE/PSNR
 // of the reconstruction vs. the full-resolution field).
+#include <algorithm>
 #include <benchmark/benchmark.h>
+#include <sstream>
 
 #include <iostream>
 #include <memory>

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "amr/amr_simulation.hpp"
 #include "amr/polytropic_gas.hpp"

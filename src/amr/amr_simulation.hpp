@@ -5,6 +5,7 @@
 // workloads.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

@@ -2,6 +2,8 @@
 
 #include "amr/interp.hpp"
 
+#include <cstdint>
+
 namespace xl::amr {
 
 AmrHierarchy::AmrHierarchy(const AmrConfig& config, int ncomp)

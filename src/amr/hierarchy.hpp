@@ -9,8 +9,10 @@
 // DESIGN.md).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "common/lookup.hpp"
 #include "mesh/layout.hpp"
 #include "mesh/level_data.hpp"
 
@@ -56,8 +58,10 @@ class AmrHierarchy {
   int ncomp() const noexcept { return ncomp_; }
   std::size_t num_levels() const noexcept { return levels_.size(); }
 
-  AmrLevel& level(std::size_t l) { return levels_.at(l); }
-  const AmrLevel& level(std::size_t l) const { return levels_.at(l); }
+  AmrLevel& level(std::size_t l) { return at_index(levels_, l, "AmrHierarchy level"); }
+  const AmrLevel& level(std::size_t l) const {
+    return at_index(levels_, l, "AmrHierarchy level");
+  }
 
   /// Domain of level l (level-0 domain refined l times).
   Box domain_of(std::size_t l) const;

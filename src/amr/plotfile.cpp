@@ -1,5 +1,7 @@
 #include "amr/plotfile.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <istream>

@@ -11,6 +11,7 @@
 //     per box: Box | i32 rank | payload (valid cells, Fortran order, ncomp)
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace xl::amr {
@@ -67,13 +68,13 @@ std::vector<IntVect> SyntheticAmrEvolution::tile_tags(int step, int lev) const {
     const double cx = fx * edge_tiles, cy = fy * edge_tiles, cz = fz * edge_tiles;
     const double tr_lo = r_lo * edge_tiles, tr_hi = r_hi * edge_tiles;
     const int ty_lo = std::max(tile_domain.lo()[1],
-                               static_cast<int>(std::floor(cy - tr_hi)) - 1);
+                               f2i<int>(std::floor(cy - tr_hi)) - 1);
     const int ty_hi = std::min(tile_domain.hi()[1],
-                               static_cast<int>(std::ceil(cy + tr_hi)) + 1);
+                               f2i<int>(std::ceil(cy + tr_hi)) + 1);
     const int tz_lo = std::max(tile_domain.lo()[2],
-                               static_cast<int>(std::floor(cz - tr_hi)) - 1);
+                               f2i<int>(std::floor(cz - tr_hi)) - 1);
     const int tz_hi = std::min(tile_domain.hi()[2],
-                               static_cast<int>(std::ceil(cz + tr_hi)) + 1);
+                               f2i<int>(std::ceil(cz + tr_hi)) + 1);
     for (int tz = tz_lo; tz <= tz_hi; ++tz) {
       for (int ty = ty_lo; ty <= ty_hi; ++ty) {
         const double dy = (ty + 0.5) - cy;
@@ -87,9 +88,9 @@ std::vector<IntVect> SyntheticAmrEvolution::tile_tags(int step, int lev) const {
         // (they merge when half_in == 0).
         auto emit = [&](double x_lo, double x_hi) {
           int i_lo = std::max(tsize[0] > 0 ? tile_domain.lo()[0] : 0,
-                              static_cast<int>(std::floor(x_lo - 0.5)));
+                              f2i<int>(std::floor(x_lo - 0.5)));
           int i_hi = std::min(tile_domain.hi()[0],
-                              static_cast<int>(std::ceil(x_hi - 0.5)));
+                              f2i<int>(std::ceil(x_hi - 0.5)));
           for (int tx = i_lo; tx <= i_hi; ++tx) {
             const double dx = (tx + 0.5) - cx;
             const double dist2 = dx * dx + d2;

@@ -1,5 +1,6 @@
 #include "amr/tagging.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 

@@ -1,6 +1,8 @@
 #include "analysis/compress.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -67,6 +69,8 @@ void encode_block(const double* v, std::size_t n, int bits, std::uint32_t levels
   for (std::size_t i = 0; i < n; ++i) {
     const double r = v[i] - (a + b * static_cast<double>(i));
     q[i] = step > 0.0
+               // xl-lint: allow(float-cast): lround of a value in [0, levels] by
+               // construction; the clamp below catches rounding spill.
                ? static_cast<std::uint32_t>(std::lround((r - rmin) / step))
                : 0u;
     if (q[i] > levels) q[i] = levels;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
@@ -83,8 +84,8 @@ std::size_t reduction_scratch_bytes(std::size_t raw_cells, int ncomp, int factor
   // ...plus, for averaging, a row of accumulators (modelled as one plane of
   // the raw data: the kernel streams plane by plane).
   if (method == DownsampleMethod::Average) {
-    const auto plane = static_cast<std::size_t>(
-        std::cbrt(static_cast<double>(raw_cells)) * std::cbrt(static_cast<double>(raw_cells)));
+    const auto plane = f2s(std::cbrt(static_cast<double>(raw_cells)) *
+                           std::cbrt(static_cast<double>(raw_cells)));
     scratch += plane * static_cast<std::size_t>(ncomp) * sizeof(double);
   }
   return scratch;

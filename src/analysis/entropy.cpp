@@ -66,6 +66,7 @@ double block_entropy(const Fab& fab, const Box& region, const EntropyConfig& con
       // dropped; ±inf clamps to the edge bins in floating point first.
       const double idx = (v - lo) * scale;
       if (std::isnan(idx)) continue;
+      // xl-lint: allow(float-cast): NaN dropped and range clamped above; per-cell hot loop.
       ++counts[static_cast<std::size_t>(std::clamp(idx, 0.0, last_bin))];
       ++total;
     }

@@ -1,6 +1,7 @@
 #include "analysis/statistics.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "common/error.hpp"

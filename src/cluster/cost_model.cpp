@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace xl::cluster {
@@ -10,15 +11,20 @@ namespace xl::cluster {
 double CostModel::kernel_seconds(double flops_per_cell, std::size_t cells,
                                  int cores) const {
   XL_REQUIRE(cores >= 1, "need at least one core");
+  XL_REQUIRE(flops_per_cell >= 0.0, "kernel cost cannot be negative");
   const double effective_cores =
-      std::pow(static_cast<double>(cores), costs_.parallel_efficiency);
-  return flops_per_cell * static_cast<double>(cells) /
-         (effective_cores * machine_.core_flops);
+      std::pow(to_double(cores, "cores"), costs_.parallel_efficiency);
+  const double seconds = flops_per_cell * to_double(cells, "cells") /
+                         (effective_cores * machine_.core_flops);
+  XL_ENSURE(std::isfinite(seconds) && seconds >= 0.0,
+            "kernel estimate " << seconds << "s for " << cells << " cells on "
+                               << cores << " cores");
+  return seconds;
 }
 
 double CostModel::thread_speedup() const {
   if (threads_ <= 1) return 1.0;
-  return std::pow(static_cast<double>(threads_), costs_.thread_efficiency);
+  return std::pow(to_double(threads_, "threads"), costs_.thread_efficiency);
 }
 
 double CostModel::sim_step_seconds(std::size_t cells, int cores, bool euler) const {
@@ -61,7 +67,11 @@ double CostModel::transfer_seconds(std::size_t bytes, int sender_nodes,
       machine_.network.link_bandwidth_Bps * machine_.network.efficiency;
   // The slower side's aggregate injection/ejection bandwidth bounds the flow.
   const double aggregate = per_node * std::min(sender_nodes, receiver_nodes);
-  return machine_.network.latency_s + static_cast<double>(bytes) / aggregate;
+  const double seconds =
+      machine_.network.latency_s + to_double(bytes, "transfer bytes") / aggregate;
+  XL_ENSURE(std::isfinite(seconds) && seconds >= 0.0,
+            "transfer estimate " << seconds << "s for " << bytes << " bytes");
+  return seconds;
 }
 
 }  // namespace xl::cluster

@@ -1,0 +1,62 @@
+// Checked container accessors: every keyed or indexed lookup that must hit
+// goes through one of these, so a miss reports *which* key or index failed
+// (via common/error.hpp) instead of surfacing as a bare std::out_of_range
+// with no context.
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace xl {
+
+/// Checked associative lookup: returns a reference to the mapped value, or
+/// throws xl::ContractError naming the container and the missing key.
+template <typename Map, typename Key>
+const typename Map::mapped_type& map_at(const Map& map, const Key& key,
+                                        const char* what) {
+  const auto it = map.find(key);
+  if (it == map.end()) {
+    std::ostringstream os;
+    os << what << ": no entry for key " << key;
+    throw ContractError(os.str());
+  }
+  return it->second;
+}
+
+template <typename Map, typename Key>
+typename Map::mapped_type& map_at(Map& map, const Key& key, const char* what) {
+  const auto it = map.find(key);
+  if (it == map.end()) {
+    std::ostringstream os;
+    os << what << ": no entry for key " << key;
+    throw ContractError(os.str());
+  }
+  return it->second;
+}
+
+/// Checked random-access lookup: bounds-checked like .at(), but the failure
+/// reports the container name, the index, and the size.
+template <typename Seq>
+const typename Seq::value_type& at_index(const Seq& seq, std::size_t index,
+                                         const char* what) {
+  if (index >= seq.size()) {
+    std::ostringstream os;
+    os << what << ": index " << index << " out of range (size " << seq.size() << ")";
+    throw ContractError(os.str());
+  }
+  return seq[index];
+}
+
+template <typename Seq>
+typename Seq::value_type& at_index(Seq& seq, std::size_t index, const char* what) {
+  if (index >= seq.size()) {
+    std::ostringstream os;
+    os << what << ": index " << index << " out of range (size " << seq.size() << ")";
+    throw ContractError(os.str());
+  }
+  return seq[index];
+}
+
+}  // namespace xl

@@ -82,6 +82,7 @@ void Histogram::add(double x) noexcept {
   // bin index exceeds the integer range are UB to cast directly.
   const double idx = (x - lo_) / width_;
   const double last = static_cast<double>(counts_.size() - 1);
+  // xl-lint: allow(float-cast): NaN dropped and range clamped above; per-sample hot path.
   ++counts_[static_cast<std::size_t>(std::clamp(idx, 0.0, last))];
   ++total_;
 }

@@ -18,6 +18,8 @@ thread_local bool tl_on_worker = false;
 constexpr std::size_t kChunksPerWorker = 4;
 
 std::size_t default_global_workers() {
+  // xl-lint: allow(banned-symbol): the single sanctioned environment read — the
+  // documented XL_THREADS escape hatch for CI and the CLI (config keys win).
   const char* env = std::getenv("XL_THREADS");
   if (env == nullptr || *env == '\0') return 0;
   const long n = std::strtol(env, nullptr, 10);

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "mesh/intvect.hpp"
 
 namespace xl::mesh {
@@ -118,7 +119,11 @@ class Box {
     XL_REQUIRE(contains(p), "point outside box");
     const IntVect s = size();
     const IntVect r = p - lo_;
-    return r[0] + static_cast<std::int64_t>(s[0]) * (r[1] + static_cast<std::int64_t>(s[1]) * r[2]);
+    const std::int64_t offset =
+        r[0] + static_cast<std::int64_t>(s[0]) * (r[1] + static_cast<std::int64_t>(s[1]) * r[2]);
+    XL_ASSERT_DBG(offset >= 0 && offset < num_cells(),
+                  "linear offset " << offset << " outside [0, " << num_cells() << ")");
+    return offset;
   }
 
   /// Longest edge dimension (ties broken by lowest dim).

@@ -4,7 +4,9 @@
 // downsampling, entropy) operates on.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 

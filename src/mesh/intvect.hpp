@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <ostream>
 
 #include "common/error.hpp"
@@ -82,7 +83,12 @@ struct IntVect {
     IntVect r;
     for (int d = 0; d < kDim; ++d) {
       XL_REQUIRE(ratio[d] > 0, "refinement ratio must be positive");
-      r[d] = v[static_cast<std::size_t>(d)] * ratio[d];
+      const std::int64_t wide =
+          static_cast<std::int64_t>(v[static_cast<std::size_t>(d)]) * ratio[d];
+      XL_CHECK(wide >= std::numeric_limits<int>::min() &&
+                   wide <= std::numeric_limits<int>::max(),
+               "refined coordinate overflows the index type");
+      r[d] = static_cast<int>(wide);
     }
     return r;
   }

@@ -1,8 +1,11 @@
 #include "mesh/layout.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 #include <queue>
+
+#include "common/contract.hpp"
 
 namespace xl::mesh {
 
@@ -128,7 +131,7 @@ BoxLayout balance_morton(std::vector<Box> boxes, int nranks) {
   std::int64_t acc = 0;
   for (std::size_t k = 0; k < order.size(); ++k) {
     const Box& b = boxes[order[k]];
-    int rank = std::min(nranks - 1, static_cast<int>(static_cast<double>(acc) / share));
+    int rank = std::min(nranks - 1, f2i<int>(static_cast<double>(acc) / share));
     acc += b.num_cells();
     ordered.push_back(b);
     ranks.push_back(rank);

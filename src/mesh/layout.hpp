@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/lookup.hpp"
 #include "mesh/box.hpp"
 
 namespace xl::mesh {
@@ -32,8 +33,8 @@ class BoxLayout {
 
   std::size_t num_boxes() const noexcept { return boxes_.size(); }
   int num_ranks() const noexcept { return nranks_; }
-  const Box& box(std::size_t i) const { return boxes_.at(i); }
-  int rank_of(std::size_t i) const { return ranks_.at(i); }
+  const Box& box(std::size_t i) const { return at_index(boxes_, i, "BoxLayout::box"); }
+  int rank_of(std::size_t i) const { return at_index(ranks_, i, "BoxLayout::rank_of"); }
   const std::vector<Box>& boxes() const noexcept { return boxes_; }
 
   /// Total cells across all boxes.

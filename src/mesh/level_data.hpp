@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "common/lookup.hpp"
 #include "mesh/fab.hpp"
 #include "mesh/layout.hpp"
 
@@ -48,8 +49,8 @@ class LevelData {
   int nghost() const noexcept { return nghost_; }
   std::size_t size() const noexcept { return fabs_.size(); }
 
-  Fab& operator[](std::size_t i) { return fabs_.at(i); }
-  const Fab& operator[](std::size_t i) const { return fabs_.at(i); }
+  Fab& operator[](std::size_t i) { return at_index(fabs_, i, "LevelData fab"); }
+  const Fab& operator[](std::size_t i) const { return at_index(fabs_, i, "LevelData fab"); }
 
   /// The un-ghosted (valid) region of box i.
   const Box& valid_box(std::size_t i) const { return layout_.box(i); }

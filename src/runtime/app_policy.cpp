@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/entropy.hpp"
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace xl::runtime {
@@ -29,9 +30,8 @@ AppDecision select_downsample_factor(const std::vector<int>& acceptable,
   XL_REQUIRE(std::is_sorted(acceptable.begin(), acceptable.end()),
              "acceptable factors must be sorted ascending");
   XL_REQUIRE(acceptable.front() >= 1, "factors must be >= 1");
-  const auto budget =
-      static_cast<std::size_t>(config.memory_headroom *
-                               static_cast<double>(mem_available_bytes));
+  const auto budget = f2s(config.memory_headroom *
+                          static_cast<double>(mem_available_bytes));
   // Eq. 1-3: the smallest X (highest retained resolution) whose reduction
   // fits the memory constraint (eq. 2).
   for (int factor : acceptable) {

@@ -1,5 +1,6 @@
 #include "runtime/fault.hpp"
 
+#include <cstdint>
 #include <sstream>
 
 #include "common/error.hpp"

@@ -1,12 +1,15 @@
 #include "staging/service.hpp"
 
 #include <chrono>
+#include <cstdint>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
 
 namespace xl::staging {
 
+// xl-lint: allow(wallclock): the in-process service reports real elapsed time
+// for its own diagnostics; simulated experiments use the substrate clock.
 using Clock = std::chrono::steady_clock;
 
 const char* service_event_kind_name(ServiceEvent::Kind kind) noexcept {

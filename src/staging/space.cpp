@@ -1,7 +1,9 @@
 #include "staging/space.hpp"
 
+#include <cstdint>
 #include <numeric>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace xl::staging {
@@ -104,7 +106,11 @@ std::vector<const StagedObject*> StagingSpace::query(int version, const Box& reg
 void StagingSpace::erase(std::uint64_t id) {
   auto it = objects_.find(id);
   XL_REQUIRE(it != objects_.end(), "erase of unknown staged object");
-  server_used_[static_cast<std::size_t>(it->second.server)] -= it->second.bytes;
+  auto& used = server_used_[static_cast<std::size_t>(it->second.server)];
+  XL_ASSERT(used >= it->second.bytes,
+            "server " << it->second.server << " accounts " << used
+                      << " bytes but object " << id << " holds " << it->second.bytes);
+  used -= it->second.bytes;
   objects_.erase(it);
 }
 
@@ -113,7 +119,11 @@ std::size_t StagingSpace::erase_version(int version) {
   for (auto it = objects_.begin(); it != objects_.end();) {
     if (it->second.version == version) {
       freed += it->second.bytes;
-      server_used_[static_cast<std::size_t>(it->second.server)] -= it->second.bytes;
+      auto& used = server_used_[static_cast<std::size_t>(it->second.server)];
+      XL_ASSERT(used >= it->second.bytes, "staging accounting underflow erasing version "
+                                              << version << " on server "
+                                              << it->second.server);
+      used -= it->second.bytes;
       it = objects_.erase(it);
     } else {
       ++it;
@@ -138,6 +148,9 @@ ServerLossReport StagingSpace::fail_server(int server, bool requeue) {
       ++it;
       continue;
     }
+    XL_ASSERT(server_used_[s] >= obj.bytes,
+              "dead server " << server << " accounts fewer bytes than object "
+                             << obj.id << " holds");
     server_used_[s] -= obj.bytes;
     int dest = -1;
     if (requeue) {

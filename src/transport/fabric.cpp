@@ -1,7 +1,11 @@
 #include "transport/fabric.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <memory>
+
+#include "common/contract.hpp"
 
 namespace xl::transport {
 
@@ -34,10 +38,15 @@ void Fabric::attempt(std::uint64_t id, std::size_t bytes, double wire_seconds,
     queue_->schedule_in(wire_seconds, [this, id, bytes, attempt_no, done] {
       const SimTime now = queue_->now();
       if (TransferRecord* rec = record(id)) {
+        XL_ASSERT(now >= rec->start,
+                  "transfer " << id << " completes before it started: start="
+                              << rec->start << " now=" << now);
         rec->finish = now;
         rec->attempts = attempt_no + 1;
       }
       ++completed_;
+      XL_ENSURE(total_bytes_ + bytes >= total_bytes_,
+                "transfer byte accounting overflow at " << total_bytes_);
       total_bytes_ += bytes;
       TransferEvent ev;
       ev.kind = TransferEvent::Kind::Completed;
@@ -100,6 +109,8 @@ std::uint64_t Fabric::put(std::size_t bytes, int sender_nodes, int receiver_node
                           std::function<void(SimTime)> on_failed) {
   const std::uint64_t id = next_id_++;
   const double wire = cost_->transfer_seconds(bytes, sender_nodes, receiver_nodes);
+  XL_ENSURE(std::isfinite(wire) && wire >= 0.0,
+            "cost model produced wire time " << wire << " for " << bytes << " bytes");
   if (config_.history_cap > 0) {
     while (history_.size() >= config_.history_cap) history_.pop_front();
     TransferRecord rec;

@@ -1,6 +1,8 @@
 #include "viz/marching_cubes.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <limits>
 #include <ostream>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace xl::viz {
@@ -121,12 +123,12 @@ Image render_mesh(const TriangleMesh& mesh, const RenderConfig& config) {
     const double area = (bx - ax) * (cy2 - ay) - (by - ay) * (cx2 - ax);
     if (std::fabs(area) < 1e-12) continue;
 
-    const int px_lo = std::max(0, static_cast<int>(std::floor(std::min({ax, bx, cx2}))));
+    const int px_lo = std::max(0, f2i<int>(std::floor(std::min({ax, bx, cx2}))));
     const int px_hi =
-        std::min(config.width - 1, static_cast<int>(std::ceil(std::max({ax, bx, cx2}))));
-    const int py_lo = std::max(0, static_cast<int>(std::floor(std::min({ay, by, cy2}))));
+        std::min(config.width - 1, f2i<int>(std::ceil(std::max({ax, bx, cx2}))));
+    const int py_lo = std::max(0, f2i<int>(std::floor(std::min({ay, by, cy2}))));
     const int py_hi =
-        std::min(config.height - 1, static_cast<int>(std::ceil(std::max({ay, by, cy2}))));
+        std::min(config.height - 1, f2i<int>(std::ceil(std::max({ay, by, cy2}))));
     for (int py = py_lo; py <= py_hi; ++py) {
       for (int px = px_lo; px <= px_hi; ++px) {
         const double x = px + 0.5, y = py + 0.5;
@@ -140,6 +142,8 @@ Image render_mesh(const TriangleMesh& mesh, const RenderConfig& config) {
         z = depth;
         auto& out = image.at(px, py);
         for (int ch = 0; ch < 3; ++ch) {
+          // xl-lint: allow(float-cast): clamped to [0,255] in floating point; shade and
+          // rgb are finite by construction, and this per-pixel loop is hot.
           out[static_cast<std::size_t>(ch)] = static_cast<std::uint8_t>(
               std::clamp(shade * config.surface_rgb[static_cast<std::size_t>(ch)],
                          0.0, 255.0));

@@ -1,5 +1,6 @@
 #include "workflow/config_file.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <istream>
 #include <sstream>

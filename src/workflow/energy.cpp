@@ -2,6 +2,8 @@
 
 #include "common/error.hpp"
 
+#include <algorithm>
+
 namespace xl::workflow {
 
 EnergyReport estimate_energy(const WorkflowResult& result, int sim_cores,

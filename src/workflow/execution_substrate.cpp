@@ -1,6 +1,9 @@
 #include "workflow/execution_substrate.hpp"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "common/contract.hpp"
 
 namespace xl::workflow {
 
@@ -8,6 +11,10 @@ namespace xl::workflow {
 
 void AnalyticSubstrate::release_until(double t) {
   while (!staged_.empty() && staged_.front().first <= t) {
+    XL_ASSERT(mem_used_ >= staged_.front().second,
+              "staging memory accounting underflow: used=" << mem_used_
+                                                           << " releasing "
+                                                           << staged_.front().second);
     mem_used_ -= staged_.front().second;
     staged_.pop_front();
   }
@@ -41,7 +48,7 @@ ShedReport AnalyticSubstrate::shed_staged(double lost_fraction) {
   for (auto& [release, bytes] : staged_) {
     const std::size_t lost =
         full ? bytes
-             : static_cast<std::size_t>(lost_fraction * static_cast<double>(bytes));
+             : f2s(lost_fraction * static_cast<double>(bytes));
     if (lost == 0) continue;
     bytes -= lost;
     mem_used_ -= lost;
@@ -83,6 +90,10 @@ double EventQueueSubstrate::enqueue_intransit(double arrive, double analysis_sec
   queue_.schedule_at(staging_free_at_, [this, id] {
     auto it = staged_bytes_.find(id);
     if (it != staged_bytes_.end()) {
+      XL_ASSERT(mem_used_ >= it->second,
+                "staging memory accounting underflow: used=" << mem_used_
+                                                             << " releasing "
+                                                             << it->second);
       mem_used_ -= it->second;
       staged_bytes_.erase(it);
     }
@@ -96,7 +107,7 @@ ShedReport EventQueueSubstrate::shed_staged(double lost_fraction) {
   for (auto& [id, bytes] : staged_bytes_) {
     const std::size_t lost =
         full ? bytes
-             : static_cast<std::size_t>(lost_fraction * static_cast<double>(bytes));
+             : f2s(lost_fraction * static_cast<double>(bytes));
     if (lost == 0) continue;
     bytes -= lost;
     mem_used_ -= lost;

@@ -1,6 +1,9 @@
 #include "workflow/experiment.hpp"
 
 #include "cluster/machine.hpp"
+#include "common/lookup.hpp"
+
+#include <algorithm>
 
 namespace xl::workflow {
 
@@ -50,7 +53,8 @@ amr::SyntheticAmrConfig titan_geometry(const TitanScale& scale) {
 }  // namespace
 
 WorkflowConfig titan_middleware_experiment(int scale_index, Mode mode) {
-  const TitanScale scale = titan_scales().at(static_cast<std::size_t>(scale_index));
+  const TitanScale scale =
+      at_index(titan_scales(), static_cast<std::size_t>(scale_index), "titan scale");
   WorkflowConfig c;
   c.machine = cluster::titan();
   c.sim_cores = scale.sim_cores;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "amr/memory_model.hpp"
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 
@@ -72,9 +74,9 @@ StepPipeline::StepPipeline(const WorkflowConfig& config, ExecutionSubstrate& sub
       observer_(observer) {
   const int cores_per_node = config_.machine.cores_per_node;
   sim_nodes_ = std::max(1, config_.sim_cores / cores_per_node);
-  usable_per_core_ = static_cast<std::size_t>(
-      config_.staging_usable_fraction *
-      static_cast<double>(config_.machine.mem_per_core_bytes()));
+  usable_per_core_ =
+      f2s(config_.staging_usable_fraction *
+          static_cast<double>(config_.machine.mem_per_core_bytes()));
 
   adaptive_ = config_.mode == Mode::AdaptiveMiddleware ||
               config_.mode == Mode::AdaptiveResource || config_.mode == Mode::Global;
@@ -104,9 +106,8 @@ StepPipeline::StepPipeline(const WorkflowConfig& config, ExecutionSubstrate& sub
   // its own boxes): the worst rank holds data_bytes * imbalance / N, and
   // marching cubes needs roughly that again for triangle buffers.
   hooks.insitu_analysis_mem = [this](std::size_t bytes) {
-    return static_cast<std::size_t>(2.0 * static_cast<double>(bytes) *
-                                    current_imbalance_ /
-                                    static_cast<double>(config_.sim_cores));
+    return f2s(2.0 * static_cast<double>(bytes) * current_imbalance_ /
+               static_cast<double>(config_.sim_cores));
   };
   hooks.on_decisions = [this](const runtime::OperationalState& state,
                               const runtime::EngineDecisions& dec) {
@@ -383,8 +384,8 @@ void AdaptPhase::run(StepContext& ctx) {
   // Adaptation runs on sampling steps; other steps reuse the last decisions.
   if (p_.adaptive_ && p_.monitor_.should_sample(ctx.step)) {
     if (config.monitor.estimator == runtime::EstimatorKind::Oracle) {
-      const auto active = static_cast<std::size_t>(
-          config.active_cell_fraction * static_cast<double>(ctx.analyzed_cells));
+      const auto active = f2s(config.active_cell_fraction *
+                              static_cast<double>(ctx.analyzed_cells));
       p_.monitor_.set_oracle(
           p_.analysis_seconds(ctx.analyzed_cells, active, config.sim_cores) *
               ctx.imbalance,
@@ -452,8 +453,8 @@ void ReducePhase::run(StepContext& ctx) {
         p_.cost_.downsample_seconds(ctx.eff_cells, config.sim_cores) * ctx.imbalance;
     p_.timeline_.advance_sim(ctx.record.reduce_seconds);
   }
-  ctx.active_cells = static_cast<std::size_t>(
-      config.active_cell_fraction * static_cast<double>(ctx.eff_cells));
+  ctx.active_cells =
+      f2s(config.active_cell_fraction * static_cast<double>(ctx.eff_cells));
 }
 
 // --- PlacementPhase ----------------------------------------------------------
@@ -483,8 +484,8 @@ void PlacementPhase::run(StepContext& ctx) {
         p_.analysis_seconds(ctx.eff_cells, ctx.active_cells, alive);
     double intransit_share =
         full_intransit > 0.0 ? std::min(1.0, ctx.sim_seconds / full_intransit) : 1.0;
-    const auto staged_bytes = static_cast<std::size_t>(
-        intransit_share * static_cast<double>(ctx.eff_bytes));
+    const auto staged_bytes =
+        f2s(intransit_share * static_cast<double>(ctx.eff_bytes));
     if (p_.timeline_.staging_mem_used() + staged_bytes >
         p_.staging_capacity(alive)) {
       intransit_share = 0.0;  // staging full: everything in-situ this step
@@ -517,8 +518,7 @@ void TransferPhase::run(StepContext& ctx) {
 
   const int alive = std::max(1, p_.effective_cores());
   ctx.transfer_bytes =
-      ctx.split ? static_cast<std::size_t>(ctx.intransit_share *
-                                           static_cast<double>(ctx.eff_bytes))
+      ctx.split ? f2s(ctx.intransit_share * static_cast<double>(ctx.eff_bytes))
                 : ctx.eff_bytes;
   ctx.wire_seconds = p_.cost_.transfer_seconds(ctx.transfer_bytes, p_.sim_nodes_,
                                                p_.staging_nodes(alive));

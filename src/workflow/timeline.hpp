@@ -7,9 +7,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "workflow/execution_substrate.hpp"
 
 namespace xl::workflow {
@@ -28,12 +30,21 @@ class Timeline {
     return std::max(0.0, substrate_.staging_free_at() - substrate_.sim_now());
   }
 
-  /// Mark the start of a step (window accounting).
-  void begin_step() { step_starts_.push_back(substrate_.sim_now()); }
+  /// Mark the start of a step (window accounting). Step starts are monotone:
+  /// the simulation clock never runs backwards between steps.
+  void begin_step() {
+    const double now = substrate_.sim_now();
+    XL_ASSERT(step_starts_.empty() || now >= step_starts_.back(),
+              "step starts at " << now << " before previous step's "
+                                << step_starts_.back());
+    step_starts_.push_back(now);
+  }
 
   /// Charge `seconds` to the simulation clock; `pure` marks T_i_sim proper
   /// (everything else — reductions, analyses, waits, overheads — is overhead).
   void advance_sim(double seconds, bool pure = false) {
+    XL_ASSERT(std::isfinite(seconds) && seconds >= 0.0,
+              "cannot advance the simulation clock by " << seconds << "s");
     substrate_.advance_sim(seconds);
     if (pure) pure_sim_seconds_ += seconds;
   }
@@ -45,7 +56,15 @@ class Timeline {
   }
 
   double enqueue_intransit(double arrive, double analysis_seconds, std::size_t bytes) {
-    return substrate_.enqueue_intransit(arrive, analysis_seconds, bytes);
+    XL_ASSERT(std::isfinite(arrive) && std::isfinite(analysis_seconds) &&
+                  analysis_seconds >= 0.0,
+              "bad in-transit enqueue: arrive=" << arrive
+                                                << " analysis=" << analysis_seconds);
+    const double done = substrate_.enqueue_intransit(arrive, analysis_seconds, bytes);
+    XL_ENSURE(done >= arrive, "in-transit analysis finishes at " << done
+                                                                << " before arrival at "
+                                                                << arrive);
+    return done;
   }
 
   /// Fault path: drop `lost_fraction` of every in-flight staged buffer

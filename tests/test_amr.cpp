@@ -1,6 +1,8 @@
 // Tests for the AMR machinery: tagging, Berger-Rigoutsos clustering,
 // inter-level interpolation, hierarchy regridding, the memory model and the
 // synthetic geometry evolution.
+#include <cmath>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <unordered_set>

@@ -1,5 +1,6 @@
 // Tests for the analysis kernels: downsampling, entropy (paper eq. 11),
 // descriptive statistics, subsetting and reconstruction-quality metrics.
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>

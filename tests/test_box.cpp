@@ -1,5 +1,6 @@
 // Box calculus tests: the algebra every other module builds on. Includes
 // parameterized property sweeps over sizes and refinement ratios.
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <set>

@@ -1,6 +1,7 @@
 // Tests for the fixed-rate lossy compressor (the application layer's second
 // reduction operator): round-trip bounds, rate model exactness, degenerate
 // inputs, and the bit-width/quality trade-off.
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -3,6 +3,7 @@
 // relocation, and the workflow-level guarantees — identical failure
 // timelines on both execution substrates, and every step completing (via
 // in-situ fallback) through staging crashes.
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <optional>

@@ -1,4 +1,6 @@
 // Tests for domain decomposition, load balancing and layout accounting.
+#include <algorithm>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <numeric>

@@ -4,6 +4,7 @@
 // goldens across machines and thread settings. Each test runs a kernel
 // serially and at several awkward worker counts (2, 3, 5 — never dividing the
 // range evenly) and compares raw bytes.
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>

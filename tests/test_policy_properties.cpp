@@ -1,10 +1,13 @@
 // Property-based tests over the adaptation policies: randomized inputs with
 // invariants that must hold for EVERY input, not just the worked examples of
 // test_runtime_policies.cpp.
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <limits>
 
 #include <algorithm>
 
+#include "common/contract.hpp"
 #include "common/rng.hpp"
 #include "runtime/app_policy.hpp"
 #include "runtime/middleware_policy.hpp"
@@ -42,8 +45,7 @@ TEST_P(AppPolicyProperty, FactorMonotoneInMemoryPressure) {
       EXPECT_NE(std::find(ladder.begin(), ladder.end(), d.factor), ladder.end());
       // When not constrained, the scratch fits the headroom budget.
       if (!d.memory_constrained) {
-        EXPECT_LE(d.scratch_bytes,
-                  static_cast<std::size_t>(0.9 * mem_mb * MB) + 1);
+        EXPECT_LE(d.scratch_bytes, xl::f2s(0.9 * mem_mb * MB) + 1);
       }
     }
   }

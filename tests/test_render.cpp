@@ -1,5 +1,6 @@
 // Tests for the software rasterizer: image plumbing, PPM format, occlusion
 // (z-buffer), shading bounds, and coverage of a known isosurface.
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "common/contract.hpp"
 #include "runtime/adaptation_engine.hpp"
 #include "runtime/app_policy.hpp"
 #include "runtime/middleware_policy.hpp"
@@ -33,7 +34,7 @@ TEST(AppPolicy, TightMemoryWalksUpTheLadder) {
   const std::size_t avail = 3 * MB;
   const AppDecision d = select_downsample_factor({2, 4, 8, 16}, raw_cells, 5, avail);
   EXPECT_GT(d.factor, 2);
-  EXPECT_LE(d.scratch_bytes, static_cast<std::size_t>(0.9 * avail));
+  EXPECT_LE(d.scratch_bytes, xl::f2s(0.9 * avail));
   EXPECT_FALSE(d.memory_constrained);
 }
 

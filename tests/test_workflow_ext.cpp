@@ -1,5 +1,6 @@
 // Tests for the workflow extensions: energy accounting (the paper's §7
 // future-work direction), trace export, and subcycled AMR time stepping.
+#include <cmath>
 #include <gtest/gtest.h>
 
 #include <memory>

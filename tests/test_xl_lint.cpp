@@ -1,0 +1,355 @@
+// Per-rule fixtures for the determinism-contract linter: for every rule, a
+// bad snippet is flagged, the same snippet with a suppression passes, and a
+// clean rewrite passes. The snippets live in raw strings, which the linter
+// scrubs, so this file itself stays clean under the xl_lint.tree_clean gate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "xl_lint/lint.hpp"
+
+namespace xl::lint {
+namespace {
+
+int count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(std::count_if(
+      findings.begin(), findings.end(),
+      [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// --- wallclock ---------------------------------------------------------------
+
+TEST(Wallclock, BadFlagged) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+#include <chrono>
+double now() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+)cpp");
+  EXPECT_EQ(count_rule(f, "wallclock"), 1);
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(Wallclock, SuppressedPasses) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+// xl-lint: allow(wallclock): measurement-only diagnostic
+auto t = std::chrono::steady_clock::now();
+)cpp");
+  EXPECT_EQ(count_rule(f, "wallclock"), 0);
+}
+
+TEST(Wallclock, CleanPasses) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+double now(const Timeline& tl) { return tl.sim_now(); }
+)cpp");
+  EXPECT_EQ(count_rule(f, "wallclock"), 0);
+}
+
+TEST(Wallclock, RngHeaderExempt) {
+  const auto f = lint_text("src/common/rng.hpp",
+                           "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(count_rule(f, "wallclock"), 0);
+}
+
+// --- raw-random --------------------------------------------------------------
+
+TEST(RawRandom, BadFlagged) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+#include <random>
+int roll() { std::mt19937 gen(std::random_device{}()); return rand(); }
+)cpp");
+  EXPECT_GE(count_rule(f, "raw-random"), 1);
+}
+
+TEST(RawRandom, SuppressedPasses) {
+  const auto f = lint_text(
+      "src/foo.cpp",
+      "std::mt19937 gen(7);  // xl-lint: allow(raw-random): fixture only\n");
+  EXPECT_EQ(count_rule(f, "raw-random"), 0);
+}
+
+TEST(RawRandom, CleanPasses) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+#include "common/rng.hpp"
+double draw(xl::Rng& rng) { return rng.uniform(); }
+)cpp");
+  EXPECT_EQ(count_rule(f, "raw-random"), 0);
+}
+
+TEST(RawRandom, IdentifierBoundariesRespected) {
+  // `brand(` and `operand(x)` must not match the C rand() pattern.
+  const auto f = lint_text("src/foo.cpp", "int a = brand(); int b = operand(2);\n");
+  EXPECT_EQ(count_rule(f, "raw-random"), 0);
+}
+
+// --- unordered-iter ----------------------------------------------------------
+
+constexpr const char* kUnorderedIter = R"cpp(
+#include <unordered_map>
+double total(const std::unordered_map<int, double>& costs) {
+  double t = 0.0;
+  for (const auto& kv : costs) t += kv.second;
+  return t;
+}
+)cpp";
+
+TEST(UnorderedIter, BadFlaggedInScopedLayers) {
+  EXPECT_EQ(count_rule(lint_text("src/runtime/foo.cpp", kUnorderedIter),
+                       "unordered-iter"),
+            1);
+  EXPECT_EQ(count_rule(lint_text("src/cluster/foo.cpp", kUnorderedIter),
+                       "unordered-iter"),
+            1);
+  EXPECT_EQ(count_rule(lint_text("src/workflow/foo.cpp", kUnorderedIter),
+                       "unordered-iter"),
+            1);
+}
+
+TEST(UnorderedIter, OutOfScopeLayersPass) {
+  // Order only matters where accumulation reaches the timeline; viz is free
+  // to iterate hash order.
+  EXPECT_EQ(count_rule(lint_text("src/viz/foo.cpp", kUnorderedIter),
+                       "unordered-iter"),
+            0);
+}
+
+TEST(UnorderedIter, ExplicitBeginFlagged) {
+  const auto f = lint_text("src/runtime/foo.cpp", R"cpp(
+std::unordered_set<int> pending;
+void drain() { for (auto it = pending.begin(); it != pending.end(); ++it) {} }
+)cpp");
+  EXPECT_EQ(count_rule(f, "unordered-iter"), 1);
+}
+
+TEST(UnorderedIter, SuppressedPasses) {
+  const auto f = lint_text("src/runtime/foo.cpp", R"cpp(
+std::unordered_map<int, double> costs;
+// xl-lint: allow(unordered-iter): keys are copied out and sorted below
+for (const auto& kv : costs) keys.push_back(kv.first);
+)cpp");
+  EXPECT_EQ(count_rule(f, "unordered-iter"), 0);
+}
+
+TEST(UnorderedIter, OrderedContainerPasses) {
+  const auto f = lint_text("src/runtime/foo.cpp", R"cpp(
+#include <map>
+double total(const std::map<int, double>& costs) {
+  double t = 0.0;
+  for (const auto& kv : costs) t += kv.second;
+  return t;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "unordered-iter"), 0);
+}
+
+// --- float-cast --------------------------------------------------------------
+
+TEST(FloatCast, BadFlagged) {
+  const auto f = lint_text("src/foo.cpp",
+                           "int n = static_cast<int>(1.5 * scale);\n");
+  EXPECT_EQ(count_rule(f, "float-cast"), 1);
+}
+
+TEST(FloatCast, MathCallFlagged) {
+  const auto f = lint_text(
+      "src/foo.cpp", "auto k = static_cast<std::size_t>(std::floor(x));\n");
+  EXPECT_EQ(count_rule(f, "float-cast"), 1);
+}
+
+TEST(FloatCast, SuppressedPasses) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+// xl-lint: allow(float-cast): value clamped to [0,255] on the previous line
+auto b = static_cast<uint8_t>(v * 255.0);
+)cpp");
+  EXPECT_EQ(count_rule(f, "float-cast"), 0);
+}
+
+TEST(FloatCast, GuardedConversionPasses) {
+  const auto f = lint_text("src/foo.cpp",
+                           "std::size_t n = xl::f2s(1.5 * scale);\n");
+  EXPECT_EQ(count_rule(f, "float-cast"), 0);
+}
+
+TEST(FloatCast, IntegerToIntegerCastPasses) {
+  const auto f = lint_text("src/foo.cpp",
+                           "int n = static_cast<int>(count + offset);\n");
+  EXPECT_EQ(count_rule(f, "float-cast"), 0);
+}
+
+// --- parallel-merge ----------------------------------------------------------
+
+TEST(ParallelMerge, BadFlagged) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+parallel_for(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) out.push_back(i);
+});
+)cpp");
+  EXPECT_EQ(count_rule(f, "parallel-merge"), 1);
+}
+
+TEST(ParallelMerge, SuppressedPasses) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+// xl-lint: allow(parallel-merge): guarded by results_mutex_, order irrelevant
+parallel_for(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
+  out.push_back(lo);
+});
+)cpp");
+  EXPECT_EQ(count_rule(f, "parallel-merge"), 0);
+}
+
+TEST(ParallelMerge, LocalContainerPasses) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+parallel_for(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
+  std::vector<int> local;
+  for (std::size_t i = lo; i < hi; ++i) local.push_back(static_cast<int>(i));
+});
+)cpp");
+  EXPECT_EQ(count_rule(f, "parallel-merge"), 0);
+}
+
+TEST(ParallelMerge, DeclarationPasses) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+)cpp");
+  EXPECT_EQ(count_rule(f, "parallel-merge"), 0);
+}
+
+// --- missing-include ---------------------------------------------------------
+
+TEST(MissingInclude, BadFlagged) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+double norm(double x) { return std::sqrt(x); }
+)cpp");
+  EXPECT_EQ(count_rule(f, "missing-include"), 1);
+}
+
+TEST(MissingInclude, SuppressedPasses) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+// xl-lint: allow(missing-include): header comes in via the PCH
+double norm(double x) { return std::sqrt(x); }
+)cpp");
+  EXPECT_EQ(count_rule(f, "missing-include"), 0);
+}
+
+TEST(MissingInclude, IncludedPasses) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+#include <cmath>
+double norm(double x) { return std::sqrt(x); }
+)cpp");
+  EXPECT_EQ(count_rule(f, "missing-include"), 0);
+}
+
+// --- banned-symbol -----------------------------------------------------------
+
+TEST(BannedSymbol, BadFlagged) {
+  const auto f = lint_text("src/foo.cpp",
+                           "const char* v = std::getenv(name);\n");
+  EXPECT_EQ(count_rule(f, "banned-symbol"), 1);
+}
+
+TEST(BannedSymbol, SleepFlagged) {
+  const auto f = lint_text(
+      "src/foo.cpp", "std::this_thread::sleep_for(std::chrono::seconds(1));\n");
+  EXPECT_EQ(count_rule(f, "banned-symbol"), 1);
+}
+
+TEST(BannedSymbol, SuppressedPasses) {
+  const auto f = lint_text(
+      "src/foo.cpp",
+      "const char* v = std::getenv(name);  // xl-lint: allow(banned-symbol): "
+      "sanctioned escape hatch\n");
+  EXPECT_EQ(count_rule(f, "banned-symbol"), 0);
+}
+
+TEST(BannedSymbol, CleanPasses) {
+  const auto f = lint_text("src/foo.cpp",
+                           "int threads = config.threads;  // via config layer\n");
+  EXPECT_EQ(count_rule(f, "banned-symbol"), 0);
+}
+
+// --- suppression mechanics ---------------------------------------------------
+
+TEST(Suppression, FileWideCoversEveryLine) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+// xl-lint: allow-file(wallclock): this whole file is a benchmark harness
+auto a = std::chrono::steady_clock::now();
+void later() { auto b = std::chrono::steady_clock::now(); }
+)cpp");
+  EXPECT_EQ(count_rule(f, "wallclock"), 0);
+}
+
+TEST(Suppression, MultipleRulesInOneMarker) {
+  const auto f = lint_text(
+      "src/foo.cpp",
+      "// xl-lint: allow(wallclock, banned-symbol): timing harness\n"
+      "auto t = std::chrono::steady_clock::now(); std::getenv(name);\n");
+  EXPECT_EQ(count_rule(f, "wallclock"), 0);
+  EXPECT_EQ(count_rule(f, "banned-symbol"), 0);
+}
+
+TEST(Suppression, MultiLineCommentCarriesToNextCodeLine) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+// xl-lint: allow(wallclock): the explanation of why this is fine runs long
+// and wraps onto a second comment line before the code it guards.
+auto t = std::chrono::steady_clock::now();
+)cpp");
+  EXPECT_EQ(count_rule(f, "wallclock"), 0);
+}
+
+TEST(Suppression, WrongRuleDoesNotSuppress) {
+  const auto f = lint_text(
+      "src/foo.cpp",
+      "auto t = std::chrono::steady_clock::now();  // xl-lint: allow(float-cast)\n");
+  EXPECT_EQ(count_rule(f, "wallclock"), 1);
+}
+
+TEST(Suppression, DoesNotLeakPastTheGuardedLine) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+// xl-lint: allow(wallclock): only the next line
+auto a = std::chrono::steady_clock::now();
+auto b = std::chrono::steady_clock::now();
+)cpp");
+  EXPECT_EQ(count_rule(f, "wallclock"), 1);
+}
+
+// --- scrubbing ---------------------------------------------------------------
+
+TEST(Scrubbing, CommentsAndStringsAreInvisible) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+// std::chrono::steady_clock in a comment is not a finding
+const char* msg = "std::getenv(name) inside a string is not a finding";
+)cpp");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Scrubbing, DigitSeparatorIsNotACharLiteral) {
+  // 1'000'000 must not open a char literal and swallow the rest of the file.
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+const int big = 1'000'000;
+auto t = std::chrono::steady_clock::now();
+)cpp");
+  EXPECT_EQ(count_rule(f, "wallclock"), 1);
+}
+
+// --- CLI-facing basics -------------------------------------------------------
+
+TEST(Rules, AtLeastSevenRegisteredWithSummaries) {
+  EXPECT_GE(rules().size(), 7u);
+  for (const RuleInfo& r : rules()) {
+    EXPECT_FALSE(std::string(r.id).empty());
+    EXPECT_FALSE(std::string(r.summary).empty());
+  }
+}
+
+TEST(Findings, SortedByLine) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+auto b = std::chrono::steady_clock::now();
+const char* v = std::getenv(name);
+)cpp");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_LT(f[0].line, f[1].line);
+}
+
+}  // namespace
+}  // namespace xl::lint

@@ -1,0 +1,26 @@
+// Seeded-bad fixture for the unordered-iter rule. Never compiled; its display
+// path (src/runtime/...) puts it inside the layers where accumulation order
+// reaches the timeline, so iterating an unordered container must be flagged.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+double accumulate_costs(const std::unordered_map<std::string, double>& costs) {
+  double total = 0.0;
+  for (const auto& entry : costs) {  // order-dependent accumulation: flagged
+    total = total * 1.0000001 + entry.second;
+  }
+  return total;
+}
+
+int count_explicit_begin(const std::unordered_set<int>& pending) {
+  int n = 0;
+  for (auto it = pending.begin(); it != pending.end(); ++it) {  // flagged
+    n += *it;
+  }
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,668 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace xl::lint {
+
+namespace {
+
+// --- scrubbing ---------------------------------------------------------------
+
+// Blank out comments, string literals, char literals, and raw strings so the
+// rule patterns only ever see code. Newlines are preserved (line numbers stay
+// valid); every other scrubbed character becomes a space.
+std::string scrub(const std::string& text) {
+  std::string out = text;
+  enum class State { Normal, LineComment, BlockComment, String, Char, RawString };
+  State state = State::Normal;
+  std::string raw_close;  // )delim" terminator of the active raw string.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::Normal:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(out[i - 1])) &&
+                               out[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          std::size_t open = i + 2;
+          std::string delim;
+          while (open < out.size() && out[open] != '(') delim += out[open++];
+          raw_close = ")" + delim + "\"";
+          state = State::RawString;
+          for (std::size_t j = i; j <= open && j < out.size(); ++j) {
+            if (out[j] != '\n') out[j] = ' ';
+          }
+          i = open;
+        } else if (c == '"') {
+          state = State::String;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          // Skip digit separators (1'000'000).
+          const bool separator =
+              i > 0 && std::isdigit(static_cast<unsigned char>(out[i - 1])) &&
+              std::isdigit(static_cast<unsigned char>(next));
+          if (!separator) state = State::Char;
+          out[i] = ' ';
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') {
+          state = State::Normal;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::Normal;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::String:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::Normal;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::Char:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::Normal;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::RawString:
+        if (out.compare(i, raw_close.size(), raw_close) == 0) {
+          for (std::size_t j = 0; j < raw_close.size(); ++j) out[i + j] = ' ';
+          i += raw_close.size() - 1;
+          state = State::Normal;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    const auto nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+int line_of_offset(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() +
+                                             static_cast<std::ptrdiff_t>(offset), '\n'));
+}
+
+// --- suppressions ------------------------------------------------------------
+
+struct Suppressions {
+  std::set<std::string> file_wide;            // rule ids allowed file-wide.
+  std::map<int, std::set<std::string>> line;  // line -> rule ids.
+
+  bool allows(const std::string& rule, int at_line) const {
+    if (file_wide.count(rule) || file_wide.count("all")) return true;
+    // Suppressions guard exactly one code line: parse_suppressions resolves a
+    // comment-only marker to the code line below it, so no fuzzy reach here.
+    const auto it = line.find(at_line);
+    return it != line.end() && (it->second.count(rule) || it->second.count("all"));
+  }
+};
+
+bool is_comment_only_line(const std::string& raw) {
+  const std::size_t first = raw.find_first_not_of(" \t");
+  return first != std::string::npos && raw.compare(first, 2, "//") == 0;
+}
+
+Suppressions parse_suppressions(const std::vector<std::string>& raw_lines) {
+  static const std::regex kAllow(
+      R"(xl-lint:\s*allow(-file)?\(\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\s*\))");
+  Suppressions sup;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    std::smatch m;
+    std::string::const_iterator begin = raw_lines[i].begin();
+    while (std::regex_search(begin, raw_lines[i].cend(), m, kAllow)) {
+      const bool file_wide = m[1].matched;
+      // A suppression on a comment-only line guards the next code line, even
+      // when the explanatory comment wraps over several lines. A trailing
+      // suppression on a code line guards that line itself.
+      std::size_t target = i;
+      if (is_comment_only_line(raw_lines[i])) {
+        target = i + 1;
+        while (target < raw_lines.size() && is_comment_only_line(raw_lines[target])) {
+          ++target;
+        }
+      }
+      std::string ids = m[2].str();
+      std::string id;
+      std::istringstream is(ids);
+      while (std::getline(is, id, ',')) {
+        id.erase(std::remove_if(id.begin(), id.end(),
+                                [](unsigned char c) { return std::isspace(c); }),
+                 id.end());
+        if (id.empty()) continue;
+        if (file_wide) {
+          sup.file_wide.insert(id);
+        } else {
+          sup.line[static_cast<int>(target) + 1].insert(id);
+        }
+      }
+      begin = m.suffix().first;
+    }
+  }
+  return sup;
+}
+
+// --- small helpers -----------------------------------------------------------
+
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool path_contains(const std::string& path, const std::string& piece) {
+  return path.find(piece) != std::string::npos;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Find `needle` as a whole identifier (not a substring of a longer one).
+std::size_t find_ident(const std::string& text, const std::string& needle,
+                       std::size_t from) {
+  std::size_t pos = text.find(needle, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(text[pos - 1]);
+    const std::size_t end = pos + needle.size();
+    const bool right_ok = end >= text.size() || !ident_char(text[end]);
+    if (left_ok && right_ok) return pos;
+    pos = text.find(needle, pos + 1);
+  }
+  return std::string::npos;
+}
+
+/// Starting at the '(' (or '<') at `open`, return the offset one past the
+/// matching close, or npos when unbalanced.
+std::size_t match_pair(const std::string& text, std::size_t open, char oc, char cc) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == oc) ++depth;
+    if (text[i] == cc) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_spaces(const std::string& text, std::size_t i) {
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  return i;
+}
+
+// --- rules -------------------------------------------------------------------
+
+struct Ctx {
+  const std::string& path;
+  const std::string& scrubbed;                 // whole file, strings/comments blanked.
+  const std::vector<std::string>& lines;       // scrubbed, split.
+  std::vector<Finding>& findings;
+
+  void add(int line, const char* rule, std::string message) const {
+    findings.push_back(Finding{path, line, rule, std::move(message)});
+  }
+};
+
+// Rule: wallclock. Any wall-clock read makes a timeline depend on the host;
+// simulated time must come from the substrate clock.
+void rule_wallclock(const Ctx& ctx) {
+  if (path_ends_with(ctx.path, "common/rng.hpp")) return;
+  static const char* kSources[] = {
+      "std::chrono::system_clock", "std::chrono::steady_clock",
+      "std::chrono::high_resolution_clock", "gettimeofday", "clock_gettime",
+  };
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    for (const char* source : kSources) {
+      if (ctx.lines[i].find(source) != std::string::npos) {
+        ctx.add(static_cast<int>(i) + 1, "wallclock",
+                std::string("wall-clock source '") + source +
+                    "' breaks the determinism contract; use the substrate clock, or "
+                    "suppress with a reason if this is measurement-only output");
+        break;
+      }
+    }
+  }
+}
+
+// Rule: raw-random. All randomness must flow from a seeded xl::Rng.
+void rule_raw_random(const Ctx& ctx) {
+  if (path_ends_with(ctx.path, "common/rng.hpp")) return;
+  static const char* kSources[] = {
+      "std::random_device", "std::mt19937",        "std::default_random_engine",
+      "std::minstd_rand",   "drand48",             "lrand48",
+  };
+  static const std::regex kCRand(R"((^|[^\w:.>])s?rand\s*\()");
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& line = ctx.lines[i];
+    bool hit = false;
+    for (const char* source : kSources) {
+      if (find_ident(line, source, 0) != std::string::npos) {
+        ctx.add(static_cast<int>(i) + 1, "raw-random",
+                std::string("nondeterministic randomness source '") + source +
+                    "'; derive a seeded xl::Rng (common/rng.hpp) via split() instead");
+        hit = true;
+        break;
+      }
+    }
+    if (!hit && std::regex_search(line, kCRand)) {
+      ctx.add(static_cast<int>(i) + 1, "raw-random",
+              "C rand()/srand() is global, unseeded state; use a seeded xl::Rng "
+              "(common/rng.hpp)");
+    }
+  }
+}
+
+// Rule: unordered-iter. In the layers whose accumulation order reaches the
+// timeline (runtime, cluster, workflow), iterating an unordered container is
+// an order-of-evaluation bug waiting for a rehash.
+void rule_unordered_iter(const Ctx& ctx) {
+  const bool scoped = path_contains(ctx.path, "src/runtime") ||
+                      path_contains(ctx.path, "src/cluster") ||
+                      path_contains(ctx.path, "src/workflow");
+  if (!scoped) return;
+
+  // Pass 1: names declared as unordered containers in this file.
+  std::set<std::string> names;
+  for (const std::string& line : ctx.lines) {
+    for (const char* kind : {"unordered_map", "unordered_set"}) {
+      std::size_t pos = find_ident(line, kind, 0);
+      while (pos != std::string::npos) {
+        const std::size_t open = line.find('<', pos);
+        if (open != std::string::npos) {
+          const std::size_t close = match_pair(line, open, '<', '>');
+          if (close != std::string::npos) {
+            std::size_t id = skip_spaces(line, close);
+            if (id < line.size() && (line[id] == '&' || line[id] == '*')) {
+              id = skip_spaces(line, id + 1);
+            }
+            std::string name;
+            while (id < line.size() && ident_char(line[id])) name += line[id++];
+            if (!name.empty()) names.insert(name);
+          }
+        }
+        pos = find_ident(line, kind, pos + 1);
+      }
+    }
+  }
+  if (names.empty()) return;
+
+  // Pass 2: range-for or .begin() iteration over one of those names.
+  static const std::regex kRangeFor(R"(for\s*\([^;()]*:\s*([A-Za-z_]\w*)\s*\))");
+  static const std::regex kBegin(R"(([A-Za-z_]\w*)\s*\.\s*c?begin\s*\()");
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    for (const auto* re : {&kRangeFor, &kBegin}) {
+      std::smatch m;
+      std::string::const_iterator begin = ctx.lines[i].begin();
+      while (std::regex_search(begin, ctx.lines[i].cend(), m, *re)) {
+        if (names.count(m[1].str())) {
+          ctx.add(static_cast<int>(i) + 1, "unordered-iter",
+                  "iteration over unordered container '" + m[1].str() +
+                      "' is hash-order dependent; iterate sorted keys or use an "
+                      "ordered container on this path");
+        }
+        begin = m.suffix().first;
+      }
+    }
+  }
+}
+
+// Rule: float-cast. Raw static_cast from floating point to integer is UB on
+// NaN and out-of-range values (the Histogram bug class); conversions must go
+// through the guarded helpers in common/contract.hpp.
+void rule_float_cast(const Ctx& ctx) {
+  if (path_ends_with(ctx.path, "common/contract.hpp")) return;
+  static const std::regex kFloatish(
+      R"(double|float|[0-9]\.[0-9]|std::(floor|ceil|round|pow|sqrt|log|exp|lround))");
+  std::size_t pos = ctx.scrubbed.find("static_cast", 0);
+  while (pos != std::string::npos) {
+    const std::size_t open_angle = skip_spaces(ctx.scrubbed, pos + 11);
+    if (open_angle >= ctx.scrubbed.size() || ctx.scrubbed[open_angle] != '<') {
+      pos = ctx.scrubbed.find("static_cast", pos + 1);
+      continue;
+    }
+    const std::size_t close_angle = match_pair(ctx.scrubbed, open_angle, '<', '>');
+    if (close_angle == std::string::npos) break;
+    std::string type = ctx.scrubbed.substr(open_angle + 1, close_angle - open_angle - 2);
+    type.erase(std::remove_if(type.begin(), type.end(),
+                              [](unsigned char c) { return std::isspace(c); }),
+               type.end());
+    if (type.rfind("std::", 0) == 0) type = type.substr(5);
+    static const std::set<std::string> kIntegral = {
+        "int",      "long",     "longlong", "short",    "char",     "unsigned",
+        "unsignedint", "unsignedlong", "unsignedlonglong", "size_t", "ptrdiff_t",
+        "int8_t",   "int16_t",  "int32_t",  "int64_t",  "uint8_t",  "uint16_t",
+        "uint32_t", "uint64_t",
+    };
+    if (kIntegral.count(type)) {
+      const std::size_t open_paren = skip_spaces(ctx.scrubbed, close_angle);
+      if (open_paren < ctx.scrubbed.size() && ctx.scrubbed[open_paren] == '(') {
+        const std::size_t close_paren =
+            match_pair(ctx.scrubbed, open_paren, '(', ')');
+        if (close_paren != std::string::npos) {
+          const std::string expr =
+              ctx.scrubbed.substr(open_paren + 1, close_paren - open_paren - 2);
+          if (std::regex_search(expr, kFloatish)) {
+            ctx.add(line_of_offset(ctx.scrubbed, pos), "float-cast",
+                    "raw static_cast<" + type +
+                        "> from a floating-point expression; use xl::f2i/xl::f2s "
+                        "(common/contract.hpp) or clamp first and suppress");
+          }
+        }
+      }
+    }
+    pos = ctx.scrubbed.find("static_cast", close_angle);
+  }
+}
+
+// Rule: parallel-merge. A parallel_for body mutating a shared container is a
+// race and -- even with locking -- an ordering leak; per-chunk results must be
+// merged in chunk order (parallel_for_chunks).
+void rule_parallel_merge(const Ctx& ctx) {
+  static const std::regex kMutation(
+      R"(([A-Za-z_]\w*)\s*\.\s*(push_back|emplace_back|insert|emplace)\s*\()");
+  std::size_t pos = find_ident(ctx.scrubbed, "parallel_for", 0);
+  while (pos != std::string::npos) {
+    // Skip declarations/definitions ("void parallel_for(...)").
+    std::size_t before = pos;
+    while (before > 0 &&
+           std::isspace(static_cast<unsigned char>(ctx.scrubbed[before - 1]))) {
+      --before;
+    }
+    std::size_t word_start = before;
+    while (word_start > 0 && ident_char(ctx.scrubbed[word_start - 1])) --word_start;
+    const std::string prev = ctx.scrubbed.substr(word_start, before - word_start);
+    const std::size_t open = skip_spaces(ctx.scrubbed, pos + 12);
+    if (prev == "void" || open >= ctx.scrubbed.size() || ctx.scrubbed[open] != '(') {
+      pos = find_ident(ctx.scrubbed, "parallel_for", pos + 1);
+      continue;
+    }
+    const std::size_t close = match_pair(ctx.scrubbed, open, '(', ')');
+    if (close == std::string::npos) break;
+    const std::string body = ctx.scrubbed.substr(open + 1, close - open - 2);
+    std::smatch m;
+    std::string::const_iterator begin = body.begin();
+    while (std::regex_search(begin, body.cend(), m, kMutation)) {
+      const std::string name = m[1].str();
+      // A container declared inside the body is thread-local: fine.
+      const std::regex local_decl("(^|[^.\\w>])(auto|[A-Za-z_][\\w:]*(<[^<>;]*>)?)[ \t&]+" +
+                                  name + "\\s*[;={(]");
+      if (!std::regex_search(body, local_decl)) {
+        ctx.add(line_of_offset(ctx.scrubbed, pos), "parallel-merge",
+                "parallel_for body mutates shared container '" + name +
+                    "' (." + m[2].str() +
+                    "); merge per-chunk results in chunk order via "
+                    "parallel_for_chunks instead");
+      }
+      begin = m.suffix().first;
+    }
+    pos = find_ident(ctx.scrubbed, "parallel_for", close);
+  }
+}
+
+// Rule: missing-include. The curated symbol -> header pairs that have bitten
+// this repo before (the threading PR shipped a missing <limits> twice).
+void rule_missing_include(const Ctx& ctx, const std::string& raw_text) {
+  struct Pair {
+    const char* header;
+    const char* pattern;
+    const char* example;
+  };
+  static const Pair kPairs[] = {
+      {"limits", R"(std::numeric_limits)", "std::numeric_limits"},
+      {"cmath",
+       R"(std::(sqrt|pow|floor|ceil|isnan|isfinite|log2?|exp|lround|hypot|cbrt|sin|cos|fabs|atan2?)\s*\()",
+       "std::sqrt"},
+      {"cstdint", R"(std::u?int(8|16|32|64)_t)", "std::uint64_t"},
+      {"algorithm",
+       R"(std::(sort|stable_sort|min|max|clamp|transform|fill|copy|lower_bound|upper_bound|min_element|max_element|nth_element|all_of|any_of|none_of|find_if|remove_if|partial_sort|rotate|unique|reverse)\s*[(<])",
+       "std::sort"},
+      {"numeric", R"(std::(accumulate|iota|reduce|inner_product|partial_sum)\s*[(<])",
+       "std::accumulate"},
+      {"sstream", R"(std::[io]?stringstream)", "std::ostringstream"},
+  };
+  for (const Pair& pair : kPairs) {
+    const std::regex sym(pair.pattern);
+    std::smatch m;
+    if (!std::regex_search(ctx.scrubbed, m, sym)) continue;
+    const std::string include = std::string("#include <") + pair.header + ">";
+    if (raw_text.find(include) != std::string::npos) continue;
+    const auto offset = static_cast<std::size_t>(m.position(0));
+    ctx.add(line_of_offset(ctx.scrubbed, offset), "missing-include",
+            std::string("uses ") + m[0].str() + " but does not include <" +
+                pair.header + "> (transitive includes are not a contract)");
+  }
+}
+
+// Rule: banned-symbol. Environment and process escapes make behaviour depend
+// on the host; configuration must flow through the config file / CLI layer.
+void rule_banned_symbol(const Ctx& ctx) {
+  static const std::regex kGetenv(R"((^|[^\w:.>])(std::)?getenv\s*\()");
+  static const std::regex kSystem(R"((^|[^\w:.>])(std::)?system\s*\()");
+  static const char* kSleeps[] = {"sleep_for", "sleep_until", "usleep", "setenv"};
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& line = ctx.lines[i];
+    if (std::regex_search(line, kGetenv)) {
+      ctx.add(static_cast<int>(i) + 1, "banned-symbol",
+              "getenv makes behaviour depend on the host environment; plumb the "
+              "value through the config/CLI layer (or suppress at the single "
+              "sanctioned read site)");
+    }
+    if (std::regex_search(line, kSystem)) {
+      ctx.add(static_cast<int>(i) + 1, "banned-symbol",
+              "system() shells out; spawn nothing from library code");
+    }
+    for (const char* sleep : kSleeps) {
+      if (find_ident(line, sleep, 0) != std::string::npos) {
+        ctx.add(static_cast<int>(i) + 1, "banned-symbol",
+                std::string("'") + sleep +
+                    "' introduces host-timing dependence; coordinate via "
+                    "condition variables or the substrate clock");
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"wallclock", "wall-clock/time sources outside the substrate clock"},
+      {"raw-random", "unseeded or global randomness outside common/rng.hpp"},
+      {"unordered-iter",
+       "iteration over unordered containers in src/runtime, src/cluster, src/workflow"},
+      {"float-cast", "raw static_cast from floating point to integer without a guard"},
+      {"parallel-merge", "parallel_for body mutating a shared container"},
+      {"missing-include", "use of a std symbol without its owning header"},
+      {"banned-symbol", "environment/process escapes (getenv, system, sleeps)"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> lint_text(const std::string& path, const std::string& text) {
+  std::vector<Finding> findings;
+  const std::string scrubbed = scrub(text);
+  const std::vector<std::string> raw_lines = split_lines(text);
+  const std::vector<std::string> lines = split_lines(scrubbed);
+  const Suppressions sup = parse_suppressions(raw_lines);
+
+  const Ctx ctx{path, scrubbed, lines, findings};
+  rule_wallclock(ctx);
+  rule_raw_random(ctx);
+  rule_unordered_iter(ctx);
+  rule_float_cast(ctx);
+  rule_parallel_merge(ctx);
+  rule_missing_include(ctx, text);
+  rule_banned_symbol(ctx);
+
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    if (!sup.allows(f.rule, f.line)) kept.push_back(std::move(f));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return kept;
+}
+
+std::vector<Finding> lint_file(const std::string& disk_path,
+                               const std::string& display_path) {
+  std::ifstream in(disk_path, std::ios::binary);
+  if (!in) {
+    return {Finding{display_path, 0, "io", "cannot open file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_text(display_path, buffer.str());
+}
+
+std::vector<std::string> collect_sources(const std::string& root,
+                                         const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  const auto wanted = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+  };
+  const auto skipped_dir = [](const std::string& name) {
+    return name == ".git" || name == "fixtures" || name.rfind("build", 0) == 0;
+  };
+  for (const std::string& rel : paths) {
+    const fs::path base = fs::path(root) / rel;
+    if (fs::is_regular_file(base)) {
+      out.push_back(rel);
+      continue;
+    }
+    if (!fs::is_directory(base)) continue;
+    fs::recursive_directory_iterator it(base), end;
+    while (it != end) {
+      if (it->is_directory() && skipped_dir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+      } else if (it->is_regular_file() && wanted(it->path())) {
+        out.push_back(fs::relative(it->path(), root).generic_string());
+      }
+      ++it;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+int run_cli(int argc, const char* const* argv) {
+  std::string root = ".";
+  std::vector<std::string> paths;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& rule : rules()) {
+        std::cout << rule.id << "  " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: xl_lint [--root DIR] [--quiet] [--list-rules] PATH...\n"
+                   "Lints .cpp/.hpp/.h/.cc files under each PATH (relative to "
+                   "--root) against\nthe determinism-contract rules. Exit 0 = "
+                   "clean, 1 = findings, 2 = error.\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "xl_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "xl_lint: no paths given (try --help)\n";
+    return 2;
+  }
+  const std::vector<std::string> files = collect_sources(root, paths);
+  if (files.empty()) {
+    std::cerr << "xl_lint: no source files found under the given paths\n";
+    return 2;
+  }
+  std::size_t total = 0;
+  std::size_t files_with_findings = 0;
+  for (const std::string& rel : files) {
+    const std::string disk = (std::filesystem::path(root) / rel).string();
+    const std::vector<Finding> findings = lint_file(disk, rel);
+    if (!findings.empty()) ++files_with_findings;
+    total += findings.size();
+    for (const Finding& f : findings) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+                << "\n";
+    }
+  }
+  if (!quiet) {
+    std::cerr << "xl_lint: " << files.size() << " files, " << total << " finding"
+              << (total == 1 ? "" : "s");
+    if (total != 0) std::cerr << " in " << files_with_findings << " files";
+    std::cerr << "\n";
+  }
+  return total == 0 ? 0 : 1;
+}
+
+}  // namespace xl::lint

@@ -1,0 +1,66 @@
+// xl_lint: the project's determinism-contract checker.
+//
+// A small, dependency-free static analyzer that enforces the repo's hard
+// invariants (bit-identical timelines, seeded-only randomness, ordered
+// parallel merges, guarded numeric conversions) at commit time instead of
+// test time. It is deliberately lexical -- comments, strings, and raw
+// strings are scrubbed, then per-rule pattern checks run over the scrubbed
+// text -- which keeps it fast, deterministic, and easy to extend, at the
+// cost of being a heuristic: every rule supports explicit suppression.
+//
+// Suppression syntax. A trailing suppression guards its own line; one on a
+// comment-only line guards the next code line, however many comment lines the
+// explanation spans:
+//   // xl-lint: allow(<rule>)                 -- bare
+//   // xl-lint: allow(<rule>): <reason>       -- with the reason string
+//   // xl-lint: allow(<rule>, <rule2>): ...   -- several rules at once
+//   // xl-lint: allow-file(<rule>): <reason>  -- whole file
+//
+// Rules (see rules() for the authoritative list):
+//   wallclock        wall-clock/time sources outside the substrate clock
+//   raw-random       unseeded or global randomness outside common/rng.hpp
+//   unordered-iter   iteration over unordered containers in the layers where
+//                    accumulation order reaches the timeline
+//   float-cast       raw static_cast from floating point to integer
+//   parallel-merge   shared-container mutation inside a parallel_for body
+//   missing-include  use of a std symbol without its owning header
+//   banned-symbol    environment/process escapes (getenv, system, sleeps)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xl::lint {
+
+struct Finding {
+  std::string file;     ///< path as given (repo-relative in CI).
+  int line = 0;         ///< 1-based.
+  std::string rule;     ///< rule id, e.g. "wallclock".
+  std::string message;  ///< human-readable explanation.
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The authoritative rule list (stable ids; suppressions reference these).
+const std::vector<RuleInfo>& rules();
+
+/// Lint one translation unit. `path` classifies the file (rules scope
+/// themselves by directory) and labels findings; `text` is the file content.
+std::vector<Finding> lint_text(const std::string& path, const std::string& text);
+
+/// Lint a file on disk; findings are labeled with `display_path`.
+std::vector<Finding> lint_file(const std::string& disk_path,
+                               const std::string& display_path);
+
+/// Recursively collect the .cpp/.hpp/.h/.cc files under `paths` (relative to
+/// `root`), skipping build trees, .git, and lint fixtures, in sorted order.
+std::vector<std::string> collect_sources(const std::string& root,
+                                         const std::vector<std::string>& paths);
+
+/// Full CLI: returns the process exit code (0 clean, 1 findings, 2 error).
+int run_cli(int argc, const char* const* argv);
+
+}  // namespace xl::lint

@@ -1,0 +1,4 @@
+// xl_lint CLI: see lint.hpp for the rule list and suppression syntax.
+#include "lint.hpp"
+
+int main(int argc, char** argv) { return xl::lint::run_cli(argc, argv); }
