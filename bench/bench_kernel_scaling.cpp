@@ -30,6 +30,12 @@ namespace {
 constexpr int kN = 128;       // field edge: large enough for threading to win
 constexpr int kRepeats = 5;   // keep the min — least-noise estimate
 
+// --quick (CI smoke): smaller field, fewer repeats. Timings get noisier but
+// the bit-identity assertion is just as strict.
+constexpr int kQuickN = 64;
+constexpr int kQuickRepeats = 2;
+int g_repeats = kRepeats;
+
 mesh::Fab sample_field(int n) {
   mesh::Fab fab(mesh::Box::domain({n, n, n}), 1);
   const double c = n / 2.0;
@@ -43,7 +49,7 @@ mesh::Fab sample_field(int n) {
 
 double min_seconds(const std::function<void()>& body) {
   double best = 0.0;
-  for (int r = 0; r < kRepeats; ++r) {
+  for (int r = 0; r < g_repeats; ++r) {
     // xl-lint: allow(wallclock): this bench MEASURES real kernel wall time; the
     // readings are report-only output and never feed a simulated timeline.
     const auto t0 = std::chrono::steady_clock::now();
@@ -71,8 +77,18 @@ double checksum(std::span<const double> data) {
 
 }  // namespace
 
-int main() {
-  const mesh::Fab field = sample_field(kN);
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      std::cerr << "usage: bench_kernel_scaling [--quick]\n";
+      return 2;
+    }
+  }
+  g_repeats = quick ? kQuickRepeats : kRepeats;
+  const mesh::Fab field = sample_field(quick ? kQuickN : kN);
   const mesh::Box cells(field.box().lo(), field.box().hi() - 1);
   analysis::CompressConfig ccfg;
 

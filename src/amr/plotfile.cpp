@@ -7,6 +7,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/buffer_pool.hpp"
 #include "common/error.hpp"
 
 namespace xl::amr {
@@ -60,6 +61,10 @@ void write_plotfile(std::ostream& os, const AmrHierarchy& hierarchy, int step,
   write_pod<std::int32_t>(os, hierarchy.ncomp());
   write_pod<std::int32_t>(os, hierarchy.config().ref_ratio);
   write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(hierarchy.num_levels()));
+  // One pack buffer reused across every box of every level: it grows to the
+  // largest box once and recycles through the pool afterwards, instead of a
+  // fresh vector per box.
+  std::vector<double> payload;
   for (std::size_t l = 0; l < hierarchy.num_levels(); ++l) {
     const AmrLevel& level = hierarchy.level(l);
     write_box(os, level.domain);
@@ -68,11 +73,12 @@ void write_plotfile(std::ostream& os, const AmrHierarchy& hierarchy, int step,
       const Box valid = level.layout.box(i);
       write_box(os, valid);
       write_pod<std::int32_t>(os, level.layout.rank_of(i));
-      const std::vector<double> payload = level.data[i].pack(valid);
+      level.data[i].pack_into(valid, payload);
       os.write(reinterpret_cast<const char*>(payload.data()),
                static_cast<std::streamsize>(payload.size() * sizeof(double)));
     }
   }
+  BufferPool::global().release(std::move(payload));
   XL_REQUIRE(os.good(), "plotfile write failed");
 }
 
@@ -100,6 +106,8 @@ PlotFileData read_plotfile(std::istream& is) {
   const auto num_levels = read_pod<std::uint32_t>(is);
   XL_REQUIRE(num_levels >= 1 && num_levels < 64, "implausible level count");
 
+  // Mirror of the writer: one read buffer reused across all boxes.
+  std::vector<double> payload;
   for (std::uint32_t l = 0; l < num_levels; ++l) {
     PlotLevel level;
     level.domain = read_box(is);
@@ -111,9 +119,8 @@ PlotFileData read_plotfile(std::istream& is) {
       XL_REQUIRE(level.domain.contains(valid), "box outside level domain");
       const auto rank = read_pod<std::int32_t>(is);
       mesh::Fab fab(valid, data.ncomp);
-      std::vector<double> payload(
-          static_cast<std::size_t>(valid.num_cells()) *
-          static_cast<std::size_t>(data.ncomp));
+      payload.resize(static_cast<std::size_t>(valid.num_cells()) *
+                     static_cast<std::size_t>(data.ncomp));
       is.read(reinterpret_cast<char*>(payload.data()),
               static_cast<std::streamsize>(payload.size() * sizeof(double)));
       XL_REQUIRE(is.good(), "plotfile payload truncated");
@@ -124,6 +131,7 @@ PlotFileData read_plotfile(std::istream& is) {
     }
     data.levels.push_back(std::move(level));
   }
+  BufferPool::global().release(std::move(payload));
   return data;
 }
 

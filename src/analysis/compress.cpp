@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "common/buffer_pool.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
@@ -117,11 +118,15 @@ CompressedField compress(const mesh::Fab& fab, const CompressConfig& config) {
 
   parallel_for(ThreadPool::global(), 0, nblocks,
                [&](std::size_t blo, std::size_t bhi) {
-    std::vector<std::uint32_t> q(block);
+    // Quantizer scratch recycles through the pool: one acquire per task-group
+    // chunk, reused across every block the chunk encodes, released on exit.
+    // encode_block fully writes q[0..n) before packing, so recycled contents
+    // never leak into the stream.
+    Scratch<std::uint32_t> q(block);
     for (std::size_t b = blo; b < bhi; ++b) {
       const std::size_t n = b + 1 == nblocks ? tail_n : block;
-      encode_block(data.data() + b * block, n, config.residual_bits, levels, q,
-                   out.payload.data() + b * full_bytes);
+      encode_block(data.data() + b * block, n, config.residual_bits, levels,
+                   q.vec(), out.payload.data() + b * full_bytes);
     }
   });
   return out;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/buffer_pool.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "mesh/layout.hpp"
@@ -26,11 +27,14 @@ double block_entropy(const Fab& fab, const Box& region, const EntropyConfig& con
   double lo = config.range_lo, hi = config.range_hi;
   if (lo >= hi) {
     const std::size_t nchunks = parallel_chunk_count(pool, nz);
-    std::vector<double> slab_lo(nchunks, std::numeric_limits<double>::infinity());
-    std::vector<double> slab_hi(nchunks, -std::numeric_limits<double>::infinity());
+    // Pool-backed per-slab reductions: each chunk writes its own slot before
+    // the merge reads it, so recycled contents never matter.
+    Scratch<double> slab_lo(nchunks);
+    Scratch<double> slab_hi(nchunks);
     parallel_for_chunks(pool, 0, nz,
                         [&](std::size_t c, std::size_t zb, std::size_t ze) {
-      double l = slab_lo[c], h = slab_hi[c];
+      double l = std::numeric_limits<double>::infinity();
+      double h = -std::numeric_limits<double>::infinity();
       for (BoxIterator it(mesh::z_slab(scan, zb, ze)); it.ok(); ++it) {
         const double v = fab(*it, config.comp);
         l = std::min(l, v);
@@ -52,12 +56,15 @@ double block_entropy(const Fab& fab, const Box& region, const EntropyConfig& con
   const double scale = static_cast<double>(config.bins) / (hi - lo);
   const double last_bin = static_cast<double>(config.bins - 1);
   const std::size_t nchunks = parallel_chunk_count(pool, nz);
-  std::vector<std::vector<std::size_t>> slab_counts(
-      nchunks, std::vector<std::size_t>(bins, 0));
-  std::vector<std::size_t> slab_total(nchunks, 0);
+  // One flat pooled histogram buffer (nchunks x bins) instead of a vector of
+  // per-slab vectors: a single recycled acquire and contiguous rows. Each
+  // chunk zeroes its own row before counting into it.
+  Scratch<std::size_t> slab_counts(nchunks * bins);
+  Scratch<std::size_t> slab_total(nchunks);
   parallel_for_chunks(pool, 0, nz,
                       [&](std::size_t c, std::size_t zb, std::size_t ze) {
-    std::vector<std::size_t>& counts = slab_counts[c];
+    std::size_t* counts = slab_counts.data() + c * bins;
+    std::fill(counts, counts + bins, std::size_t{0});
     std::size_t total = 0;
     for (BoxIterator it(mesh::z_slab(scan, zb, ze)); it.ok(); ++it) {
       const double v = fab(*it, config.comp);
@@ -74,18 +81,19 @@ double block_entropy(const Fab& fab, const Box& region, const EntropyConfig& con
   });
 
   // Integer merges: bit-identical for any slab partition, thread count included.
-  std::vector<std::size_t> counts(bins, 0);
+  Scratch<std::size_t> counts(bins);
+  std::fill(counts.data(), counts.data() + bins, std::size_t{0});
   std::size_t total = 0;
   for (std::size_t c = 0; c < nchunks; ++c) {
-    for (std::size_t b = 0; b < bins; ++b) counts[b] += slab_counts[c][b];
+    for (std::size_t b = 0; b < bins; ++b) counts[b] += slab_counts[c * bins + b];
     total += slab_total[c];
   }
   if (total == 0) return 0.0;  // every cell was NaN
 
   double entropy = 0.0;
-  for (std::size_t c : counts) {
-    if (c == 0) continue;
-    const double p = static_cast<double>(c) / static_cast<double>(total);
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (counts[b] == 0) continue;
+    const double p = static_cast<double>(counts[b]) / static_cast<double>(total);
     entropy -= p * std::log2(p);
   }
   return entropy;

@@ -3,16 +3,23 @@
 namespace xl::mesh {
 
 std::vector<double> Fab::pack(const Box& region) const {
-  const Box overlap = box_ & region;
   std::vector<double> buffer;
-  buffer.reserve(static_cast<std::size_t>(overlap.num_cells()) *
-                 static_cast<std::size_t>(ncomp_));
+  pack_into(region, buffer);
+  return buffer;
+}
+
+void Fab::pack_into(const Box& region, std::vector<double>& buffer) const {
+  const Box overlap = box_ & region;
+  const std::size_t n = static_cast<std::size_t>(overlap.num_cells()) *
+                        static_cast<std::size_t>(ncomp_);
+  buffer.resize(n);
+  std::size_t i = 0;
   for (int c = 0; c < ncomp_; ++c) {
     for (BoxIterator it(overlap); it.ok(); ++it) {
-      buffer.push_back((*this)(*it, c));
+      buffer[i++] = (*this)(*it, c);
     }
   }
-  return buffer;
+  BufferPool::global().add_copied_bytes(n * sizeof(double));
 }
 
 void Fab::unpack(const Box& region, std::span<const double> buffer) {
@@ -26,6 +33,7 @@ void Fab::unpack(const Box& region, std::span<const double> buffer) {
       (*this)(*it, c) = buffer[i++];
     }
   }
+  BufferPool::global().add_copied_bytes(expected * sizeof(double));
 }
 
 }  // namespace xl::mesh

@@ -8,8 +8,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "mesh/box.hpp"
 
 namespace xl::mesh {
@@ -18,11 +20,54 @@ class Fab {
  public:
   Fab() = default;
 
+  /// The backing store comes from the global BufferPool: in steady state a
+  /// per-step Fab recycles the previous step's buffer instead of touching the
+  /// heap. The fill fully overwrites the recycled contents, so values are
+  /// independent of pool state.
   Fab(const Box& box, int ncomp, double fill = 0.0)
       : box_(box), ncomp_(ncomp),
-        data_(static_cast<std::size_t>(box.num_cells()) * static_cast<std::size_t>(ncomp), fill) {
+        data_(BufferPool::global().acquire<double>(
+            static_cast<std::size_t>(box.num_cells()) * static_cast<std::size_t>(ncomp))) {
     XL_REQUIRE(ncomp > 0, "Fab needs at least one component");
     XL_REQUIRE(!box.empty(), "Fab over an empty box");
+    std::fill(data_.begin(), data_.end(), fill);
+  }
+
+  ~Fab() { release_storage(); }
+
+  Fab(const Fab& other)
+      : box_(other.box_), ncomp_(other.ncomp_),
+        data_(BufferPool::global().acquire<double>(other.data_.size())) {
+    std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+    BufferPool::global().add_copied_bytes(other.bytes());
+  }
+
+  Fab& operator=(const Fab& other) {
+    if (this != &other) {
+      // Acquire before releasing so self-sized assigns can recycle in place
+      // and the pool high-water mark reflects the true overlap.
+      std::vector<double> fresh = BufferPool::global().acquire<double>(other.data_.size());
+      std::copy(other.data_.begin(), other.data_.end(), fresh.begin());
+      BufferPool::global().add_copied_bytes(other.bytes());
+      release_storage();
+      box_ = other.box_;
+      ncomp_ = other.ncomp_;
+      data_ = std::move(fresh);
+    }
+    return *this;
+  }
+
+  // Moved-from vectors are empty, so the source destructor releases nothing.
+  Fab(Fab&& other) noexcept = default;
+
+  Fab& operator=(Fab&& other) noexcept {
+    if (this != &other) {
+      release_storage();  // a defaulted move-assign would heap-free, bypassing the pool.
+      box_ = other.box_;
+      ncomp_ = other.ncomp_;
+      data_ = std::move(other.data_);
+    }
+    return *this;
   }
 
   const Box& box() const noexcept { return box_; }
@@ -68,6 +113,9 @@ class Fab {
         (*this)(*it, c) = src(*it, c);
       }
     }
+    BufferPool::global().add_copied_bytes(
+        static_cast<std::size_t>(overlap.num_cells()) *
+        static_cast<std::size_t>(ncomp_) * sizeof(double));
   }
 
   /// Copy overlap of src shifted by `shift`: dest(p) = src(p - shift).
@@ -87,10 +135,22 @@ class Fab {
   /// contiguous buffer — the wire format the transport layer ships.
   std::vector<double> pack(const Box& region) const;
 
+  /// pack() into caller-owned scratch: `buffer` is resized (reusing its
+  /// capacity when large enough) and fully overwritten. Callers looping over
+  /// many boxes keep one buffer hot instead of allocating per box.
+  void pack_into(const Box& region, std::vector<double>& buffer) const;
+
   /// Inverse of pack(): scatter `buffer` into the overlap with `region`.
   void unpack(const Box& region, std::span<const double> buffer);
 
  private:
+  void release_storage() noexcept {
+    if (!data_.empty() || data_.capacity() != 0) {
+      BufferPool::global().release(std::move(data_));
+      data_ = {};
+    }
+  }
+
   std::size_t offset(const IntVect& p, int comp) const {
     XL_REQUIRE(comp >= 0 && comp < ncomp_, "component out of range");
     return static_cast<std::size_t>(box_.index_of(p)) +

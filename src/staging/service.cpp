@@ -75,21 +75,19 @@ void StagingService::worker_loop() {
 }
 
 std::future<PutAck> StagingService::put_async(int version, const mesh::Box& box,
-                                              mesh::Fab payload) {
+                                              std::shared_ptr<const mesh::Fab> payload) {
   auto promise = std::make_shared<std::promise<PutAck>>();
   std::future<PutAck> future = promise->get_future();
-  auto shared_payload = std::make_shared<mesh::Fab>(std::move(payload));
-  enqueue([this, version, box, shared_payload, promise] {
+  enqueue([this, version, box, payload = std::move(payload), promise] {
     const auto start = Clock::now();
     PutAck ack;
-    const std::size_t bytes = shared_payload->bytes();
+    const std::size_t bytes = payload->bytes();
     {
       // Space mutations happen on service threads; the space itself is guarded
       // by the service mutex (requests may run on several workers).
       std::lock_guard<std::mutex> lock(mutex_);
       if (space_.can_accept(box, bytes)) {
-        ack.id = space_.put(version, box, shared_payload->ncomp(), bytes,
-                            std::move(*shared_payload));
+        ack.id = space_.put(version, box, payload->ncomp(), bytes, payload);
         ack.accepted = true;
       }
     }
@@ -112,22 +110,22 @@ std::future<PutAck> StagingService::put_async(int version, const mesh::Box& box,
   return future;
 }
 
-std::future<std::vector<mesh::Fab>> StagingService::get_async(int version,
-                                                              const mesh::Box& region) {
-  auto promise = std::make_shared<std::promise<std::vector<mesh::Fab>>>();
+std::future<std::vector<std::shared_ptr<const mesh::Fab>>> StagingService::get_async(
+    int version, const mesh::Box& region) {
+  auto promise =
+      std::make_shared<std::promise<std::vector<std::shared_ptr<const mesh::Fab>>>>();
   auto future = promise->get_future();
   enqueue([this, version, region, promise] {
     const auto start = Clock::now();
-    std::vector<mesh::Fab> out;
+    std::vector<std::shared_ptr<const mesh::Fab>> out;
     std::size_t bytes = 0;
     {
+      // Readers share the staged buffers: only refcounts move under the lock.
       std::lock_guard<std::mutex> lock(mutex_);
       for (const StagedObject* obj : space_.query(version, region)) {
         if (!obj->payload) continue;
-        mesh::Fab copy(obj->payload->box(), obj->payload->ncomp());
-        copy.copy_from(*obj->payload, obj->payload->box());
-        bytes += copy.bytes();
-        out.push_back(std::move(copy));
+        bytes += obj->payload->bytes();
+        out.push_back(obj->payload);
       }
     }
     if (config_.observer) {
@@ -152,26 +150,26 @@ std::future<AnalysisResult> StagingService::analyze_async(int version,
   enqueue([this, version, region, isovalue, comp, promise] {
     const auto start = Clock::now();
     AnalysisResult result;
-    // Pull matching payloads under the lock, then triangulate outside it so
-    // other requests are not serialized behind the compute.
-    std::vector<mesh::Fab> payloads;
+    // Reference matching payloads under the lock (refcount bumps, no copies),
+    // erase the staged objects, then triangulate outside the lock so other
+    // requests are not serialized behind the compute. The shared_ptrs keep
+    // the buffers alive after the erase.
+    std::vector<std::shared_ptr<const mesh::Fab>> payloads;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       std::vector<std::uint64_t> ids;
       for (const StagedObject* obj : space_.query(version, region)) {
         if (!obj->payload) continue;
-        mesh::Fab copy(obj->payload->box(), obj->payload->ncomp());
-        copy.copy_from(*obj->payload, obj->payload->box());
-        payloads.push_back(std::move(copy));
+        payloads.push_back(obj->payload);
         ids.push_back(obj->id);
       }
       for (std::uint64_t id : ids) space_.erase(id);
     }
-    for (const mesh::Fab& fab : payloads) {
-      const mesh::Box cells(fab.box().lo(), fab.box().hi() - 1);
+    for (const auto& fab : payloads) {
+      const mesh::Box cells(fab->box().lo(), fab->box().hi() - 1);
       if (cells.empty()) continue;
       result.triangles +=
-          viz::extract_isosurface(fab, cells, isovalue, comp).triangle_count();
+          viz::extract_isosurface(*fab, cells, isovalue, comp).triangle_count();
     }
     result.objects = payloads.size();
     result.service_seconds =

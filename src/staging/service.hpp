@@ -17,6 +17,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -72,12 +73,24 @@ class StagingService {
   StagingService(const StagingService&) = delete;
   StagingService& operator=(const StagingService&) = delete;
 
-  /// Stage one object (payload moves to the service). Never blocks the
+  /// Stage one object by shared immutable ownership: the caller's buffer IS
+  /// the staged buffer (no copy anywhere on the path). Never blocks the
   /// caller beyond enqueueing.
-  std::future<PutAck> put_async(int version, const mesh::Box& box, mesh::Fab payload);
+  std::future<PutAck> put_async(int version, const mesh::Box& box,
+                                std::shared_ptr<const mesh::Fab> payload);
 
-  /// Snapshot copies of all objects of `version` intersecting `region`.
-  std::future<std::vector<mesh::Fab>> get_async(int version, const mesh::Box& region);
+  /// Convenience: take ownership of an rvalue Fab (one move, zero copies).
+  std::future<PutAck> put_async(int version, const mesh::Box& box, mesh::Fab&& payload) {
+    return put_async(version, box,
+                     std::make_shared<const mesh::Fab>(std::move(payload)));
+  }
+
+  /// Shared read-only references to all objects of `version` intersecting
+  /// `region` — the staged buffers themselves, not copies. They stay valid
+  /// (and keep their server memory pinned only until the object is erased;
+  /// the buffer itself lives until the last reader drops it).
+  std::future<std::vector<std::shared_ptr<const mesh::Fab>>> get_async(
+      int version, const mesh::Box& region);
 
   /// In-transit analysis: marching cubes over every staged object of
   /// `version` intersecting `region`; consumed objects are erased (their

@@ -73,7 +73,7 @@ bool StagingSpace::can_accept(const Box& box, std::size_t bytes) const {
 }
 
 std::uint64_t StagingSpace::put(int version, const Box& box, int ncomp,
-                                std::size_t bytes, std::optional<Fab> payload) {
+                                std::size_t bytes, std::shared_ptr<const Fab> payload) {
   const int server = target_server(box);
   XL_REQUIRE(server >= 0, "no staging server alive");
   auto& used = server_used_[static_cast<std::size_t>(server)];

@@ -11,7 +11,7 @@
 
 #include <cstdint>
 #include <map>
-#include <optional>
+#include <memory>
 #include <vector>
 
 #include "mesh/fab.hpp"
@@ -23,13 +23,20 @@ using mesh::Box;
 using mesh::Fab;
 
 /// One staged object: the data of `box` at time step `version`.
+///
+/// The payload is held by shared immutable ownership: the producer's put, the
+/// staged object, and every analysis reader reference ONE buffer — no copies
+/// anywhere on the staging path. Relocation on server loss moves the object
+/// (and its shared_ptr) between servers without touching the refcount
+/// semantics; the buffer frees (back to the BufferPool) when the last reader
+/// drops it.
 struct StagedObject {
   std::uint64_t id = 0;
   int version = 0;
   Box box;
   int ncomp = 1;
   std::size_t bytes = 0;
-  std::optional<Fab> payload;  ///< absent in metadata-only mode.
+  std::shared_ptr<const Fab> payload;  ///< null in metadata-only mode.
   int server = -1;
 };
 
@@ -76,10 +83,10 @@ class StagingSpace {
   /// succeed right now?
   bool can_accept(const Box& box, std::size_t bytes) const;
 
-  /// Insert an object (payload optional). Returns the assigned id.
-  /// Throws ContractError when no alive server can take it.
+  /// Insert an object (payload optional, shared not copied). Returns the
+  /// assigned id. Throws ContractError when no alive server can take it.
   std::uint64_t put(int version, const Box& box, int ncomp, std::size_t bytes,
-                    std::optional<Fab> payload = std::nullopt);
+                    std::shared_ptr<const Fab> payload = nullptr);
 
   /// All objects of `version` intersecting `region`.
   std::vector<const StagedObject*> query(int version, const Box& region) const;

@@ -51,6 +51,11 @@ TriangleMesh extract_amr_isosurface(const AmrHierarchy& hierarchy, double isoval
         }
       }
     });
+    // Reserve the level's full contribution before the ordered merge so the
+    // cumulative mesh grows once per level, not once per re-allocation.
+    std::size_t level_vertices = 0;
+    for (const TriangleMesh& part : parts) level_vertices += part.vertices.size();
+    mesh.vertices.reserve(mesh.vertices.size() + level_vertices);
     for (std::size_t i = 0; i < nboxes; ++i) {
       mesh.append(parts[i]);
       if (stats) {

@@ -93,7 +93,12 @@ TriangleMesh extract_isosurface(const Fab& fab, const Box& region, double isoval
     extract_into(fab, mesh::z_slab(region, zb, ze), isovalue, comp, dx, origin,
                  parts[c]);
   });
+  // Size the destination from the partial sizes up front: the ordered merge
+  // then copies each slab exactly once instead of re-growing the vector.
+  std::size_t total_vertices = 0;
+  for (const TriangleMesh& part : parts) total_vertices += part.vertices.size();
   TriangleMesh mesh;
+  mesh.vertices.reserve(total_vertices);
   for (TriangleMesh& part : parts) mesh.append(part);
   return mesh;
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "runtime/fault.hpp"
@@ -54,6 +55,15 @@ struct WorkflowEvent {
   int attempt = 0;              ///< Retry: 0-based attempt that just failed.
   double backoff_seconds = 0.0; ///< Retry: wait before the next attempt.
   int servers_down = 0;         ///< Fault/Recovery: staging servers down after it.
+  // BufferPool telemetry (StepEnd/RunEnd; zero otherwise). Deltas of the
+  // process-global pool counters since this run's RunBegin — deltas, not
+  // absolutes, so a run's event log is independent of whatever pool traffic
+  // preceded it (and stays byte-identical across pool on/off sweeps when the
+  // run itself allocates nothing, as the modeled pipeline does).
+  std::uint64_t pool_hits = 0;          ///< recycled acquires during the run.
+  std::uint64_t pool_misses = 0;        ///< heap-backed acquires during the run.
+  std::uint64_t pool_releases = 0;      ///< buffers returned to the pool.
+  std::uint64_t pool_copied_bytes = 0;  ///< payload bytes deep-copied.
 };
 
 class WorkflowObserver {

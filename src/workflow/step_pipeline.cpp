@@ -155,6 +155,8 @@ StepPipeline::StepPipeline(const WorkflowConfig& config, ExecutionSubstrate& sub
   phases_.push_back(std::make_unique<AnalyzePhase>(*this));
   phases_.push_back(std::make_unique<DrainPhase>(*this));
 
+  pool_base_ = BufferPool::global().stats();
+
   WorkflowEvent ev;
   ev.kind = EventKind::RunBegin;
   ev.intransit_cores = cur_cores_;
@@ -186,6 +188,15 @@ void StepPipeline::emit(WorkflowEvent event) {
   if (observer_ == nullptr) return;
   event.sim_clock = timeline_.sim_now();
   event.staging_clock = timeline_.staging_free_at();
+  if (event.kind == EventKind::StepEnd || event.kind == EventKind::RunEnd) {
+    // Deltas since RunBegin, so the log only reflects pool traffic this run
+    // caused (zero for purely modeled runs, whatever the pool's prior state).
+    const PoolStats now = BufferPool::global().stats();
+    event.pool_hits = now.hits - pool_base_.hits;
+    event.pool_misses = now.misses - pool_base_.misses;
+    event.pool_releases = now.releases - pool_base_.releases;
+    event.pool_copied_bytes = now.copied_bytes - pool_base_.copied_bytes;
+  }
   observer_->on_event(event);
 }
 

@@ -32,6 +32,7 @@
 
 #include "amr/synthetic.hpp"
 #include "cluster/cost_model.hpp"
+#include "common/buffer_pool.hpp"
 #include "runtime/adaptation_engine.hpp"
 #include "runtime/monitor.hpp"
 #include "workflow/coupled_workflow.hpp"
@@ -168,6 +169,10 @@ class StepPipeline {
   bool last_app_constrained_ = false;
   runtime::Placement cur_placement_ = runtime::Placement::InSitu;
   double current_imbalance_ = 1.0;
+
+  /// Global BufferPool counters at RunBegin; StepEnd/RunEnd events report the
+  /// deltas accumulated since (see WorkflowEvent's pool fields).
+  PoolStats pool_base_;
 
   // Fault-injection state (inert when config.faults is disabled).
   runtime::FaultPlan fault_plan_;

@@ -51,7 +51,8 @@ void write_events_csv(std::ostream& os, const EventLog& log) {
   os << "event,step,sim_clock,staging_clock,placement,reason,factor,"
         "intransit_cores,app_adapted,resource_adapted,middleware_adapted,"
         "cells,bytes,seconds,wait_seconds,skipped,fault,attempt,"
-        "backoff_seconds,servers_down\n";
+        "backoff_seconds,servers_down,pool_hits,pool_misses,pool_releases,"
+        "pool_copied_bytes\n";
   for (const WorkflowEvent& e : log.events()) {
     os << event_kind_name(e.kind) << ',' << e.step << ',' << e.sim_clock << ','
        << e.staging_clock << ',' << runtime::placement_name(e.placement) << ','
@@ -61,7 +62,9 @@ void write_events_csv(std::ostream& os, const EventLog& log) {
        << e.cells << ',' << e.bytes << ',' << e.seconds << ','
        << e.wait_seconds << ',' << int(e.skipped) << ','
        << runtime::fault_kind_name(e.fault) << ',' << e.attempt << ','
-       << e.backoff_seconds << ',' << e.servers_down << '\n';
+       << e.backoff_seconds << ',' << e.servers_down << ',' << e.pool_hits
+       << ',' << e.pool_misses << ',' << e.pool_releases << ','
+       << e.pool_copied_bytes << '\n';
   }
   XL_REQUIRE(os.good(), "CSV write failed");
 }

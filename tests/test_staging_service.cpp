@@ -41,7 +41,7 @@ TEST(StagingService, PutThenGetRoundTrip) {
 
   auto fabs = service.get_async(0, box).get();
   ASSERT_EQ(fabs.size(), 1u);
-  EXPECT_DOUBLE_EQ(fabs[0](mesh::IntVect{4, 4, 4}), 3.25);
+  EXPECT_DOUBLE_EQ((*fabs[0])(mesh::IntVect{4, 4, 4}), 3.25);
   EXPECT_GT(service.used_bytes(), 0u);
 }
 

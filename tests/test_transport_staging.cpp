@@ -93,10 +93,11 @@ TEST(StagingSpace, PayloadRoundTrip) {
   StagingSpace space(2, std::size_t{1} << 20);
   const Box box = Box::cube({4, 4, 4}, 4);
   Fab payload(box, 2, 1.5);
-  space.put(0, box, 2, payload.bytes(), std::move(payload));
+  const std::size_t bytes = payload.bytes();
+  space.put(0, box, 2, bytes, std::make_shared<const Fab>(std::move(payload)));
   const auto hits = space.query(0, box);
   ASSERT_EQ(hits.size(), 1u);
-  ASSERT_TRUE(hits[0]->payload.has_value());
+  ASSERT_TRUE(hits[0]->payload != nullptr);
   EXPECT_DOUBLE_EQ((*hits[0]->payload)(mesh::IntVect{5, 5, 5}, 1), 1.5);
 }
 

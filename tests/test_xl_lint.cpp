@@ -268,6 +268,53 @@ TEST(BannedSymbol, CleanPasses) {
   EXPECT_EQ(count_rule(f, "banned-symbol"), 0);
 }
 
+// --- fab-by-value ------------------------------------------------------------
+
+TEST(FabByValue, BadFlagged) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+void stage(int version, Fab payload);
+)cpp");
+  EXPECT_EQ(count_rule(f, "fab-by-value"), 1);
+}
+
+TEST(FabByValue, QualifiedTypeAndStagedObjectFlagged) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+void stage(mesh::Fab payload, staging::StagedObject obj);
+)cpp");
+  EXPECT_EQ(count_rule(f, "fab-by-value"), 2);
+}
+
+TEST(FabByValue, ReferenceAndMoveAndSharedPass) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+void borrow(const Fab& payload);
+void take(Fab&& payload);
+void share(std::shared_ptr<const Fab> payload);
+void point(const StagedObject* obj);
+)cpp");
+  EXPECT_EQ(count_rule(f, "fab-by-value"), 0);
+}
+
+TEST(FabByValue, LocalsTemplatesAndCallsPass) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+Fab make(const Box& box) {
+  Fab out(box, 1);
+  std::vector<Fab> parts;
+  std::optional<Fab> maybe;
+  Fab copy = out;
+  return out;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "fab-by-value"), 0);
+}
+
+TEST(FabByValue, SuppressedPasses) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+// xl-lint: allow(fab-by-value): tiny fixture fab, copy is the point
+void stage(Fab payload);
+)cpp");
+  EXPECT_EQ(count_rule(f, "fab-by-value"), 0);
+}
+
 // --- suppression mechanics ---------------------------------------------------
 
 TEST(Suppression, FileWideCoversEveryLine) {

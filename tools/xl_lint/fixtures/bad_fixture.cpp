@@ -41,3 +41,10 @@ double no_limits_include() {
 const char* host_escape() {
   return std::getenv("XL_THREADS");  // banned-symbol
 }
+
+struct Fab {};
+
+std::size_t payload_copy(Fab payload) {  // fab-by-value
+  (void)payload;
+  return 0;
+}

@@ -521,6 +521,60 @@ void rule_banned_symbol(const Ctx& ctx) {
   }
 }
 
+// Rule: fab-by-value. Fab and StagedObject own whole-field payload buffers;
+// a pass-by-value parameter deep-copies megabytes per call. Payloads move
+// (Fab&&), borrow (const Fab&), or share (std::shared_ptr<const Fab>).
+void rule_fab_by_value(const Ctx& ctx) {
+  static const std::string kTypes[] = {"Fab", "StagedObject"};
+  for (const std::string& type : kTypes) {
+    std::size_t pos = find_ident(ctx.scrubbed, type, 0);
+    while (pos != std::string::npos) {
+      const std::size_t next_pos = pos + type.size();
+      // Parameter position: the token before the type (skipping a NS::
+      // qualifier) must be '(' or ','. This also skips statement declarations
+      // and template arguments.
+      std::size_t before = pos;
+      for (;;) {
+        while (before > 0 &&
+               std::isspace(static_cast<unsigned char>(ctx.scrubbed[before - 1]))) {
+          --before;
+        }
+        if (before >= 2 && ctx.scrubbed[before - 1] == ':' &&
+            ctx.scrubbed[before - 2] == ':') {
+          before -= 2;
+          while (before > 0 && ident_char(ctx.scrubbed[before - 1])) --before;
+          continue;
+        }
+        break;
+      }
+      const char opener = before > 0 ? ctx.scrubbed[before - 1] : '\0';
+      if (opener == '(' || opener == ',') {
+        // By-value shape: type, a parameter name, then ',' or ')'. References,
+        // pointers, and template uses (&, *, <, >) never match this.
+        std::size_t name = skip_spaces(ctx.scrubbed, next_pos);
+        if (name < ctx.scrubbed.size() && ident_char(ctx.scrubbed[name]) &&
+            !std::isdigit(static_cast<unsigned char>(ctx.scrubbed[name]))) {
+          std::size_t name_end = name;
+          while (name_end < ctx.scrubbed.size() && ident_char(ctx.scrubbed[name_end])) {
+            ++name_end;
+          }
+          const std::size_t delim = skip_spaces(ctx.scrubbed, name_end);
+          if (delim < ctx.scrubbed.size() &&
+              (ctx.scrubbed[delim] == ',' || ctx.scrubbed[delim] == ')')) {
+            ctx.add(line_of_offset(ctx.scrubbed, pos), "fab-by-value",
+                    "parameter '" + ctx.scrubbed.substr(name, name_end - name) +
+                        "' takes " + type +
+                        " by value, deep-copying the whole payload; pass const " +
+                        type + "&, " + type +
+                        "&&, or share via std::shared_ptr<const " + type + ">");
+          }
+        }
+      }
+      pos = find_ident(ctx.scrubbed, type, next_pos);
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -533,6 +587,7 @@ const std::vector<RuleInfo>& rules() {
       {"parallel-merge", "parallel_for body mutating a shared container"},
       {"missing-include", "use of a std symbol without its owning header"},
       {"banned-symbol", "environment/process escapes (getenv, system, sleeps)"},
+      {"fab-by-value", "pass-by-value Fab/StagedObject parameters (payload deep-copy)"},
   };
   return kRules;
 }
@@ -552,6 +607,7 @@ std::vector<Finding> lint_text(const std::string& path, const std::string& text)
   rule_parallel_merge(ctx);
   rule_missing_include(ctx, text);
   rule_banned_symbol(ctx);
+  rule_fab_by_value(ctx);
 
   std::vector<Finding> kept;
   for (Finding& f : findings) {
