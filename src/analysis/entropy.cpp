@@ -27,8 +27,9 @@ double block_entropy(const Fab& fab, const Box& region, const EntropyConfig& con
   double lo = config.range_lo, hi = config.range_hi;
   if (lo >= hi) {
     const std::size_t nchunks = parallel_chunk_count(pool, nz);
-    // Pool-backed per-slab reductions: each chunk writes its own slot before
-    // the merge reads it, so recycled contents never matter.
+    // Pool-backed per-slab reductions: parallel_for_chunks guarantees every
+    // chunk index in [0, nchunks) runs, so each slot is written before the
+    // merge reads it and recycled contents never matter.
     Scratch<double> slab_lo(nchunks);
     Scratch<double> slab_hi(nchunks);
     parallel_for_chunks(pool, 0, nz,

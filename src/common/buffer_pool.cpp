@@ -59,7 +59,12 @@ std::vector<T> BufferPool::acquire(std::size_t n) {
       }
     }
     if (recycled.capacity() == 0) ++stats_.misses;
-    stats_.outstanding_bytes += n * sizeof(T);
+    // Gauge by capacity, not requested size: release() only sees the buffer's
+    // capacity, so capacity is the one quantity both sides agree on. The heap
+    // fall-through below reserves exactly the acquire bucket.
+    stats_.outstanding_bytes +=
+        (recycled.capacity() != 0 ? recycled.capacity() : bucket_for_acquire(n)) *
+        sizeof(T);
     stats_.high_water_outstanding_bytes =
         std::max(stats_.high_water_outstanding_bytes, stats_.outstanding_bytes);
   }
@@ -78,10 +83,9 @@ std::vector<T> BufferPool::acquire(std::size_t n) {
 template <typename T>
 void BufferPool::release(std::vector<T>&& buf) {
   if (buf.capacity() == 0) return;
-  const std::size_t used = buf.size() * sizeof(T);
   const std::size_t cached = buf.capacity() * sizeof(T);
   std::lock_guard<std::mutex> lock(mutex_);
-  stats_.outstanding_bytes -= std::min(stats_.outstanding_bytes, used);
+  stats_.outstanding_bytes -= std::min(stats_.outstanding_bytes, cached);
   if (!enabled_ || stats_.pooled_bytes + cached > capacity_bytes_) {
     ++stats_.trims;
     return;  // buf frees to the heap on scope exit.

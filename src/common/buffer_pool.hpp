@@ -33,7 +33,12 @@ struct PoolStats {
   std::uint64_t copied_bytes = 0;  ///< payload bytes deep-copied (Fab copies,
                                    ///< copy_from, pack/unpack) process-wide.
   std::size_t pooled_bytes = 0;       ///< bytes currently cached in free lists.
-  std::size_t outstanding_bytes = 0;  ///< bytes acquired and not yet released.
+  /// Capacity bytes acquired and not yet released. Acquire and release both
+  /// gauge by buffer capacity, so the ledger balances exactly for the designed
+  /// use (acquire, fill within capacity, release). It is approximate — clamped
+  /// at zero, never exact — when a caller grows a buffer past its acquired
+  /// capacity or donates a foreign heap buffer to release() (plotfile I/O).
+  std::size_t outstanding_bytes = 0;
   std::size_t high_water_pooled_bytes = 0;
   std::size_t high_water_outstanding_bytes = 0;
 };
@@ -67,7 +72,9 @@ class BufferPool {
 
   /// Return a buffer to the pool. Buffers beyond the byte cap (or when the
   /// pool is disabled) are dropped to the heap and counted as trims.
-  /// Releasing an empty buffer is a no-op.
+  /// Releasing an empty buffer is a no-op. Foreign buffers (never acquired
+  /// from this pool) are welcome donations, but they skew the outstanding
+  /// gauge — see PoolStats::outstanding_bytes.
   template <typename T>
   void release(std::vector<T>&& buf);
 

@@ -163,13 +163,20 @@ void parallel_for_chunks(
     body(0, begin, end);
     return;
   }
-  const std::size_t chunk = (n + chunks - 1) / chunks;
+  // Balanced partition: the first n % chunks chunks take one extra element, so
+  // every chunk index in [0, chunks) runs exactly once with a non-empty range.
+  // Call sites pre-size per-chunk buffers with parallel_chunk_count and merge
+  // over every slot; a ceil-sized partition can tile the range in fewer chunks
+  // (n=100, chunks=16 -> 15 invocations of size 7), leaving trailing slots
+  // unwritten — fatal when the slots are pooled scratch with recycled contents.
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
   ThreadPool::TaskGroup group(pool);
+  std::size_t lo = begin;
   for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk;
-    if (lo >= end) break;
-    const std::size_t hi = std::min(end, lo + chunk);
+    const std::size_t hi = lo + base + (c < extra ? 1 : 0);
     group.run([&body, c, lo, hi] { body(c, lo, hi); });
+    lo = hi;
   }
   group.wait();
 }

@@ -117,10 +117,13 @@ void parallel_for(std::size_t begin, std::size_t end,
 /// accumulate per-chunk results pre-size their buffers with this.
 std::size_t parallel_chunk_count(const ThreadPool& pool, std::size_t n);
 
-/// Like parallel_for, but the body also receives the chunk index c in
-/// [0, parallel_chunk_count(pool, end - begin)). Chunks partition the range
-/// in order (chunk 0 is the lowest subrange), so merging per-chunk results by
-/// chunk index reproduces the serial traversal order exactly.
+/// Like parallel_for, but the body also receives the chunk index c. Every
+/// chunk index in [0, parallel_chunk_count(pool, end - begin)) is invoked
+/// exactly once with a non-empty subrange — per-chunk result buffers sized by
+/// parallel_chunk_count are therefore fully written before any merge reads
+/// them. Chunks partition the range in order (chunk 0 is the lowest
+/// subrange), so merging per-chunk results by chunk index reproduces the
+/// serial traversal order exactly.
 void parallel_for_chunks(
     ThreadPool& pool, std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body);

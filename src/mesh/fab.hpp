@@ -57,8 +57,12 @@ class Fab {
     return *this;
   }
 
-  // Moved-from vectors are empty, so the source destructor releases nothing.
-  Fab(Fab&& other) noexcept = default;
+  // Exchange with an empty vector rather than defaulting: the standard only
+  // promises a moved-from vector is valid-but-unspecified, and the pool
+  // invariant (the source destructor must release nothing) needs it empty.
+  Fab(Fab&& other) noexcept
+      : box_(other.box_), ncomp_(other.ncomp_),
+        data_(std::exchange(other.data_, {})) {}
 
   Fab& operator=(Fab&& other) noexcept {
     if (this != &other) {

@@ -76,6 +76,10 @@ void StagingService::worker_loop() {
 
 std::future<PutAck> StagingService::put_async(int version, const mesh::Box& box,
                                               std::shared_ptr<const mesh::Fab> payload) {
+  // Fail on the caller's thread: a null payload dereferenced on a worker would
+  // crash the service with the promise never satisfied. Metadata-only puts
+  // (which StagingSpace::put itself supports) go through the space directly.
+  XL_REQUIRE(payload != nullptr, "put_async requires a payload");
   auto promise = std::make_shared<std::promise<PutAck>>();
   std::future<PutAck> future = promise->get_future();
   enqueue([this, version, box, payload = std::move(payload), promise] {

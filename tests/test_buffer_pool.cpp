@@ -130,7 +130,9 @@ TEST(BufferPool, ScratchRaiiAcquiresAndReleases) {
     ASSERT_EQ(scratch.size(), 32u);
     scratch[0] = 7;
     EXPECT_EQ(scratch.vec().size(), 32u);
-    EXPECT_EQ(pool.stats().outstanding_bytes, 32 * sizeof(std::size_t));
+    // The gauge tracks capacity: 32 rounds up to the 64-element minimum bucket.
+    EXPECT_EQ(pool.stats().outstanding_bytes,
+              BufferPool::kMinBucketElements * sizeof(std::size_t));
   }
   const PoolStats s = pool.stats();
   EXPECT_EQ(s.outstanding_bytes, 0u);

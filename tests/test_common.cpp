@@ -320,6 +320,34 @@ TEST(ThreadPool, ParallelForChunksCoversRangeInChunkOrder) {
   EXPECT_EQ(expect_lo, n);
 }
 
+TEST(ThreadPool, ParallelForChunksInvokesEveryAdvertisedChunk) {
+  // Call sites pre-size per-chunk scratch with parallel_chunk_count and merge
+  // over every slot, so every advertised chunk index must be invoked exactly
+  // once — including awkward n where a ceil-sized partition would tile the
+  // range in fewer chunks (4 workers, n=100: 16 advertised, 15 ceil-sized).
+  for (const std::size_t workers : {2u, 3u, 4u, 7u}) {
+    ThreadPool pool(workers);
+    for (const std::size_t n : {2u, 15u, 16u, 17u, 100u, 101u, 1000u}) {
+      const std::size_t nchunks = parallel_chunk_count(pool, n);
+      std::vector<std::atomic<int>> invoked(nchunks);
+      std::atomic<std::size_t> covered{0};
+      parallel_for_chunks(pool, 0, n,
+                          [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        ASSERT_LT(c, nchunks);
+        ASSERT_LT(lo, hi);
+        invoked[c].fetch_add(1);
+        covered += hi - lo;
+      });
+      for (std::size_t c = 0; c < nchunks; ++c) {
+        EXPECT_EQ(invoked[c].load(), 1)
+            << "chunk " << c << " of " << nchunks << " (workers=" << workers
+            << ", n=" << n << ")";
+      }
+      EXPECT_EQ(covered.load(), n);
+    }
+  }
+}
+
 TEST(ThreadPool, SetGlobalWorkersResizesTheSharedPool) {
   ThreadPool::set_global_workers(3);
   EXPECT_EQ(ThreadPool::global().worker_count(), 3u);
