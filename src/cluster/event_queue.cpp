@@ -1,0 +1,303 @@
+// Ladder-queue internals for the deterministic DES engine. Three tiers:
+//
+//   Top     — unsorted overflow for the far future (everything at or beyond
+//             top_floor_). Appending is O(1).
+//   Rungs   — a strictly nested stack of bucketed time windows. Rung 0 is
+//             spawned from Top; rung k+1 is spawned from an oversized bucket
+//             of rung k, subdividing exactly that bucket's window. Thresholds
+//             weakly decrease going inward, so an insert lands in the
+//             outermost rung that still covers its timestamp.
+//   Bottom  — the near future, sorted descending by (time, seq) so pop_back
+//             is the minimum. Filled one bucket at a time.
+//
+// The ordering invariant the tiers maintain: every event in Bottom precedes
+// every undrained rung bucket, and every rung event precedes everything in
+// Top. Within a tier, (time, seq) sorting happens at most once per event —
+// the amortized O(1) of Tang & Perumalla's ladder queue.
+#include "cluster/event_queue.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "common/contract.hpp"
+
+namespace xl::cluster {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr std::size_t kHandlerBytes = sizeof(EventHandler);
+
+/// Bucket count for a rung spawned from `n` events: aim for bucket loads
+/// around half the direct-sort threshold, capped at 16384 so the scatter's
+/// active bucket-tail cache lines (one per bucket, ~1 MiB at the cap) stay
+/// L2-resident. A 1M-event batch then takes ONE scatter level into ~64-event
+/// buckets that sort straight into Bottom.
+std::size_t rung_buckets_for(std::size_t n) {
+  std::size_t nb = 128;
+  while (nb < 16384 && n / nb > EventQueue::kBucketThreshold / 2) nb *= 2;
+  return nb;
+}
+}  // namespace
+
+EventQueue::EventQueue()
+    : bottom_(BufferPool::engine()),
+      top_(BufferPool::engine()),
+      top_floor_(kNegInf),
+      drain_(BufferPool::engine()),
+      free_slots_(BufferPool::engine()) {}
+
+EventQueue::~EventQueue() {
+  destroy_all();
+  BufferPool& pool = BufferPool::engine();
+  for (auto& slab : slabs_) pool.release(std::move(slab));
+}
+
+// --- handler slab arena ------------------------------------------------------
+
+EventHandler* EventQueue::slot_ptr(std::uint32_t slot) noexcept {
+  return std::launder(reinterpret_cast<EventHandler*>(slot_mem(slot)));
+}
+
+std::uint32_t EventQueue::reserve_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  if (slabs_.empty() || slab_used_ == slots_in_slab(slabs_.size() - 1)) {
+    const std::size_t n = slots_in_slab(slabs_.size());
+    slabs_.push_back(BufferPool::engine().acquire<std::uint8_t>(n * kHandlerBytes));
+    slab_used_ = 0;
+    total_slots_ += n;
+    // Pre-size the free list to the slot count so release_slot's push_back
+    // never grows mid-run — it must be safe in a cleanup path.
+    free_slots_.reserve(total_slots_);
+  }
+  const std::size_t slab = slabs_.size() - 1;
+  return static_cast<std::uint32_t>((slab << kSlotIdxBits) | slab_used_++);
+}
+
+void* EventQueue::slot_mem(std::uint32_t slot) noexcept {
+  std::uint8_t* base = slabs_[slot >> kSlotIdxBits].data();
+  return static_cast<void*>(base + (slot & (kMaxSlabSlots - 1)) * kHandlerBytes);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+  slot_ptr(slot)->~EventHandler();
+  free_slots_.push_back(slot);
+}
+
+// --- scheduling --------------------------------------------------------------
+
+void EventQueue::finish_schedule(SimTime t, std::uint32_t slot, bool heap_backed) {
+  if (heap_backed) ++stats_.heap_handlers;
+  const EventRef ref{t, seq_++, slot};
+  insert_ref(ref);
+  ++pending_;
+  ++stats_.scheduled;
+  if (pending_ > stats_.peak_pending) stats_.peak_pending = pending_;
+}
+
+void EventQueue::insert_ref(const EventRef& ref) {
+  // Far future: at or beyond the Top floor.
+  if (ref.time >= top_floor_) {
+    if (top_.empty()) {
+      top_min_ = top_max_ = ref.time;
+    } else {
+      if (ref.time < top_min_) top_min_ = ref.time;
+      if (ref.time > top_max_) top_max_ = ref.time;
+    }
+    top_.push_back(ref);
+    return;
+  }
+  // Rung windows, outermost first: the first rung whose live range still
+  // covers ref.time owns it (inner rungs subdivide an outer rung's already-
+  // drained bucket, so their thresholds are lower).
+  for (std::size_t i = 0; i < nrungs_; ++i) {
+    Rung& rung = rungs_[i];
+    if (ref.time < rung.threshold()) continue;
+    // Multiply by the stored reciprocal instead of dividing: monotone in
+    // ref.time, so bucket ordering is preserved; boundary rounding is
+    // absorbed by the clamps below.
+    std::size_t idx =
+        f2s((ref.time - rung.start) * rung.inv_width, "ladder bucket index");
+    if (idx < rung.cur) idx = rung.cur;               // fp rounding below the live range
+    if (idx >= rung.nbuckets) idx = rung.nbuckets - 1;  // window-end boundary
+    rung.buckets[idx].push_back(ref);
+    ++rung.count;
+    return;
+  }
+  // Near future: sorted insert into Bottom (descending, so back() is the
+  // minimum). Binary search keeps mid-drain same-timestamp scheduling cheap.
+  std::size_t lo = 0;
+  std::size_t hi = bottom_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (before(ref, bottom_[mid])) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  bottom_.insert_at(lo, ref);
+}
+
+// --- draining ----------------------------------------------------------------
+
+void EventQueue::sort_into_bottom(ArenaVec<EventRef>& batch) {
+  XL_ASSERT(bottom_.empty(), "bottom must be drained before a refill");
+  std::sort(batch.begin(), batch.end(),
+            [](const EventRef& a, const EventRef& b) { return before(b, a); });
+  bottom_.swap(batch);
+  batch.clear();
+}
+
+void EventQueue::spawn_rung(ArenaVec<EventRef>& source, double start, double width,
+                            std::size_t nbuckets) {
+  Rung& rung = rungs_[nrungs_++];
+  rung.start = start;
+  rung.width = width;
+  rung.inv_width = 1.0 / width;
+  rung.cur = 0;
+  rung.nbuckets = nbuckets;
+  rung.count = source.size();
+  while (rung.buckets.size() < nbuckets) {
+    rung.buckets.emplace_back(BufferPool::engine());
+  }
+  for (const EventRef& ref : source) {
+    std::size_t idx =
+        f2s((ref.time - start) * rung.inv_width, "ladder bucket index");
+    if (idx >= nbuckets) idx = nbuckets - 1;
+    rung.buckets[idx].push_back(ref);
+  }
+  source.clear();
+  ++stats_.rung_spawns;
+}
+
+bool EventQueue::prepare_bottom() {
+  while (bottom_.empty()) {
+    if (nrungs_ > 0) {
+      Rung& rung = rungs_[nrungs_ - 1];
+      if (rung.count == 0) {
+        // Retired: every bucket drained. Pooled bucket arenas stay allocated
+        // for the next spawn.
+        --nrungs_;
+        continue;
+      }
+      while (rung.buckets[rung.cur].empty()) ++rung.cur;
+      drain_.swap(rung.buckets[rung.cur]);
+      rung.count -= drain_.size();
+      const double bucket_start = rung.threshold();
+      ++rung.cur;  // threshold now points past the drained bucket's window
+      if (drain_.size() > kBucketThreshold && nrungs_ < kMaxRungs) {
+        // Oversized bucket: subdivide its window into a child rung — but only
+        // when the timestamps actually spread (a degenerate all-equal bucket
+        // subdivides forever; sorting it is O(n) anyway, seq is the only key).
+        double lo = drain_[0].time;
+        double hi = drain_[0].time;
+        for (const EventRef& ref : drain_) {
+          if (ref.time < lo) lo = ref.time;
+          if (ref.time > hi) hi = ref.time;
+        }
+        const std::size_t nb = rung_buckets_for(drain_.size());
+        const double child_width = rung.width / static_cast<double>(nb);
+        if (lo < hi && bucket_start + child_width > bucket_start) {
+          spawn_rung(drain_, bucket_start, child_width, nb);
+          continue;
+        }
+      }
+      ++stats_.direct_sorts;
+      sort_into_bottom(drain_);
+      continue;
+    }
+    if (!top_.empty()) {
+      // Transfer the accumulated far future. Small or zero-spread batches go
+      // straight to Bottom; otherwise they seed rung 0.
+      top_floor_ = top_max_;
+      if (top_.size() > kBucketThreshold && top_min_ < top_max_) {
+        const std::size_t nb = rung_buckets_for(top_.size());
+        const double width = (top_max_ - top_min_) / static_cast<double>(nb);
+        if (top_min_ + width > top_min_) {
+          spawn_rung(top_, top_min_, width, nb);
+          continue;
+        }
+      }
+      ++stats_.direct_sorts;
+      sort_into_bottom(top_);
+      continue;
+    }
+    top_floor_ = kNegInf;  // fully drained: the next batch re-anchors Top
+    return false;
+  }
+  return true;
+}
+
+// --- running -----------------------------------------------------------------
+
+bool EventQueue::run_one() {
+  if (!prepare_bottom()) return false;
+  const EventRef ref = bottom_.back();
+  bottom_.pop_back();
+  // The handler about to fire was written up to a full population ago — a
+  // guaranteed cache miss at scale. Bottom is sorted, so the slots firing
+  // next are known: prefetch a few pops ahead to overlap those misses with
+  // this event's work. A slot spans two cache lines (72B storage + vtable
+  // pointer), so touch both.
+  if (bottom_.size() >= 4) {
+    const char* p =
+        static_cast<const char*>(slot_mem(bottom_[bottom_.size() - 4].slot));
+    __builtin_prefetch(p, 0, 1);
+    __builtin_prefetch(p + 64, 0, 1);
+  }
+  if (!bottom_.empty()) {
+    const char* p = static_cast<const char*>(slot_mem(bottom_.back().slot));
+    __builtin_prefetch(p, 0, 3);
+    __builtin_prefetch(p + 64, 0, 3);
+  }
+  now_ = ref.time;
+  --pending_;
+  ++stats_.fired;
+  if (pending_ == 0) top_floor_ = kNegInf;
+  // Invoke IN the arena slot — zero handler moves on the pop path. The guard
+  // destroys the handler and recycles the slot when the call returns or
+  // throws (the seed engine also consumed the event on throw). Slots the
+  // handler allocates for follow-on events are distinct, so running in place
+  // is safe.
+  struct SlotGuard {
+    EventQueue* queue;
+    std::uint32_t slot;
+    ~SlotGuard() { queue->release_slot(slot); }
+  } guard{this, ref.slot};
+  (*slot_ptr(ref.slot))();
+  return true;
+}
+
+void EventQueue::run_until(SimTime t_end) {
+  while (pending_ > 0) {
+    if (!prepare_bottom()) break;
+    if (bottom_.back().time > t_end) break;
+    run_one();
+  }
+  if (t_end > now_) now_ = t_end;
+}
+
+// --- teardown ----------------------------------------------------------------
+
+void EventQueue::destroy_all() noexcept {
+  auto destroy_refs = [this](ArenaVec<EventRef>& refs) {
+    for (const EventRef& ref : refs) slot_ptr(ref.slot)->~EventHandler();
+    refs.clear();
+  };
+  destroy_refs(bottom_);
+  destroy_refs(top_);
+  destroy_refs(drain_);
+  for (std::size_t i = 0; i < nrungs_; ++i) {
+    for (auto& bucket : rungs_[i].buckets) destroy_refs(bucket);
+    rungs_[i].count = 0;
+  }
+  nrungs_ = 0;
+  pending_ = 0;
+}
+
+}  // namespace xl::cluster

@@ -5,8 +5,13 @@
 namespace xl::cluster {
 
 void ContendedNetwork::expire(SimTime now) {
-  while (!in_flight_.empty() && in_flight_.begin()->first <= now) {
-    in_flight_.erase(in_flight_.begin());
+  for (std::size_t i = 0; i < in_flight_.size();) {
+    if (in_flight_[i].finish <= now) {
+      in_flight_[i] = in_flight_.back();
+      in_flight_.pop_back();
+    } else {
+      ++i;
+    }
   }
 }
 
@@ -19,7 +24,7 @@ SimTime ContendedNetwork::start_transfer(SimTime now, std::size_t bytes,
   // the path bandwidth equally.
   const double share = static_cast<double>(in_flight_.size()) + 1.0;
   const SimTime finish = now + isolated * share;
-  in_flight_.emplace(finish, bytes);
+  in_flight_.push_back(Flow{finish, bytes});
   finishes_.push_back(finish);
   total_bytes_ += bytes;
   return finish;
@@ -27,7 +32,7 @@ SimTime ContendedNetwork::start_transfer(SimTime now, std::size_t bytes,
 
 int ContendedNetwork::active_flows(SimTime now) const {
   int n = 0;
-  for (const auto& [finish, bytes] : in_flight_) n += finish > now;
+  for (const Flow& flow : in_flight_) n += flow.finish > now;
   return n;
 }
 

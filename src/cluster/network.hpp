@@ -9,11 +9,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "cluster/cost_model.hpp"
 #include "cluster/event_queue.hpp"
+#include "common/buffer_pool.hpp"
 
 namespace xl::cluster {
 
@@ -33,10 +33,20 @@ class ContendedNetwork {
   std::uint64_t flow_count() const noexcept { return static_cast<std::uint64_t>(finishes_.size()); }
 
  private:
+  /// One in-flight transfer: a flat record in the pooled flow table.
+  struct Flow {
+    SimTime finish;
+    std::size_t bytes;
+  };
+
   void expire(SimTime now);
 
   const CostModel* cost_;
-  std::multimap<SimTime, std::size_t> in_flight_;  // finish time -> bytes
+  /// Flat arena-backed table of in-flight flows, unordered. Only the live
+  /// COUNT feeds the processor-sharing arithmetic, so expiry is a swap-remove
+  /// — no sorted container and no node allocation per flow. Engine pool, so
+  /// flow bookkeeping stays out of the payload pool telemetry.
+  ArenaVec<Flow> in_flight_{BufferPool::engine()};
   std::vector<SimTime> finishes_;
   std::size_t total_bytes_ = 0;
 };

@@ -85,17 +85,15 @@ double EventQueueSubstrate::enqueue_intransit(double arrive, double analysis_sec
   mem_used_ += bytes;
   // The release event looks the bytes up at fire time (not capture time) so a
   // later shed_staged can shrink the buffer while its release is in flight.
-  const std::uint64_t id = next_staged_id_++;
-  staged_bytes_.emplace(id, bytes);
+  const std::uint64_t id = staged_bytes_.append(bytes);
   queue_.schedule_at(staging_free_at_, [this, id] {
-    auto it = staged_bytes_.find(id);
-    if (it != staged_bytes_.end()) {
-      XL_ASSERT(mem_used_ >= it->second,
+    if (std::size_t* live = staged_bytes_.find(id)) {
+      XL_ASSERT(mem_used_ >= *live,
                 "staging memory accounting underflow: used=" << mem_used_
                                                              << " releasing "
-                                                             << it->second);
-      mem_used_ -= it->second;
-      staged_bytes_.erase(it);
+                                                             << *live);
+      mem_used_ -= *live;
+      staged_bytes_.release(id);
     }
   });
   return staging_free_at_;
@@ -104,16 +102,18 @@ double EventQueueSubstrate::enqueue_intransit(double arrive, double analysis_sec
 ShedReport EventQueueSubstrate::shed_staged(double lost_fraction) {
   const bool full = lost_fraction >= 1.0;
   ShedReport report;
-  for (auto& [id, bytes] : staged_bytes_) {
+  // Ascending-id iteration == FIFO order: exactly the sequence the analytic
+  // substrate's deque walks, entry by entry, same arithmetic.
+  staged_bytes_.for_each_live([&](std::uint64_t, std::size_t& bytes) {
     const std::size_t lost =
         full ? bytes
              : f2s(lost_fraction * static_cast<double>(bytes));
-    if (lost == 0) continue;
+    if (lost == 0) return;
     bytes -= lost;
     mem_used_ -= lost;
     report.bytes += lost;
     ++report.buffers;
-  }
+  });
   if (full) staging_free_at_ = std::min(staging_free_at_, t_sim_);
   return report;
 }

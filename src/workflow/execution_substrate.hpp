@@ -16,13 +16,88 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <deque>
-#include <map>
+#include <limits>
 #include <utility>
 
 #include "cluster/event_queue.hpp"
+#include "common/buffer_pool.hpp"
 
 namespace xl::workflow {
+
+/// Flat monotonic-id ring of live staged-buffer bytes. Buffers are appended
+/// with consecutive ids (the insertion order IS the FIFO order — the
+/// invariant the shed arithmetic depends on); release tombstones an entry in
+/// place, and the window compacts forward once the dead prefix dominates, so
+/// steady-state lookups are one subtraction and one index instead of a map
+/// walk, with zero node allocations. Note 0 is a LIVE value (a fully shed
+/// buffer keeps its slot until its release event fires), distinct from the
+/// tombstone.
+class StagedLedger {
+ public:
+  static constexpr std::size_t kTombstone = std::numeric_limits<std::size_t>::max();
+
+  /// Record `bytes` as the next staged buffer; returns its monotonic id.
+  std::uint64_t append(std::size_t bytes) {
+    entries_.push_back(bytes);
+    return base_id_ + static_cast<std::uint64_t>(entries_.size()) - 1;
+  }
+
+  /// Live-entry lookup: nullptr once the buffer has been released. The
+  /// pointer stays valid until the next append/release.
+  std::size_t* find(std::uint64_t id) {
+    if (id < base_id_) return nullptr;
+    const std::size_t idx = static_cast<std::size_t>(id - base_id_);
+    if (idx >= entries_.size() || entries_[idx] == kTombstone) return nullptr;
+    return &entries_[idx];
+  }
+
+  /// Tombstone `id` and advance the live window past any dead prefix.
+  void release(std::uint64_t id) {
+    std::size_t* p = find(id);
+    if (p == nullptr) return;
+    *p = kTombstone;
+    while (head_ < entries_.size() && entries_[head_] == kTombstone) ++head_;
+    if (head_ == entries_.size()) {
+      base_id_ += static_cast<std::uint64_t>(entries_.size());
+      entries_.clear();
+      head_ = 0;
+    } else if (head_ >= kCompactAt && head_ * 2 >= entries_.size()) {
+      compact();
+    }
+  }
+
+  /// Visit live entries in ascending id order (the FIFO shed order) with a
+  /// mutable byte count — `fn(id, bytes&)`.
+  template <typename Fn>
+  void for_each_live(Fn&& fn) {
+    for (std::size_t i = head_; i < entries_.size(); ++i) {
+      if (entries_[i] == kTombstone) continue;
+      fn(base_id_ + static_cast<std::uint64_t>(i), entries_[i]);
+    }
+  }
+
+  std::size_t live_span() const noexcept { return entries_.size() - head_; }
+
+ private:
+  static constexpr std::size_t kCompactAt = 64;
+
+  void compact() {
+    const std::size_t live = entries_.size() - head_;
+    std::memmove(entries_.data(), entries_.data() + head_,
+                 live * sizeof(std::size_t));
+    entries_.resize(live);
+    base_id_ += static_cast<std::uint64_t>(head_);
+    head_ = 0;
+  }
+
+  /// Engine pool, not the data-path pool: ledger bookkeeping must not show
+  /// up in the payload pool telemetry stamped into workflow events.
+  ArenaVec<std::size_t> entries_{BufferPool::engine()};  ///< bytes per id, offset by base_id_.
+  std::uint64_t base_id_ = 0;  ///< id of entries_[0].
+  std::size_t head_ = 0;       ///< first live index (tombstone-free prefix end).
+};
 
 /// What a staging-server loss cost the in-flight staged buffers.
 struct ShedReport {
@@ -136,11 +211,12 @@ class EventQueueSubstrate final : public ExecutionSubstrate {
   double t_sim_ = 0.0;
   double staging_free_at_ = 0.0;
   std::size_t mem_used_ = 0;
-  /// Live bytes per staged buffer, keyed by insertion id (map iteration is
-  /// FIFO order). Release events look bytes up here rather than capturing
+  /// Live bytes per staged buffer, keyed by insertion id. Ids are handed out
+  /// monotonically, and the ledger iterates in ascending id order — THAT is
+  /// the FIFO invariant the shed arithmetic relies on (not any property of
+  /// the container). Release events look bytes up here rather than capturing
   /// them, so a shed can shrink a buffer after its release was scheduled.
-  std::map<std::uint64_t, std::size_t> staged_bytes_;
-  std::uint64_t next_staged_id_ = 0;
+  StagedLedger staged_bytes_;
 };
 
 }  // namespace xl::workflow

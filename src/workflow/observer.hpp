@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "runtime/fault.hpp"
@@ -70,6 +71,14 @@ class WorkflowObserver {
  public:
   virtual ~WorkflowObserver() = default;
   virtual void on_event(const WorkflowEvent& event) = 0;
+
+  /// Batched delivery: `events` arrive in exact emission order (the pipeline
+  /// flushes once per step instead of calling out per event). The default
+  /// forwards each event to on_event, so observers that never override this
+  /// see the identical per-event sequence they always did.
+  virtual void on_events(std::span<const WorkflowEvent> events) {
+    for (const WorkflowEvent& e : events) on_event(e);
+  }
 };
 
 /// Observer that records the stream in memory — the default consumer used by
@@ -77,6 +86,10 @@ class WorkflowObserver {
 class EventLog final : public WorkflowObserver {
  public:
   void on_event(const WorkflowEvent& event) override { events_.push_back(event); }
+
+  void on_events(std::span<const WorkflowEvent> events) override {
+    events_.insert(events_.end(), events.begin(), events.end());
+  }
 
   const std::vector<WorkflowEvent>& events() const noexcept { return events_; }
 
@@ -101,6 +114,10 @@ class ObserverList final : public WorkflowObserver {
 
   void on_event(const WorkflowEvent& event) override {
     for (WorkflowObserver* o : observers_) o->on_event(event);
+  }
+
+  void on_events(std::span<const WorkflowEvent> events) override {
+    for (WorkflowObserver* o : observers_) o->on_events(events);
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 
 #include "amr/memory_model.hpp"
 #include "common/contract.hpp"
@@ -161,6 +162,7 @@ StepPipeline::StepPipeline(const WorkflowConfig& config, ExecutionSubstrate& sub
   ev.kind = EventKind::RunBegin;
   ev.intransit_cores = cur_cores_;
   emit(ev);
+  flush_events();
 }
 
 int StepPipeline::staging_nodes(int cores) const noexcept {
@@ -197,13 +199,20 @@ void StepPipeline::emit(WorkflowEvent event) {
     event.pool_releases = now.releases - pool_base_.releases;
     event.pool_copied_bytes = now.copied_bytes - pool_base_.copied_bytes;
   }
-  observer_->on_event(event);
+  batch_.push_back(event);
+}
+
+void StepPipeline::flush_events() {
+  if (observer_ == nullptr || batch_.empty()) return;
+  observer_->on_events(std::span<const WorkflowEvent>(batch_.data(), batch_.size()));
+  batch_.clear();
 }
 
 void StepPipeline::run_step(int step) {
   StepContext ctx;
   ctx.step = step;
   for (auto& phase : phases_) phase->run(ctx);
+  flush_events();
 }
 
 std::vector<const char*> StepPipeline::phase_names() const {
@@ -242,6 +251,7 @@ WorkflowResult StepPipeline::finish() {
   ev.seconds = result_.end_to_end_seconds;
   ev.bytes = result_.bytes_moved;
   emit(ev);
+  flush_events();
 
   XL_LOG_INFO(mode_name(config_.mode)
               << " [" << timeline_.substrate().name() << "]: E2E "

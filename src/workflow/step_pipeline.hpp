@@ -143,8 +143,13 @@ class StepPipeline {
   int effective_cores() const noexcept {
     return std::max(0, cur_cores_ - servers_down_now_);
   }
-  /// Stamp the partition clocks onto `event` and forward it to the observer.
+  /// Stamp the partition clocks onto `event` and append it to the step batch.
+  /// Clocks are read at emission time (not flush time), so batching changes
+  /// only delivery granularity, never a recorded value.
   void emit(WorkflowEvent event);
+  /// Hand the accumulated batch to the observer in exact emission order.
+  /// Called at construction (RunBegin), after each step, and at finish().
+  void flush_events();
 
   const WorkflowConfig& config_;
   amr::SyntheticAmrEvolution evolution_;
@@ -152,6 +157,7 @@ class StepPipeline {
   runtime::Monitor monitor_;
   Timeline timeline_;
   WorkflowObserver* observer_;
+  std::vector<WorkflowEvent> batch_;  ///< stamped events awaiting delivery.
   std::unique_ptr<runtime::AdaptationEngine> engine_;
   std::vector<std::unique_ptr<StepPhase>> phases_;
   WorkflowResult result_;

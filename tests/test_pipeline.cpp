@@ -5,7 +5,12 @@
 // event stream must be consistent with the returned WorkflowResult.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "workflow/coupled_workflow.hpp"
 #include "workflow/execution_substrate.hpp"
@@ -202,6 +207,194 @@ TEST(EventKindNames, AreStable) {
   EXPECT_STREQ(event_kind_name(EventKind::Analysis), "analysis");
   EXPECT_STREQ(event_kind_name(EventKind::StepEnd), "step-end");
   EXPECT_STREQ(event_kind_name(EventKind::RunEnd), "run-end");
+}
+
+// --- staged-byte ledger ------------------------------------------------------
+
+TEST(StagedLedger, AppendsMonotonicIdsAndFindsLiveBytes) {
+  StagedLedger ledger;
+  EXPECT_EQ(ledger.append(100), 0u);
+  EXPECT_EQ(ledger.append(200), 1u);
+  EXPECT_EQ(ledger.append(300), 2u);
+  ASSERT_NE(ledger.find(1), nullptr);
+  EXPECT_EQ(*ledger.find(1), 200u);
+  EXPECT_EQ(ledger.find(99), nullptr);  // never issued
+  EXPECT_EQ(ledger.live_span(), 3u);
+}
+
+TEST(StagedLedger, ZeroBytesIsLiveUntilReleased) {
+  // A fully shed buffer keeps a 0-byte LIVE entry until its release event
+  // fires — 0 is a value, not a tombstone.
+  StagedLedger ledger;
+  const std::uint64_t id = ledger.append(512);
+  *ledger.find(id) = 0;  // what a full shed does
+  ASSERT_NE(ledger.find(id), nullptr);
+  EXPECT_EQ(*ledger.find(id), 0u);
+  ledger.release(id);
+  EXPECT_EQ(ledger.find(id), nullptr);
+  ledger.release(id);  // double release is a no-op
+  EXPECT_EQ(ledger.find(id), nullptr);
+}
+
+TEST(StagedLedger, ForEachLiveVisitsAscendingIdsSkippingReleased) {
+  StagedLedger ledger;
+  for (std::size_t i = 0; i < 6; ++i) ledger.append(10 * (i + 1));
+  ledger.release(1);
+  ledger.release(4);
+  std::vector<std::uint64_t> ids;
+  std::vector<std::size_t> bytes;
+  ledger.for_each_live([&](std::uint64_t id, std::size_t& b) {
+    ids.push_back(id);
+    bytes.push_back(b);
+  });
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{0, 2, 3, 5}));
+  EXPECT_EQ(bytes, (std::vector<std::size_t>{10, 30, 40, 60}));
+}
+
+TEST(StagedLedger, CompactionPreservesIdsAndFifoOrder) {
+  StagedLedger ledger;
+  constexpr std::size_t kN = 150;
+  for (std::size_t i = 0; i < kN; ++i) ledger.append(i + 1);
+  // Release a long prefix in FIFO order: the dead window dominates and the
+  // ledger compacts. Ids and bytes of the survivors must be untouched.
+  for (std::size_t i = 0; i < 100; ++i) ledger.release(i);
+  EXPECT_EQ(ledger.live_span(), kN - 100);
+  for (std::uint64_t id = 100; id < kN; ++id) {
+    ASSERT_NE(ledger.find(id), nullptr) << "id " << id;
+    EXPECT_EQ(*ledger.find(id), id + 1) << "id " << id;
+  }
+  EXPECT_EQ(ledger.find(99), nullptr);
+  // Ids keep counting monotonically across compaction.
+  EXPECT_EQ(ledger.append(9999), kN);
+}
+
+TEST(StagedLedger, FullDrainResetsWindowButNeverReissuesIds) {
+  StagedLedger ledger;
+  const std::uint64_t a = ledger.append(1);
+  const std::uint64_t b = ledger.append(2);
+  ledger.release(a);
+  ledger.release(b);
+  EXPECT_EQ(ledger.live_span(), 0u);
+  const std::uint64_t c = ledger.append(3);
+  EXPECT_EQ(c, 2u);  // monotonic: ids never repeat after a drain
+  EXPECT_EQ(ledger.find(a), nullptr);
+  EXPECT_EQ(*ledger.find(c), 3u);
+}
+
+// --- observer batching -------------------------------------------------------
+
+namespace batching {
+
+/// Sees only the per-event callback (never overrides on_events): the default
+/// unbatching must hand it the classic one-at-a-time sequence.
+struct PerEventLog final : WorkflowObserver {
+  std::vector<WorkflowEvent> events;
+  void on_event(const WorkflowEvent& e) override { events.push_back(e); }
+};
+
+/// Consumes whole batches and records their boundaries.
+struct BatchLog final : WorkflowObserver {
+  std::vector<WorkflowEvent> events;
+  std::vector<std::size_t> batch_sizes;
+  void on_event(const WorkflowEvent& e) override { events.push_back(e); }
+  void on_events(std::span<const WorkflowEvent> es) override {
+    batch_sizes.push_back(es.size());
+    events.insert(events.end(), es.begin(), es.end());
+  }
+};
+
+void expect_same_events(const std::vector<WorkflowEvent>& a,
+                        const std::vector<WorkflowEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "event " << i;
+    EXPECT_EQ(a[i].step, b[i].step) << "event " << i;
+    EXPECT_EQ(a[i].sim_clock, b[i].sim_clock) << "event " << i;
+    EXPECT_EQ(a[i].staging_clock, b[i].staging_clock) << "event " << i;
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << "event " << i;
+    EXPECT_EQ(a[i].seconds, b[i].seconds) << "event " << i;
+    EXPECT_EQ(a[i].pool_hits, b[i].pool_hits) << "event " << i;
+    EXPECT_EQ(a[i].pool_misses, b[i].pool_misses) << "event " << i;
+  }
+}
+
+}  // namespace batching
+
+TEST(ObserverBatching, BatchedAndPerEventDeliveryCarryIdenticalSequences) {
+  // Batch delivery is a granularity change, never a content or order change:
+  // an observer that only implements on_event sees the same records, in the
+  // same order, with the same clock stamps as a batch consumer.
+  const WorkflowConfig config = golden_config(Mode::Global);
+  batching::PerEventLog per_event;
+  {
+    CoupledWorkflow wf(config);
+    wf.set_observer(&per_event);
+    (void)wf.run();
+  }
+  batching::BatchLog batched;
+  {
+    CoupledWorkflow wf(config);
+    wf.set_observer(&batched);
+    (void)wf.run();
+  }
+  batching::expect_same_events(per_event.events, batched.events);
+  // The pipeline flushes once per step (plus the run-begin and run-end
+  // flushes), not once per event: batches genuinely batch.
+  EXPECT_GE(batched.batch_sizes.size(), 2u);
+  std::size_t total = 0;
+  bool any_multi = false;
+  for (std::size_t n : batched.batch_sizes) {
+    total += n;
+    any_multi = any_multi || n > 1;
+  }
+  EXPECT_EQ(total, batched.events.size());
+  EXPECT_TRUE(any_multi) << "every batch was a single event - batching is off";
+  EXPECT_LT(batched.batch_sizes.size(), batched.events.size());
+}
+
+TEST(ObserverBatching, EventLogMatchesPerEventObserver) {
+  // EventLog consumes batches wholesale; its contents must equal the
+  // per-event view and serialize to the identical CSV.
+  const WorkflowConfig config = golden_config(Mode::AdaptiveMiddleware);
+  batching::PerEventLog per_event;
+  {
+    CoupledWorkflow wf(config);
+    wf.set_observer(&per_event);
+    (void)wf.run();
+  }
+  EventLog log;
+  {
+    CoupledWorkflow wf(config);
+    wf.set_observer(&log);
+    (void)wf.run();
+  }
+  batching::expect_same_events(per_event.events, log.events());
+}
+
+// --- substrate agreement at scale -------------------------------------------
+
+TEST(SubstrateAgreement, HoldsAtLargeStepCounts) {
+  // 200 steps pushes the DES substrate through hundreds of schedule/release
+  // cycles and multiple ledger compactions; the analytic and event-queue
+  // timelines must still serialize byte-identically.
+  for (Mode mode : {Mode::StaticInTransit, Mode::Global}) {
+    WorkflowConfig config = golden_config(mode);
+    config.steps = 200;
+    auto csv_of = [&](ExecutionSubstrate& substrate) {
+      CoupledWorkflow wf(config);
+      EventLog log;
+      wf.set_observer(&log);
+      (void)wf.run_on(substrate);
+      std::ostringstream os;
+      write_events_csv(os, log);
+      return os.str();
+    };
+    AnalyticSubstrate analytic;
+    EventQueueSubstrate des;
+    const std::string a = csv_of(analytic);
+    const std::string d = csv_of(des);
+    EXPECT_EQ(a, d) << mode_name(mode);
+  }
 }
 
 }  // namespace
