@@ -12,6 +12,8 @@
 //
 // No paper figure corresponds to this bench: the paper assumes an always-up
 // staging area. This is the robustness envelope around its §5 experiments.
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <iterator>
 
@@ -24,6 +26,11 @@ using xl::bench::RunCache;
 namespace {
 
 const double kDropRates[] = {0.0, 0.02, 0.05, 0.10, 0.20};
+
+/// Replication factor for every run of the sweep (the --replication N flag,
+/// stripped from argv before google-benchmark sees it). 1 reproduces the
+/// unreplicated PR 2 sweeps; k > 1 re-runs them against the durable space.
+int g_replication = 1;
 
 struct CrashCase {
   const char* label;
@@ -39,12 +46,14 @@ const CrashCase kCrashCases[] = {
 WorkflowConfig drop_config(std::size_t rate_index) {
   WorkflowConfig c = titan_middleware_experiment(0, Mode::AdaptiveMiddleware);
   c.faults.transfer_drop_rate = kDropRates[rate_index];
+  c.replication = g_replication;
   return c;
 }
 
 WorkflowConfig crash_config(std::size_t case_index) {
   WorkflowConfig c = titan_middleware_experiment(0, Mode::AdaptiveMiddleware);
   const CrashCase& cc = kCrashCases[case_index];
+  c.replication = g_replication;
   if (cc.servers > 0) {
     runtime::FaultSpec spec;
     spec.kind = runtime::FaultKind::ServerCrash;
@@ -83,7 +92,8 @@ double degraded_fraction(const WorkflowResult& r) {
 }
 
 void print_figure() {
-  std::cout << "\n=== Fault sweep (a): transfer-fault rate vs end-to-end cost ===\n";
+  std::cout << "\n=== Fault sweep (a): transfer-fault rate vs end-to-end cost"
+            << " (replication " << g_replication << ") ===\n";
   const double base_drop =
       RunCache::instance().get(drop_key(0), [] { return drop_config(0); }).end_to_end_seconds;
   Table td({"drop rate", "end-to-end", "slowdown", "retries", "failures",
@@ -102,7 +112,8 @@ void print_figure() {
   }
   std::cout << td.to_string();
 
-  std::cout << "\n=== Fault sweep (b): staging crash at step 10 ===\n";
+  std::cout << "\n=== Fault sweep (b): staging crash at step 10"
+            << " (replication " << g_replication << ") ===\n";
   const double base_crash =
       RunCache::instance().get(crash_key(0), [] { return crash_config(0); }).end_to_end_seconds;
   Table tc({"crash", "end-to-end", "slowdown", "recoveries", "dropped bytes",
@@ -134,6 +145,20 @@ BENCHMARK(bench_crash)
     ->Iterations(1);
 
 int main(int argc, char** argv) {
+  // Strip --replication N before google-benchmark parses (and rejects) it.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replication") == 0 && i + 1 < argc) {
+      g_replication = std::atoi(argv[++i]);
+      if (g_replication < 1) {
+        std::cerr << "usage: bench_fault_sweep [--replication N>=1] [benchmark flags]\n";
+        return 2;
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_figure();

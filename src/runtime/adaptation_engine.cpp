@@ -101,6 +101,7 @@ void AdaptationEngine::run_middleware(const OperationalState& state,
   in.staging_available = !state.staging_health.all_down();
   in.staging_degraded = state.staging_health.degraded();
   in.staging_recovered = state.staging_health.just_recovered;
+  in.staging_repairing = state.staging_health.repairing;
   in.est_insitu_seconds =
       hooks_.analysis_seconds(Placement::InSitu, out.effective_cells, state.sim_cores);
   // A fully-down staging partition reports 0 cores; the estimate is moot then

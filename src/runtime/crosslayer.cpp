@@ -27,7 +27,8 @@ CrossLayerPlanner CrossLayerPlanner::standard() {
       Layer::Middleware,
       "analysis-placement",
       {Objective::MinimizeTimeToSolution},
-      {Quantity::DataSize, Quantity::IntransitCores, Quantity::StagingHealth},
+      {Quantity::DataSize, Quantity::IntransitCores, Quantity::StagingHealth,
+       Quantity::RepairBacklog},
       {Quantity::PlacementDecision}});
   mechanisms.push_back(MechanismInfo{
       Layer::Resource,

@@ -26,10 +26,18 @@ enum class Layer { Application, Middleware, Resource };
 const char* layer_name(Layer layer) noexcept;
 
 /// Quantities flowing between mechanisms (the S_data and M of §4.4).
-/// StagingHealth is an environment input produced by the fault/monitor layer
-/// rather than by any mechanism; it gates the middleware and resource
-/// policies but never reorders the plan.
-enum class Quantity { DataSize, IntransitCores, PlacementDecision, StagingHealth };
+/// StagingHealth and RepairBacklog are environment inputs produced by the
+/// fault/monitor layer rather than by any mechanism; they gate the middleware
+/// and resource policies but never reorder the plan. RepairBacklog is the
+/// anti-entropy re-replication traffic queued on the staging cores — part of
+/// eq. 7's remaining-time term the placement decision weighs.
+enum class Quantity {
+  DataSize,
+  IntransitCores,
+  PlacementDecision,
+  StagingHealth,
+  RepairBacklog,
+};
 
 struct MechanismInfo {
   Layer layer = Layer::Application;

@@ -58,6 +58,26 @@ int FaultPlan::servers_down_at(int step) const noexcept {
   return down;
 }
 
+int FaultPlan::detected_down_at(int step) const noexcept {
+  if (config_.lease_steps <= 0) return servers_down_at(step);
+  // A server is declared dead only after missing every heartbeat in the
+  // trailing lease window: the min over the window. Steps before 0 have no
+  // crashes (window_active is false for step < spec.step), so the min over a
+  // window reaching below 0 is 0 — a fresh run starts with nothing declared.
+  int declared = servers_down_at(step);
+  for (int u = step - config_.lease_steps; u < step; ++u) {
+    if (u < 0) return 0;
+    const int down = servers_down_at(u);
+    if (down < declared) declared = down;
+    if (declared == 0) return 0;
+  }
+  return declared;
+}
+
+int FaultPlan::suspected_at(int step) const noexcept {
+  return servers_down_at(step) - detected_down_at(step);
+}
+
 double FaultPlan::slowdown_at(int step) const noexcept {
   double slowdown = 1.0;
   for (const FaultSpec& spec : config_.events) {
@@ -129,6 +149,8 @@ FaultConfig parse_fault_spec(const std::string& spec) {
       config.backoff_multiplier = spec_to_double(value, clause);
     } else if (key == "timeout") {
       config.transfer_timeout_seconds = spec_to_double(value, clause);
+    } else if (key == "lease") {
+      config.lease_steps = spec_to_int(value, clause);
     } else if (key == "crash" || key == "straggler") {
       const auto fields = split_fields(value);
       XL_REQUIRE(!fields.empty() && fields.size() <= 3,
@@ -158,6 +180,7 @@ FaultConfig parse_fault_spec(const std::string& spec) {
                  config.transfer_corrupt_rate <= 1.0,
              "fault spec: corrupt rate in [0,1]");
   XL_REQUIRE(config.max_transfer_retries >= 0, "fault spec: retries >= 0");
+  XL_REQUIRE(config.lease_steps >= 0, "fault spec: lease >= 0");
   XL_REQUIRE(config.retry_backoff_seconds >= 0.0, "fault spec: backoff >= 0");
   XL_REQUIRE(config.backoff_multiplier >= 1.0, "fault spec: backoff_mult >= 1");
   return config;

@@ -51,6 +51,13 @@ struct FaultConfig {
   /// Detection deadline for a lost attempt; 0 = detected at the modeled wire
   /// time (corrupt data is always detected on arrival).
   double transfer_timeout_seconds = 0.0;
+  /// Heartbeat/lease failure detection: steps a server's heartbeat must be
+  /// missing before the Monitor declares it dead. 0 = oracle-instant
+  /// detection (a crash is acted on at the step it fires, the pre-lease
+  /// behavior). While a crashed server is inside its lease window it is only
+  /// *suspected*: no shed, no repair, but in-flight transfers retry against
+  /// it once (the put-racing-a-dying-server path).
+  int lease_steps = 0;
   std::vector<FaultSpec> events;
 
   bool enabled() const noexcept {
@@ -61,8 +68,10 @@ struct FaultConfig {
 
 /// Parse a compact fault spec: semicolon-separated clauses of
 ///   seed=N  drop=P  corrupt=P  retries=N  backoff=S  backoff_mult=X
-///   timeout=S  crash=STEP[:SERVERS[:DURATION]]  straggler=STEP[:SLOW[:DURATION]]
-/// e.g. "seed=7;drop=0.1;crash=10:2:5". Throws ContractError on bad input.
+///   timeout=S  lease=N  crash=STEP[:SERVERS[:DURATION]]
+///   straggler=STEP[:SLOW[:DURATION]]
+/// e.g. "seed=7;drop=0.1;lease=2;crash=10:2:5". Throws ContractError on bad
+/// input.
 FaultConfig parse_fault_spec(const std::string& spec);
 
 class FaultPlan {
@@ -86,7 +95,21 @@ class FaultPlan {
   double backoff_seconds(int attempt) const noexcept;
 
   /// Staging servers down at `step` (sum of the active ServerCrash windows).
+  /// This is the GROUND TRUTH the chaos schedule defines; the runtime only
+  /// learns of a crash once the lease expires (detected_down_at).
   int servers_down_at(int step) const noexcept;
+
+  /// Servers the heartbeat monitor has DECLARED dead by `step`: the minimum
+  /// of servers_down_at over the trailing lease window [step - lease_steps,
+  /// step] — a server counts only once its heartbeat has been missing for
+  /// the full window. Equals servers_down_at when lease_steps == 0. A
+  /// closed-form min (not a stateful sampler), so both substrates and every
+  /// rerun see the identical detection timeline.
+  int detected_down_at(int step) const noexcept;
+
+  /// Servers crashed but still inside their lease window at `step`
+  /// (servers_down_at - detected_down_at); always 0 when lease_steps == 0.
+  int suspected_at(int step) const noexcept;
 
   /// Straggler multiplier on in-transit execution at `step` (>= 1; max of the
   /// active Straggler windows).

@@ -13,6 +13,7 @@ const char* reason_name(DecisionReason reason) noexcept {
     case DecisionReason::StagingUnavailable: return "staging-unavailable";
     case DecisionReason::DegradedInSitu: return "degraded-insitu";
     case DecisionReason::RecoveredInTransit: return "recovered-intransit";
+    case DecisionReason::RepairBackpressure: return "repair-backpressure";
   }
   return "?";
 }
@@ -80,7 +81,11 @@ MiddlewareDecision decide_placement(const PlacementInputs& in) {
     d.reason = DecisionReason::BacklogShorterThanInsitu;
   } else {
     d.placement = Placement::InSitu;
-    d.reason = DecisionReason::InsituFasterThanBacklog;
+    // Same comparison either way: repair traffic competes inside the backlog,
+    // not as a separate override. The distinct reason makes "in-situ because
+    // repair is hogging staging" visible in the event stream.
+    d.reason = in.staging_repairing ? DecisionReason::RepairBackpressure
+                                    : DecisionReason::InsituFasterThanBacklog;
   }
   return d;
 }

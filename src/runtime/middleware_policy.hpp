@@ -42,6 +42,11 @@ struct PlacementInputs {
   bool staging_available = true;   ///< false while every staging server is down.
   bool staging_degraded = false;   ///< some servers down or stragglers active.
   bool staging_recovered = false;  ///< first sample after full recovery.
+  /// Anti-entropy re-replication traffic is queued on the staging cores. The
+  /// repair bytes already sit in intransit_backlog_seconds (they compete in
+  /// eq. 7 like any other staged work); this flag only labels a case-3
+  /// in-situ win as repair backpressure instead of a generic backlog loss.
+  bool staging_repairing = false;
 };
 
 /// Which trigger case fired. A value type (unlike the previous string
@@ -57,6 +62,7 @@ enum class DecisionReason {
   StagingUnavailable,        ///< fault: every staging server down -> in-situ.
   DegradedInSitu,            ///< fault: staging degraded enough that in-situ wins.
   RecoveredInTransit,        ///< fault: staging back up -> re-admit in-transit.
+  RepairBackpressure,        ///< case 3 in-situ win while re-replication runs.
 };
 
 const char* reason_name(DecisionReason reason) noexcept;

@@ -31,11 +31,18 @@ const char* placement_name(Placement placement) noexcept;
 /// always-up staging partition.
 struct StagingHealth {
   int servers_total = 0;   ///< configured staging cores/servers.
-  int servers_down = 0;    ///< currently dead.
+  int servers_down = 0;    ///< declared dead (lease expired; acted on).
+  /// Crashed but still inside the heartbeat lease window: the Monitor has
+  /// missed beats but not yet declared them. Suspected servers still count as
+  /// alive for capacity/shed purposes; transfers racing them retry.
+  int servers_suspected = 0;
   double slowdown = 1.0;   ///< straggler multiplier on in-transit time (>= 1).
   /// True on the first sample after servers_down returned to 0 (the
   /// recovery edge the middleware policy re-admits in-transit work on).
   bool just_recovered = false;
+  /// True while background anti-entropy re-replication traffic is in flight
+  /// (repair competes with workflow traffic for the staging partition).
+  bool repairing = false;
 
   int servers_alive() const noexcept { return servers_total - servers_down; }
   bool degraded() const noexcept { return servers_down > 0 || slowdown > 1.0; }

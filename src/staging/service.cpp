@@ -20,12 +20,16 @@ const char* service_event_kind_name(ServiceEvent::Kind kind) noexcept {
     case ServiceEvent::Kind::Drain: return "drain";
     case ServiceEvent::Kind::ServerLost: return "server-lost";
     case ServiceEvent::Kind::ServerRecovered: return "server-recovered";
+    case ServiceEvent::Kind::ReadRepair: return "read-repair";
+    case ServiceEvent::Kind::Repair: return "repair";
   }
   return "?";
 }
 
 StagingService::StagingService(const ServiceConfig& config)
-    : config_(config), space_(config.num_servers, config.memory_per_server) {
+    : config_(config),
+      space_(config.num_servers, config.memory_per_server, config.replication,
+             config.servers_per_domain) {
   XL_REQUIRE(config.num_servers >= 1, "service needs at least one server");
   workers_.reserve(static_cast<std::size_t>(config.num_servers));
   for (int s = 0; s < config.num_servers; ++s) {
@@ -85,6 +89,7 @@ std::future<PutAck> StagingService::put_async(int version, const mesh::Box& box,
   enqueue([this, version, box, payload = std::move(payload), promise] {
     const auto start = Clock::now();
     PutAck ack;
+    std::size_t replicas_placed = 0;
     const std::size_t bytes = payload->bytes();
     {
       // Space mutations happen on service threads; the space itself is guarded
@@ -93,6 +98,7 @@ std::future<PutAck> StagingService::put_async(int version, const mesh::Box& box,
       if (space_.can_accept(box, bytes)) {
         ack.id = space_.put(version, box, payload->ncomp(), bytes, payload);
         ack.accepted = true;
+        replicas_placed = space_.object_replicas(ack.id);
       }
     }
     if (!ack.accepted) {
@@ -105,6 +111,7 @@ std::future<PutAck> StagingService::put_async(int version, const mesh::Box& box,
       ev.version = version;
       ev.id = ack.id;
       ev.bytes = bytes;
+      ev.replicas = replicas_placed;
       ev.accepted = ack.accepted;
       ev.seconds = std::chrono::duration<double>(Clock::now() - start).count();
       config_.observer(ev);
@@ -123,9 +130,16 @@ std::future<std::vector<std::shared_ptr<const mesh::Fab>>> StagingService::get_a
     const auto start = Clock::now();
     std::vector<std::shared_ptr<const mesh::Fab>> out;
     std::size_t bytes = 0;
+    ReadReport repair;
     {
       // Readers share the staged buffers: only refcounts move under the lock.
       std::lock_guard<std::mutex> lock(mutex_);
+      if (config_.replication > 1) {
+        // Quorum read: re-materialize missing replicas of the objects this
+        // get touches before handing the payloads out, so a reader leaves
+        // the data it saw fully replicated.
+        repair = space_.read_repair(version, region);
+      }
       for (const StagedObject* obj : space_.query(version, region)) {
         if (!obj->payload) continue;
         bytes += obj->payload->bytes();
@@ -133,6 +147,15 @@ std::future<std::vector<std::shared_ptr<const mesh::Fab>>> StagingService::get_a
       }
     }
     if (config_.observer) {
+      if (repair.repaired_replicas > 0) {
+        ServiceEvent rev;
+        rev.kind = ServiceEvent::Kind::ReadRepair;
+        rev.version = version;
+        rev.objects = repair.below_quorum;
+        rev.bytes = repair.repaired_bytes;
+        rev.replicas = repair.repaired_replicas;
+        config_.observer(rev);
+      }
       ServiceEvent ev;
       ev.kind = ServiceEvent::Kind::Get;
       ev.version = version;
@@ -142,6 +165,30 @@ std::future<std::vector<std::shared_ptr<const mesh::Fab>>> StagingService::get_a
       config_.observer(ev);
     }
     promise->set_value(std::move(out));
+  });
+  return future;
+}
+
+std::future<RepairReport> StagingService::repair_async(std::size_t max_bytes) {
+  auto promise = std::make_shared<std::promise<RepairReport>>();
+  auto future = promise->get_future();
+  enqueue([this, max_bytes, promise] {
+    const auto start = Clock::now();
+    RepairReport report;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      report = space_.anti_entropy_repair(max_bytes);
+    }
+    if (config_.observer && report.repaired_replicas > 0) {
+      ServiceEvent ev;
+      ev.kind = ServiceEvent::Kind::Repair;
+      ev.objects = report.repaired_objects;
+      ev.bytes = report.repaired_bytes;
+      ev.replicas = report.repaired_replicas;
+      ev.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+      config_.observer(ev);
+    }
+    promise->set_value(report);
   });
   return future;
 }
@@ -205,22 +252,29 @@ void StagingService::drain() {
   }
 }
 
-ServerLossReport StagingService::fail_server(int server, bool requeue) {
+ServerLossReport StagingService::fail_server(int server) {
+  return fail_server(server, config_.loss_policy);
+}
+
+ServerLossReport StagingService::fail_server(int server, LossPolicy policy) {
   ServerLossReport report;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    report = space_.fail_server(server, requeue);
+    report = space_.fail_server(server, policy);
   }
-  XL_LOG_WARN("staging server " << server << " lost: dropped "
-                                << report.dropped_objects << " objects ("
-                                << report.dropped_bytes << " bytes), relocated "
-                                << report.relocated_objects);
+  XL_LOG_WARN("staging server " << server << " lost (" << loss_policy_name(policy)
+                                << "): dropped " << report.dropped_objects
+                                << " objects (" << report.dropped_bytes
+                                << " bytes), relocated " << report.relocated_objects
+                                << ", repaired " << report.repaired_objects
+                                << ", degraded " << report.degraded_objects);
   if (config_.observer) {
     ServiceEvent ev;
     ev.kind = ServiceEvent::Kind::ServerLost;
     ev.server = server;
     ev.objects = report.dropped_objects;
     ev.bytes = report.dropped_bytes;
+    ev.replicas = report.repaired_objects;
     config_.observer(ev);
   }
   return report;
@@ -257,6 +311,16 @@ std::size_t StagingService::used_bytes() const {
 std::size_t StagingService::free_bytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return space_.free_bytes();
+}
+
+std::size_t StagingService::replica_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return space_.replica_count();
+}
+
+std::size_t StagingService::replica_deficit() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return space_.replica_deficit();
 }
 
 double StagingService::busy_seconds() const {

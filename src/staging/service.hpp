@@ -30,15 +30,25 @@ namespace xl::staging {
 /// One completed service request, reported through ServiceConfig::observer —
 /// the live-service analogue of the workflow's WorkflowObserver stream.
 struct ServiceEvent {
-  enum class Kind { Put, Get, Analysis, Drain, ServerLost, ServerRecovered };
+  enum class Kind {
+    Put,
+    Get,
+    Analysis,
+    Drain,
+    ServerLost,
+    ServerRecovered,
+    ReadRepair,  ///< a get re-materialized missing replicas.
+    Repair,      ///< an anti-entropy pass re-created replicas.
+  };
   Kind kind = Kind::Put;
-  int version = -1;            ///< request version (-1 for Drain).
+  int version = -1;            ///< request version (-1 for Drain/Repair).
   std::uint64_t id = 0;        ///< staged-object id (Put only).
-  std::size_t bytes = 0;       ///< payload bytes (Put) / copied (Get) / dropped (ServerLost).
+  std::size_t bytes = 0;       ///< payload bytes (Put) / copied (Get/ReadRepair/Repair) / dropped (ServerLost).
   std::size_t objects = 0;     ///< objects touched (Get/Analysis) / dropped (ServerLost).
   double seconds = 0.0;        ///< service-thread time for this request.
   bool accepted = true;        ///< Put: false when the space was full.
   int server = -1;             ///< ServerLost/ServerRecovered: which server.
+  std::size_t replicas = 0;    ///< Put: copies placed; ReadRepair/Repair: copies re-created.
 };
 
 const char* service_event_kind_name(ServiceEvent::Kind kind) noexcept;
@@ -46,6 +56,14 @@ const char* service_event_kind_name(ServiceEvent::Kind kind) noexcept;
 struct ServiceConfig {
   int num_servers = 2;                       ///< worker threads (staging "cores").
   std::size_t memory_per_server = std::size_t{64} << 20;
+  /// Copies of every staged object (see StagingSpace). 1 = the paper's
+  /// unreplicated shared space.
+  int replication = 1;
+  /// Consecutive server ids per failure domain (replicas spread across
+  /// domains when possible).
+  int servers_per_domain = 1;
+  /// What fail_server does with a dead server's replicas by default.
+  LossPolicy loss_policy = LossPolicy::Relocate;
   /// Optional event tap. IMPORTANT: invoked from the service worker threads
   /// (and from the caller's thread for Drain), possibly concurrently — the
   /// callback must be thread-safe. It is called outside the service mutex.
@@ -88,9 +106,18 @@ class StagingService {
   /// Shared read-only references to all objects of `version` intersecting
   /// `region` — the staged buffers themselves, not copies. They stay valid
   /// (and keep their server memory pinned only until the object is erased;
-  /// the buffer itself lives until the last reader drops it).
+  /// the buffer itself lives until the last reader drops it). Under
+  /// replication this is a quorum read: the get first re-materializes any
+  /// missing replicas of the objects it touches (read-repair, emitting
+  /// ServiceEvent::ReadRepair when it re-created copies).
   std::future<std::vector<std::shared_ptr<const mesh::Fab>>> get_async(
       int version, const mesh::Box& region);
+
+  /// Background anti-entropy pass: re-create missing replicas (id order,
+  /// at most `max_bytes` of copy traffic per pass, 0 = unlimited). Queued
+  /// behind client requests so repair competes with workflow traffic. Emits
+  /// ServiceEvent::Repair when it re-created copies.
+  std::future<RepairReport> repair_async(std::size_t max_bytes = 0);
 
   /// In-transit analysis: marching cubes over every staged object of
   /// `version` intersecting `region`; consumed objects are erased (their
@@ -101,11 +128,12 @@ class StagingService {
   /// Block until every enqueued request has completed.
   void drain();
 
-  /// Kill one staging server (fault injection): its objects are relocated to
-  /// surviving servers where memory allows, otherwise dropped; the server
+  /// Kill one staging server (fault injection): what happens to its replicas
+  /// follows `policy` (defaults to the config's loss_policy); the server
   /// stops accepting puts. Emits ServiceEvent::ServerLost. Safe to call from
   /// any thread; runs inline on the caller (not queued behind requests).
-  ServerLossReport fail_server(int server, bool requeue = true);
+  ServerLossReport fail_server(int server);
+  ServerLossReport fail_server(int server, LossPolicy policy);
 
   /// Bring a dead server back online (empty). Emits ServerRecovered.
   void recover_server(int server);
@@ -121,8 +149,11 @@ class StagingService {
   /// Accounting (valid once the relevant requests completed).
   std::size_t used_bytes() const;
   std::size_t free_bytes() const;
+  std::size_t replica_count() const;    ///< live replicas across all objects.
+  std::size_t replica_deficit() const;  ///< replicas missing vs full replication.
   double busy_seconds() const;  ///< cumulative service-thread busy time.
   int num_servers() const noexcept { return config_.num_servers; }
+  int replication() const noexcept { return config_.replication; }
 
  private:
   void worker_loop();

@@ -1,5 +1,6 @@
 #include "staging/space.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <numeric>
 
@@ -7,6 +8,15 @@
 #include "common/error.hpp"
 
 namespace xl::staging {
+
+const char* loss_policy_name(LossPolicy policy) noexcept {
+  switch (policy) {
+    case LossPolicy::Relocate: return "relocate";
+    case LossPolicy::Drop: return "drop";
+    case LossPolicy::Repair: return "repair";
+  }
+  return "?";
+}
 
 int server_for_box(const Box& box, int num_servers) {
   XL_REQUIRE(num_servers >= 1, "need at least one server");
@@ -25,12 +35,17 @@ int server_for_box(const Box& box, int num_servers) {
   return static_cast<int>(h % static_cast<std::uint64_t>(num_servers));
 }
 
-StagingSpace::StagingSpace(int num_servers, std::size_t memory_per_server)
+StagingSpace::StagingSpace(int num_servers, std::size_t memory_per_server,
+                           int replication, int servers_per_domain)
     : memory_per_server_(memory_per_server),
+      replication_(replication),
+      servers_per_domain_(servers_per_domain),
       server_used_(static_cast<std::size_t>(num_servers), 0),
       server_dead_(static_cast<std::size_t>(num_servers), false) {
   XL_REQUIRE(num_servers >= 1, "need at least one staging server");
   XL_REQUIRE(memory_per_server > 0, "staging servers need memory");
+  XL_REQUIRE(replication >= 1, "replication factor must be >= 1");
+  XL_REQUIRE(servers_per_domain >= 1, "failure domains need >= 1 server");
 }
 
 int StagingSpace::alive_servers() const noexcept {
@@ -66,18 +81,67 @@ int StagingSpace::target_server(const Box& box) const {
   return -1;
 }
 
+std::vector<int> StagingSpace::replica_targets(const Box& box,
+                                               std::size_t bytes) const {
+  std::vector<int> targets;
+  const int primary = target_server(box);
+  if (primary < 0) return targets;
+  targets.push_back(primary);
+  if (replication_ == 1) return targets;
+
+  const int hashed = server_for_box(box, num_servers());
+  auto holds = [&](int server) {
+    return std::find(targets.begin(), targets.end(), server) != targets.end();
+  };
+  auto in_used_domain = [&](int server) {
+    for (int t : targets) {
+      if (domain_of(t) == domain_of(server)) return true;
+    }
+    return false;
+  };
+  // Two probe passes from the hash: the first insists on untouched failure
+  // domains, the second fills the remainder from any distinct alive server
+  // with room. Probe order is identical every call — placement depends only
+  // on (box, liveness, ledgers), never on history.
+  for (const bool domain_strict : {true, false}) {
+    for (int i = 0; i < num_servers() &&
+                    targets.size() < static_cast<std::size_t>(replication_);
+         ++i) {
+      const int candidate = (hashed + i) % num_servers();
+      const auto c = static_cast<std::size_t>(candidate);
+      if (server_dead_[c] || holds(candidate)) continue;
+      if (server_used_[c] + bytes > memory_per_server_) continue;
+      if (domain_strict && in_used_domain(candidate)) continue;
+      targets.push_back(candidate);
+    }
+  }
+  return targets;
+}
+
 bool StagingSpace::can_accept(const Box& box, std::size_t bytes) const {
   const int server = target_server(box);
   if (server < 0) return false;
   return server_used_[static_cast<std::size_t>(server)] + bytes <= memory_per_server_;
 }
 
+void StagingSpace::charge(int server, std::size_t bytes) {
+  server_used_[static_cast<std::size_t>(server)] += bytes;
+}
+
+void StagingSpace::release(int server, std::size_t bytes, std::uint64_t id) {
+  auto& used = server_used_[static_cast<std::size_t>(server)];
+  XL_ASSERT(used >= bytes, "server " << server << " accounts " << used
+                                     << " bytes but object " << id << " holds "
+                                     << bytes);
+  used -= bytes;
+}
+
 std::uint64_t StagingSpace::put(int version, const Box& box, int ncomp,
                                 std::size_t bytes, std::shared_ptr<const Fab> payload) {
   const int server = target_server(box);
   XL_REQUIRE(server >= 0, "no staging server alive");
-  auto& used = server_used_[static_cast<std::size_t>(server)];
-  XL_REQUIRE(used + bytes <= memory_per_server_,
+  XL_REQUIRE(server_used_[static_cast<std::size_t>(server)] + bytes <=
+                 memory_per_server_,
              "staging server out of memory (caller must check can_accept)");
   if (payload) {
     XL_REQUIRE(payload->ncomp() == ncomp, "payload component count mismatch");
@@ -90,7 +154,14 @@ std::uint64_t StagingSpace::put(int version, const Box& box, int ncomp,
   obj.bytes = bytes;
   obj.payload = std::move(payload);
   obj.server = server;
-  used += bytes;
+  if (replication_ == 1) {
+    obj.replicas.push_back(server);
+  } else {
+    obj.replicas = replica_targets(box, bytes);
+    XL_ASSERT(!obj.replicas.empty() && obj.replicas.front() == server,
+              "replica targets must start with the primary");
+  }
+  for (int r : obj.replicas) charge(r, bytes);
   objects_.emplace(obj.id, std::move(obj));
   return next_id_ - 1;
 }
@@ -106,11 +177,7 @@ std::vector<const StagedObject*> StagingSpace::query(int version, const Box& reg
 void StagingSpace::erase(std::uint64_t id) {
   auto it = objects_.find(id);
   XL_REQUIRE(it != objects_.end(), "erase of unknown staged object");
-  auto& used = server_used_[static_cast<std::size_t>(it->second.server)];
-  XL_ASSERT(used >= it->second.bytes,
-            "server " << it->second.server << " accounts " << used
-                      << " bytes but object " << id << " holds " << it->second.bytes);
-  used -= it->second.bytes;
+  for (int r : it->second.replicas) release(r, it->second.bytes, id);
   objects_.erase(it);
 }
 
@@ -119,11 +186,7 @@ std::size_t StagingSpace::erase_version(int version) {
   for (auto it = objects_.begin(); it != objects_.end();) {
     if (it->second.version == version) {
       freed += it->second.bytes;
-      auto& used = server_used_[static_cast<std::size_t>(it->second.server)];
-      XL_ASSERT(used >= it->second.bytes, "staging accounting underflow erasing version "
-                                              << version << " on server "
-                                              << it->second.server);
-      used -= it->second.bytes;
+      for (int r : it->second.replicas) release(r, it->second.bytes, it->second.id);
       it = objects_.erase(it);
     } else {
       ++it;
@@ -132,7 +195,36 @@ std::size_t StagingSpace::erase_version(int version) {
   return freed;
 }
 
-ServerLossReport StagingSpace::fail_server(int server, bool requeue) {
+int StagingSpace::desired_replicas() const noexcept {
+  return std::min(replication_, alive_servers());
+}
+
+int StagingSpace::probe_replica_dest(const StagedObject& obj) const {
+  const int hashed = server_for_box(obj.box, num_servers());
+  auto holds = [&](int server) {
+    return std::find(obj.replicas.begin(), obj.replicas.end(), server) !=
+           obj.replicas.end();
+  };
+  auto in_used_domain = [&](int server) {
+    for (int t : obj.replicas) {
+      if (domain_of(t) == domain_of(server)) return true;
+    }
+    return false;
+  };
+  for (const bool domain_strict : {true, false}) {
+    for (int i = 0; i < num_servers(); ++i) {
+      const int candidate = (hashed + i) % num_servers();
+      const auto c = static_cast<std::size_t>(candidate);
+      if (server_dead_[c] || holds(candidate)) continue;
+      if (server_used_[c] + obj.bytes > memory_per_server_) continue;
+      if (domain_strict && in_used_domain(candidate)) continue;
+      return candidate;
+    }
+  }
+  return -1;
+}
+
+ServerLossReport StagingSpace::fail_server(int server, LossPolicy policy) {
   XL_REQUIRE(server >= 0 && server < num_servers(), "server out of range");
   const auto s = static_cast<std::size_t>(server);
   ServerLossReport report;
@@ -140,40 +232,45 @@ ServerLossReport StagingSpace::fail_server(int server, bool requeue) {
   if (server_dead_[s]) return report;  // already down; nothing new to lose.
   server_dead_[s] = true;
 
-  // Walk the dead server's objects in id order (map order) so relocation is
-  // deterministic: first objects get first pick of the survivors' free space.
+  // Walk the dead server's replicas in id order (map order) so any immediate
+  // re-creation is deterministic: first objects get first pick of the
+  // survivors' free space.
   for (auto it = objects_.begin(); it != objects_.end();) {
     StagedObject& obj = it->second;
-    if (obj.server != server) {
+    const auto replica = std::find(obj.replicas.begin(), obj.replicas.end(), server);
+    if (replica == obj.replicas.end()) {
       ++it;
       continue;
     }
-    XL_ASSERT(server_used_[s] >= obj.bytes,
-              "dead server " << server << " accounts fewer bytes than object "
-                             << obj.id << " holds");
-    server_used_[s] -= obj.bytes;
+    release(server, obj.bytes, obj.id);
+    obj.replicas.erase(replica);
+    const bool survivors = !obj.replicas.empty();
+    if (survivors) obj.server = obj.replicas.front();
+
     int dest = -1;
-    if (requeue) {
-      const int hashed = server_for_box(obj.box, num_servers());
-      for (int i = 0; i < num_servers(); ++i) {
-        const int candidate = (hashed + i) % num_servers();
-        const auto c = static_cast<std::size_t>(candidate);
-        if (!server_dead_[c] && server_used_[c] + obj.bytes <= memory_per_server_) {
-          dest = candidate;
-          break;
-        }
-      }
-    }
+    if (policy == LossPolicy::Relocate) dest = probe_replica_dest(obj);
     if (dest >= 0) {
-      obj.server = dest;
-      server_used_[static_cast<std::size_t>(dest)] += obj.bytes;
-      ++report.relocated_objects;
-      report.relocated_bytes += obj.bytes;
+      obj.replicas.push_back(dest);
+      charge(dest, obj.bytes);
+      if (survivors) {
+        // Re-created from a surviving copy: a repair, not a move.
+        ++report.repaired_objects;
+        report.repaired_bytes += obj.bytes;
+      } else {
+        // The only copy moved whole (the k = 1 relocate path).
+        obj.server = dest;
+        ++report.relocated_objects;
+        report.relocated_bytes += obj.bytes;
+      }
       ++it;
-    } else {
+    } else if (!survivors) {
       ++report.dropped_objects;
       report.dropped_bytes += obj.bytes;
       it = objects_.erase(it);
+    } else {
+      ++report.degraded_objects;
+      report.degraded_bytes += obj.bytes;
+      ++it;
     }
   }
   XL_CHECK(server_used_[s] == 0, "dead server still accounts bytes");
@@ -183,6 +280,61 @@ ServerLossReport StagingSpace::fail_server(int server, bool requeue) {
 void StagingSpace::recover_server(int server) {
   XL_REQUIRE(server >= 0 && server < num_servers(), "server out of range");
   server_dead_[static_cast<std::size_t>(server)] = false;
+}
+
+std::size_t StagingSpace::replica_deficit() const noexcept {
+  const auto desired = static_cast<std::size_t>(desired_replicas());
+  std::size_t deficit = 0;
+  for (const auto& [id, obj] : objects_) {
+    if (obj.replicas.size() < desired) deficit += desired - obj.replicas.size();
+  }
+  return deficit;
+}
+
+RepairReport StagingSpace::anti_entropy_repair(std::size_t max_bytes) {
+  RepairReport report;
+  const auto desired = static_cast<std::size_t>(desired_replicas());
+  for (auto& [id, obj] : objects_) {
+    bool repaired_this = false;
+    while (obj.replicas.size() < desired) {
+      if (max_bytes > 0 && report.repaired_bytes + obj.bytes > max_bytes) {
+        report.remaining_deficit += desired - obj.replicas.size();
+        break;
+      }
+      const int dest = probe_replica_dest(obj);
+      if (dest < 0) {  // no survivor has room: deficit stays until one does.
+        report.remaining_deficit += desired - obj.replicas.size();
+        break;
+      }
+      obj.replicas.push_back(dest);
+      charge(dest, obj.bytes);
+      ++report.repaired_replicas;
+      report.repaired_bytes += obj.bytes;
+      repaired_this = true;
+    }
+    report.repaired_objects += repaired_this ? 1 : 0;
+  }
+  return report;
+}
+
+ReadReport StagingSpace::read_repair(int version, const Box& region) {
+  ReadReport report;
+  const auto desired = static_cast<std::size_t>(desired_replicas());
+  const auto need = static_cast<std::size_t>(quorum());
+  for (auto& [id, obj] : objects_) {
+    if (obj.version != version || !obj.box.intersects(region)) continue;
+    ++report.objects;
+    if (obj.replicas.size() < std::min(need, desired)) ++report.below_quorum;
+    while (obj.replicas.size() < desired) {
+      const int dest = probe_replica_dest(obj);
+      if (dest < 0) break;
+      obj.replicas.push_back(dest);
+      charge(dest, obj.bytes);
+      ++report.repaired_replicas;
+      report.repaired_bytes += obj.bytes;
+    }
+  }
+  return report;
 }
 
 void StagingSpace::resize(int num_servers) {
@@ -195,6 +347,17 @@ void StagingSpace::resize(int num_servers) {
   }
   server_used_.resize(target, 0);
   server_dead_.resize(target, false);
+}
+
+std::size_t StagingSpace::replica_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [id, obj] : objects_) n += obj.replicas.size();
+  return n;
+}
+
+std::size_t StagingSpace::object_replicas(std::uint64_t id) const noexcept {
+  const auto it = objects_.find(id);
+  return it == objects_.end() ? 0 : it->second.replicas.size();
 }
 
 }  // namespace xl::staging

@@ -135,7 +135,16 @@ WorkflowConfig parse_workflow_config(std::istream& is) {
       c.monitor.sampling_period = to_int(value, key);
     else if (key == "faults")
       c.faults = runtime::parse_fault_spec(value);
-    else
+    else if (key == "replication") {
+      c.replication = to_int(value, key);
+      XL_REQUIRE(c.replication >= 1, "config: replication must be >= 1");
+    } else if (key == "lease_steps") {
+      // Heartbeat lease window in steps; also settable inside the faults
+      // spec as `lease=N`. Keep this key after `faults` in config files —
+      // parsing a faults spec resets the whole FaultConfig.
+      c.faults.lease_steps = to_int(value, key);
+      XL_REQUIRE(c.faults.lease_steps >= 0, "config: lease_steps must be >= 0");
+    } else
       throw ContractError("config: unknown key '" + key + "'");
   }
   c.memory_model.ncomp = c.ncomp;

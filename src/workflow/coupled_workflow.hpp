@@ -116,6 +116,14 @@ struct WorkflowConfig {
   /// servers can crash and recover on schedule, and stragglers slow the
   /// in-transit partition — all deterministically from the fault seed.
   runtime::FaultConfig faults;
+
+  /// Copies of every staged object (durability layer; 1 = the paper's
+  /// unreplicated shared space). k > 1 divides the usable staging capacity by
+  /// k (every byte occupies k replicas), adds a (k-1)-copy fan-out to each
+  /// staged transfer, and makes an object survive any < k overlapping server
+  /// crashes; lost replicas are re-created by background anti-entropy repair
+  /// whose copy traffic competes with workflow traffic in the staging backlog.
+  int replication = 1;
 };
 
 struct StepRecord {
@@ -141,7 +149,8 @@ struct StepRecord {
   // Fault-layer diagnostics (all zero when fault injection is disabled).
   int transfer_retries = 0;        ///< retry attempts this step's transfer took.
   bool transfer_failed = false;    ///< transfer exhausted retries; analysis ran in-situ.
-  int servers_down = 0;            ///< staging servers down during this step.
+  int servers_down = 0;            ///< staging servers DECLARED down this step.
+  int servers_suspected = 0;       ///< crashed but still inside the lease window.
 };
 
 struct WorkflowResult {
@@ -167,6 +176,12 @@ struct WorkflowResult {
   int transfer_failures = 0;       ///< transfers that exhausted their retries.
   int degraded_insitu_count = 0;   ///< steps forced in-situ by staging faults.
   std::size_t dropped_bytes = 0;   ///< staged bytes lost to server crashes.
+  // Replication/lease accounting (all zero when replication = 1, lease = 0).
+  int server_suspicions = 0;       ///< suspicion onsets (crash seen, lease not expired).
+  int repairs_scheduled = 0;       ///< anti-entropy re-replication passes enqueued.
+  int read_repairs = 0;            ///< staged reads that consumed pending repair.
+  std::size_t repair_bytes = 0;      ///< re-replication copy traffic scheduled.
+  std::size_t replicated_bytes = 0;  ///< replica copies fanned out on staging puts.
 };
 
 class ExecutionSubstrate;

@@ -27,6 +27,12 @@ enum class EventKind {
   Fault,      ///< injected fault fired (fault kind, servers_down, bytes lost).
   Retry,      ///< transfer attempt failed; retrying after backoff.
   Recovery,   ///< staging partition returned to full health.
+  // Durability stream (replication > 1 and/or lease_steps > 0 only).
+  ServerSuspected,  ///< heartbeats missed but lease not expired yet.
+  ReplicaLost,      ///< declared crash removed staged replicas (bytes = replica bytes).
+  RepairScheduled,  ///< anti-entropy re-replication queued on the staging cores.
+  ReplicaCreated,   ///< staged put fanned out its k-1 secondary copies.
+  ReadRepair,       ///< a staged read re-materialized missing replicas.
 };
 
 const char* event_kind_name(EventKind kind) noexcept;
@@ -56,6 +62,8 @@ struct WorkflowEvent {
   int attempt = 0;              ///< Retry: 0-based attempt that just failed.
   double backoff_seconds = 0.0; ///< Retry: wait before the next attempt.
   int servers_down = 0;         ///< Fault/Recovery: staging servers down after it.
+  int servers_suspected = 0;    ///< ServerSuspected/StepEnd: in-lease crashed servers.
+  int replicas = 0;             ///< Replica*/ReadRepair: copies involved.
   // BufferPool telemetry (StepEnd/RunEnd; zero otherwise). Deltas of the
   // process-global pool counters since this run's RunBegin — deltas, not
   // absolutes, so a run's event log is independent of whatever pool traffic

@@ -79,6 +79,10 @@ StepPipeline::StepPipeline(const WorkflowConfig& config, ExecutionSubstrate& sub
       f2s(config_.staging_usable_fraction *
           static_cast<double>(config_.machine.mem_per_core_bytes()));
 
+  XL_REQUIRE(config_.replication >= 1, "replication factor must be >= 1");
+  XL_REQUIRE(config_.replication <= config_.staging_cores,
+             "replication cannot exceed the staging server count");
+
   adaptive_ = config_.mode == Mode::AdaptiveMiddleware ||
               config_.mode == Mode::AdaptiveResource || config_.mode == Mode::Global;
   hybrid_ = config_.mode == Mode::StaticHybrid;
@@ -170,7 +174,10 @@ int StepPipeline::staging_nodes(int cores) const noexcept {
 }
 
 std::size_t StepPipeline::staging_capacity(int cores) const noexcept {
-  return usable_per_core_ * static_cast<std::size_t>(cores);
+  // Every staged byte occupies `replication` replicas, so the capacity for
+  // LOGICAL data is the physical pool divided by k (k = 1: unchanged).
+  return usable_per_core_ * static_cast<std::size_t>(cores) /
+         static_cast<std::size_t>(config_.replication);
 }
 
 double StepPipeline::analysis_seconds(std::size_t cells, std::size_t active_cells,
@@ -308,20 +315,59 @@ void MonitorPhase::run(StepContext& ctx) {
 
   // Fault layer: apply this step's scheduled crashes/stragglers before the
   // snapshot, so the policies see the post-fault staging partition. Every
-  // branch here is inert when fault injection is disabled.
+  // branch here is inert when fault injection is disabled. The runtime acts
+  // on the DETECTED crash count (heartbeat lease expired), not the ground
+  // truth: with lease_steps = 0 the two coincide bit-identically.
   if (p_.fault_plan_.enabled()) {
-    const int down =
+    const int k = config.replication;
+    const int actual_down =
         std::min(p_.fault_plan_.servers_down_at(ctx.step), config.staging_cores);
+    const int down =
+        std::min(p_.fault_plan_.detected_down_at(ctx.step), config.staging_cores);
+    const int suspected = actual_down - down;
     const double slowdown = p_.fault_plan_.slowdown_at(ctx.step);
+    if (suspected > p_.prev_servers_suspected_) {
+      // Heartbeats went silent but the lease has not expired: nothing is
+      // shed or repaired yet, but transfers routed at the suspected servers
+      // retry (TransferPhase) until the Monitor declares them dead.
+      ++p_.result_.server_suspicions;
+      WorkflowEvent ev;
+      ev.kind = EventKind::ServerSuspected;
+      ev.step = ctx.step;
+      ev.servers_suspected = suspected;
+      ev.servers_down = down;
+      p_.emit(ev);
+    }
     if (down > p_.prev_servers_down_) {
-      // Crash onset: the newly dead servers take their (uniform) share of the
-      // in-flight staged buffers with them.
-      const int alive_before = config.staging_cores - p_.prev_servers_down_;
-      const double lost_fraction =
-          down >= config.staging_cores
-              ? 1.0
-              : static_cast<double>(down - p_.prev_servers_down_) /
-                    static_cast<double>(alive_before);
+      // Declared crash onset: the newly dead servers take staged data with
+      // them. k = 1: an object dies with its server (uniform share of the
+      // in-flight buffers — the original arithmetic, kept verbatim). k > 1:
+      // an object dies only when ALL k of its distinct-server replicas
+      // landed on dead servers — hypergeometric C(d,k)/C(M,k) — so the
+      // incremental shed is the newly-lost fraction of what survived so far.
+      double lost_fraction;
+      if (k == 1) {
+        const int alive_before = config.staging_cores - p_.prev_servers_down_;
+        lost_fraction =
+            down >= config.staging_cores
+                ? 1.0
+                : static_cast<double>(down - p_.prev_servers_down_) /
+                      static_cast<double>(alive_before);
+      } else {
+        const auto all_replicas_dead = [&](int d) {
+          if (d >= config.staging_cores) return 1.0;
+          if (d < k) return 0.0;
+          double f = 1.0;
+          for (int i = 0; i < k; ++i) {
+            f *= static_cast<double>(d - i) /
+                 static_cast<double>(config.staging_cores - i);
+          }
+          return f;
+        };
+        const double before = all_replicas_dead(p_.prev_servers_down_);
+        const double now = all_replicas_dead(down);
+        lost_fraction = before >= 1.0 ? 1.0 : (now - before) / (1.0 - before);
+      }
       const ShedReport shed = p_.timeline_.shed_staged(lost_fraction);
       p_.result_.dropped_bytes += shed.bytes;
       ++p_.result_.faults_injected;
@@ -332,6 +378,44 @@ void MonitorPhase::run(StepContext& ctx) {
       ev.servers_down = down;
       ev.bytes = shed.bytes;
       p_.emit(ev);
+      if (k > 1) {
+        // Surviving objects lost their dead-server replicas (k * d_new / M of
+        // the surviving replica footprint on average); anti-entropy re-copies
+        // them. The copy traffic queues FIFO on the staging cores as
+        // zero-byte work, so repair genuinely competes with workflow
+        // transfers in the eq. 7 backlog (and the DES event queue) instead
+        // of completing by fiat.
+        const std::size_t staged_after = p_.timeline_.staging_mem_used();
+        const std::size_t lost_replica_bytes =
+            f2s(static_cast<double>(staged_after) * static_cast<double>(k) *
+                static_cast<double>(down - p_.prev_servers_down_) /
+                static_cast<double>(config.staging_cores));
+        WorkflowEvent lost;
+        lost.kind = EventKind::ReplicaLost;
+        lost.step = ctx.step;
+        lost.bytes = lost_replica_bytes;
+        lost.replicas = k;
+        lost.servers_down = down;
+        p_.emit(lost);
+        if (lost_replica_bytes > 0) {
+          const int alive = std::max(1, config.staging_cores - down);
+          const double copy_seconds = p_.cost_.transfer_seconds(
+              lost_replica_bytes, p_.staging_nodes(alive),
+              p_.staging_nodes(alive));
+          p_.repair_done_at_ = p_.timeline_.enqueue_intransit(
+              p_.timeline_.sim_now(), copy_seconds, /*bytes=*/0);
+          p_.repair_pending_bytes_ += lost_replica_bytes;
+          p_.result_.repair_bytes += lost_replica_bytes;
+          ++p_.result_.repairs_scheduled;
+          WorkflowEvent rep;
+          rep.kind = EventKind::RepairScheduled;
+          rep.step = ctx.step;
+          rep.bytes = lost_replica_bytes;
+          rep.replicas = k - 1;
+          rep.seconds = copy_seconds;
+          p_.emit(rep);
+        }
+      }
     }
     if (slowdown > 1.0 && p_.prev_slowdown_ <= 1.0) {
       ++p_.result_.faults_injected;
@@ -357,9 +441,17 @@ void MonitorPhase::run(StepContext& ctx) {
     // land between sampling steps).
     if (servers_recovered) p_.staging_recovered_now_ = true;
     p_.servers_down_now_ = down;
+    p_.servers_suspected_now_ = suspected;
     p_.slowdown_now_ = slowdown;
     p_.prev_servers_down_ = down;
+    p_.prev_servers_suspected_ = suspected;
     p_.prev_slowdown_ = slowdown;
+    // Once the staging clock passed the queued repair's completion, the
+    // surviving objects are fully replicated again.
+    if (p_.repair_pending_bytes_ > 0 &&
+        p_.timeline_.sim_now() >= p_.repair_done_at_) {
+      p_.repair_pending_bytes_ = 0;
+    }
   }
 
   runtime::OperationalState& state = ctx.state;
@@ -386,9 +478,21 @@ void MonitorPhase::run(StepContext& ctx) {
   state.intransit_backlog_seconds = p_.timeline_.backlog_seconds();
   state.staging_health.servers_total = config.staging_cores;
   state.staging_health.servers_down = p_.servers_down_now_;
+  state.staging_health.servers_suspected = p_.servers_suspected_now_;
   state.staging_health.slowdown = p_.slowdown_now_;
   state.staging_health.just_recovered = p_.staging_recovered_now_;
+  state.staging_health.repairing = p_.repair_pending_bytes_ > 0;
   p_.monitor_.record_staging_health(state.staging_health);
+  if (p_.fault_plan_.enabled()) {
+    // Mirror the fault oracle into the Monitor's heartbeat tracker: `beating`
+    // is total minus the ACTUAL crashed set (suspected servers are silent
+    // too); the tracker's windowed declaration must agree with
+    // detected_down_at, which a unit test pins.
+    p_.monitor_.record_heartbeats(
+        ctx.step,
+        config.staging_cores - p_.servers_down_now_ - p_.servers_suspected_now_,
+        config.staging_cores, p_.fault_plan_.config().lease_steps);
+  }
   state.last_sim_step_seconds = ctx.sim_seconds;
 
   // Temporal resolution: only every analysis_interval-th step is analyzed.
@@ -441,6 +545,7 @@ void AdaptPhase::run(StepContext& ctx) {
   rec.factor = p_.cur_factor_;
   rec.intransit_cores = p_.effective_cores();
   rec.servers_down = p_.servers_down_now_;
+  rec.servers_suspected = p_.servers_suspected_now_;
   rec.sim_seconds = ctx.sim_seconds;
 
   // Temporal adaptation gate: skipped steps run neither the reduction nor
@@ -556,6 +661,27 @@ void TransferPhase::run(StepContext& ctx) {
     const double detect = fc.transfer_timeout_seconds > 0.0
                               ? std::min(fc.transfer_timeout_seconds, ctx.wire_seconds)
                               : ctx.wire_seconds;
+    if (p_.servers_suspected_now_ > 0) {
+      // The Morton-hash target may be one of the suspected (silent but not
+      // yet declared) servers: the put times out once and retries against a
+      // probed survivor — the in-flight-put-racing-a-dying-server path the
+      // lease window creates. Deterministic (keyed on the suspicion state,
+      // no oracle draw); inert whenever lease_steps = 0.
+      const double backoff = p_.fault_plan_.backoff_seconds(0);
+      ++p_.result_.transfer_retries;
+      ++ctx.record.transfer_retries;
+      WorkflowEvent ev;
+      ev.kind = EventKind::Retry;
+      ev.step = ctx.step;
+      ev.fault = runtime::FaultKind::TransferDrop;
+      ev.attempt = 0;
+      ev.backoff_seconds = backoff;
+      ev.bytes = ctx.transfer_bytes;
+      ev.servers_suspected = p_.servers_suspected_now_;
+      p_.emit(ev);
+      p_.timeline_.advance_sim(detect);
+      p_.timeline_.advance_sim(backoff);
+    }
     int attempt = 0;
     bool failed = false;
     while (const auto fate = p_.fault_plan_.transfer_attempt_fault(tid, attempt)) {
@@ -686,6 +812,44 @@ void AnalyzePhase::run(StepContext& ctx) {
     ev.seconds = analysis;
     ev.bytes = ctx.transfer_bytes;
     p_.emit(ev);
+
+    if (config.replication > 1) {
+      // Replicated put: the primary landing fans out k-1 secondary copies
+      // across the staging servers; the copy time queues FIFO behind the
+      // analysis like any other staging work (memory is already accounted —
+      // staging_capacity() is the physical pool over k).
+      const std::size_t copy_bytes =
+          ctx.transfer_bytes * static_cast<std::size_t>(config.replication - 1);
+      if (copy_bytes > 0) {
+        const double copy_seconds = p_.cost_.transfer_seconds(
+            copy_bytes, p_.staging_nodes(alive), p_.staging_nodes(alive));
+        p_.timeline_.enqueue_intransit(arrive, copy_seconds, /*bytes=*/0);
+        p_.result_.replicated_bytes += copy_bytes;
+        WorkflowEvent rev;
+        rev.kind = EventKind::ReplicaCreated;
+        rev.step = ctx.step;
+        rev.bytes = copy_bytes;
+        rev.replicas = config.replication - 1;
+        rev.seconds = copy_seconds;
+        p_.emit(rev);
+      }
+      if (p_.repair_pending_bytes_ > 0) {
+        // This staged read lands while replicas are still missing: the get
+        // path re-materializes the replicas of the objects it touches ahead
+        // of the background pass (read-repair), shrinking the deficit the
+        // queued anti-entropy still has to cover.
+        const std::size_t consumed =
+            std::min(p_.repair_pending_bytes_, ctx.transfer_bytes);
+        p_.repair_pending_bytes_ -= consumed;
+        ++p_.result_.read_repairs;
+        WorkflowEvent rr;
+        rr.kind = EventKind::ReadRepair;
+        rr.step = ctx.step;
+        rr.bytes = consumed;
+        rr.replicas = config.replication - 1;
+        p_.emit(rr);
+      }
+    }
   }
 }
 
@@ -721,6 +885,7 @@ void DrainPhase::run(StepContext& ctx) {
   ev.wait_seconds = ctx.record.wait_seconds;
   ev.skipped = ctx.record.analysis_skipped;
   ev.servers_down = ctx.record.servers_down;
+  ev.servers_suspected = ctx.record.servers_suspected;
   p_.emit(ev);
 }
 

@@ -180,15 +180,23 @@ class StepPipeline {
   /// deltas accumulated since (see WorkflowEvent's pool fields).
   PoolStats pool_base_;
 
-  // Fault-injection state (inert when config.faults is disabled).
+  // Fault-injection state (inert when config.faults is disabled). With
+  // lease_steps > 0 the *detected* (lease-expired) crash count drives
+  // capacity, shed, and recovery; the actual-minus-detected gap is the
+  // suspected set that only forces transfer retries.
   runtime::FaultPlan fault_plan_;
-  int servers_down_now_ = 0;
+  int servers_down_now_ = 0;        ///< declared dead (lease expired).
   int prev_servers_down_ = 0;
+  int servers_suspected_now_ = 0;   ///< crashed, lease still running.
+  int prev_servers_suspected_ = 0;
   double slowdown_now_ = 1.0;
   double prev_slowdown_ = 1.0;
   /// Recovery edge, sticky until the adaptation engine consumes it.
   bool staging_recovered_now_ = false;
   std::uint64_t transfer_seq_ = 0;  ///< fault-oracle key for each transfer.
+  // Replication repair state (inert when config.replication == 1).
+  std::size_t repair_pending_bytes_ = 0;  ///< replica bytes awaiting re-creation.
+  double repair_done_at_ = 0.0;           ///< staging-clock completion of the queued repair.
 };
 
 }  // namespace xl::workflow

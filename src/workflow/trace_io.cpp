@@ -20,6 +20,11 @@ const char* event_kind_name(EventKind kind) noexcept {
     case EventKind::Fault: return "fault";
     case EventKind::Retry: return "retry";
     case EventKind::Recovery: return "recovery";
+    case EventKind::ServerSuspected: return "server-suspected";
+    case EventKind::ReplicaLost: return "replica-lost";
+    case EventKind::RepairScheduled: return "repair-scheduled";
+    case EventKind::ReplicaCreated: return "replica-created";
+    case EventKind::ReadRepair: return "read-repair";
   }
   return "?";
 }
@@ -51,8 +56,8 @@ void write_events_csv(std::ostream& os, const EventLog& log) {
   os << "event,step,sim_clock,staging_clock,placement,reason,factor,"
         "intransit_cores,app_adapted,resource_adapted,middleware_adapted,"
         "cells,bytes,seconds,wait_seconds,skipped,fault,attempt,"
-        "backoff_seconds,servers_down,pool_hits,pool_misses,pool_releases,"
-        "pool_copied_bytes\n";
+        "backoff_seconds,servers_down,servers_suspected,replicas,pool_hits,"
+        "pool_misses,pool_releases,pool_copied_bytes\n";
   for (const WorkflowEvent& e : log.events()) {
     os << event_kind_name(e.kind) << ',' << e.step << ',' << e.sim_clock << ','
        << e.staging_clock << ',' << runtime::placement_name(e.placement) << ','
@@ -62,7 +67,8 @@ void write_events_csv(std::ostream& os, const EventLog& log) {
        << e.cells << ',' << e.bytes << ',' << e.seconds << ','
        << e.wait_seconds << ',' << int(e.skipped) << ','
        << runtime::fault_kind_name(e.fault) << ',' << e.attempt << ','
-       << e.backoff_seconds << ',' << e.servers_down << ',' << e.pool_hits
+       << e.backoff_seconds << ',' << e.servers_down << ','
+       << e.servers_suspected << ',' << e.replicas << ',' << e.pool_hits
        << ',' << e.pool_misses << ',' << e.pool_releases << ','
        << e.pool_copied_bytes << '\n';
   }
@@ -92,6 +98,14 @@ std::string summarize(const WorkflowResult& result) {
        << " transfer_failures=" << result.transfer_failures
        << " degraded_insitu=" << result.degraded_insitu_count
        << " dropped_bytes=" << result.dropped_bytes;
+  }
+  if (result.server_suspicions > 0 || result.repairs_scheduled > 0 ||
+      result.replicated_bytes > 0) {
+    os << " suspicions=" << result.server_suspicions
+       << " repairs=" << result.repairs_scheduled
+       << " read_repairs=" << result.read_repairs
+       << " repair_bytes=" << result.repair_bytes
+       << " replicated_bytes=" << result.replicated_bytes;
   }
   return os.str();
 }

@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/monitor.hpp"
 #include "staging/space.hpp"
 #include "transport/fabric.hpp"
 #include "workflow/coupled_workflow.hpp"
@@ -158,6 +159,67 @@ TEST(FaultSpecParse, RejectsBadInput) {
   EXPECT_THROW(runtime::parse_fault_spec("retries=-1"), ContractError);
   EXPECT_THROW(runtime::parse_fault_spec("backoff_mult=0.5"), ContractError);
   EXPECT_THROW(runtime::parse_fault_spec("crash="), ContractError);
+}
+
+// --- heartbeat lease detection -----------------------------------------------
+
+TEST(LeaseDetection, ZeroLeaseIsOracleInstant) {
+  FaultConfig config = runtime::parse_fault_spec("crash=5:2:3");
+  ASSERT_EQ(config.lease_steps, 0);
+  const FaultPlan plan(config);
+  for (int step = 0; step < 12; ++step) {
+    EXPECT_EQ(plan.detected_down_at(step), plan.servers_down_at(step)) << step;
+    EXPECT_EQ(plan.suspected_at(step), 0) << step;
+  }
+}
+
+TEST(LeaseDetection, DeclarationWaitsOutTheLeaseWindow) {
+  FaultConfig config = runtime::parse_fault_spec("crash=5:2:6;lease=2");
+  const FaultPlan plan(config);
+  // Crash at step 5: servers are SUSPECTED until the lease expires at step 7
+  // (min over the trailing window [step-2, step] only reaches 2 once every
+  // sample in the window saw the servers down).
+  EXPECT_EQ(plan.detected_down_at(5), 0);
+  EXPECT_EQ(plan.suspected_at(5), 2);
+  EXPECT_EQ(plan.detected_down_at(6), 0);
+  EXPECT_EQ(plan.suspected_at(6), 2);
+  EXPECT_EQ(plan.detected_down_at(7), 2);
+  EXPECT_EQ(plan.suspected_at(7), 0);
+  // Recovery needs no lease: the moment beats return, nothing is down.
+  EXPECT_EQ(plan.detected_down_at(11), 0);
+  EXPECT_EQ(plan.suspected_at(11), 0);
+}
+
+TEST(LeaseDetection, OutageShorterThanLeaseIsNeverDeclared) {
+  FaultConfig config = runtime::parse_fault_spec("crash=5:2:2;lease=3");
+  const FaultPlan plan(config);
+  for (int step = 0; step < 12; ++step) {
+    EXPECT_EQ(plan.detected_down_at(step), 0) << step;
+    EXPECT_EQ(plan.suspected_at(step), plan.servers_down_at(step)) << step;
+  }
+}
+
+TEST(LeaseDetection, ParseAcceptsLeaseClause) {
+  const FaultConfig c = runtime::parse_fault_spec("crash=4:1:2;lease=3");
+  EXPECT_EQ(c.lease_steps, 3);
+  EXPECT_THROW(runtime::parse_fault_spec("lease=-1"), ContractError);
+  // The lease alone enables nothing: it only shapes detection of real faults.
+  EXPECT_FALSE(runtime::parse_fault_spec("lease=3").enabled());
+}
+
+TEST(LeaseDetection, MonitorHeartbeatsAgreeWithThePlan) {
+  // The Monitor's windowed heartbeat tracker must declare exactly what the
+  // plan's closed-form detection declares, step for step.
+  FaultConfig config = runtime::parse_fault_spec("crash=3:2:4;crash=5:1:4;lease=2");
+  const FaultPlan plan(config);
+  runtime::Monitor monitor;
+  const int total = 8;
+  for (int step = 0; step < 12; ++step) {
+    const int actual = plan.servers_down_at(step);
+    monitor.record_heartbeats(step, total - actual, total, config.lease_steps);
+    EXPECT_EQ(monitor.declared_down(), plan.detected_down_at(step)) << step;
+    EXPECT_EQ(monitor.suspected_down(), plan.suspected_at(step)) << step;
+  }
 }
 
 // --- transport-layer retry/backoff -------------------------------------------
@@ -315,7 +377,8 @@ TEST(StagingSpaceFault, FailServerDropsWithoutRequeue) {
   const std::size_t before = space.used_bytes();
   const int victim = space.server_used_bytes(1) > 0 ? 1 : 0;
   const std::size_t on_victim = space.server_used_bytes(victim);
-  const staging::ServerLossReport report = space.fail_server(victim, /*requeue=*/false);
+  const staging::ServerLossReport report =
+      space.fail_server(victim, staging::LossPolicy::Drop);
   EXPECT_EQ(report.relocated_bytes, 0u);
   EXPECT_EQ(report.dropped_bytes, on_victim);
   EXPECT_EQ(space.used_bytes(), before - on_victim);
@@ -325,7 +388,7 @@ TEST(StagingSpaceFault, PutProbesPastDeadServer) {
   staging::StagingSpace space(3, std::size_t{1} << 20);
   const mesh::Box box = mesh::Box::cube({0, 0, 0}, 4);
   const int hashed = staging::server_for_box(box, 3);
-  space.fail_server(hashed, false);
+  space.fail_server(hashed, staging::LossPolicy::Drop);
   EXPECT_NE(space.target_server(box), hashed);
   EXPECT_TRUE(space.can_accept(box, 1 << 10));
   const std::uint64_t id = space.put(0, box, 1, 1 << 10);
@@ -347,8 +410,8 @@ TEST(StagingSpaceFault, RecoverRestoresCapacityAndHashTarget) {
 
 TEST(StagingSpaceFault, NoAliveServerRejectsPuts) {
   staging::StagingSpace space(2, std::size_t{1} << 20);
-  space.fail_server(0, false);
-  space.fail_server(1, false);
+  space.fail_server(0, staging::LossPolicy::Drop);
+  space.fail_server(1, staging::LossPolicy::Drop);
   EXPECT_EQ(space.alive_servers(), 0);
   const mesh::Box box = mesh::Box::cube({0, 0, 0}, 4);
   EXPECT_EQ(space.target_server(box), -1);
@@ -519,6 +582,92 @@ TEST(FaultPipeline, StragglerStretchesInTransitWorkThenRecovers) {
         << "step " << i;
   }
   EXPECT_GE(r.end_to_end_seconds, baseline.end_to_end_seconds);
+}
+
+// --- workflow-level replication and lease ------------------------------------
+
+// Heavy in-transit load (expensive analysis kernels on a small staging
+// partition), so the staging backlog is non-empty when crashes fire and the
+// replication shed/repair arithmetic runs on real staged bytes.
+WorkflowConfig replicated_config(int replication, int lease_steps) {
+  WorkflowConfig c = fault_config(Mode::StaticInTransit);
+  c.geometry.base_domain = mesh::Box::domain({256, 128, 128});
+  c.hints.factor_phases = {{0, {2}}};
+  c.active_cell_fraction = 0.5;
+  c.costs.mc_scan_flops_per_cell = 500;
+  c.costs.mc_active_flops_per_cell = 5000;
+  c.replication = replication;
+  c.faults = runtime::parse_fault_spec("seed=11;retries=2;backoff=0.001;crash=5:1:4");
+  c.faults.lease_steps = lease_steps;
+  return c;
+}
+
+TEST(ReplicatedPipeline, SubstratesStayByteIdenticalWithReplicationAndLease) {
+  for (int lease : {0, 2}) {
+    WorkflowConfig config = replicated_config(/*replication=*/2, lease);
+    AnalyticSubstrate analytic;
+    EventQueueSubstrate des;
+    const std::string a = events_csv_of(config, analytic);
+    const std::string d = events_csv_of(config, des);
+    EXPECT_EQ(a, d) << "lease=" << lease;
+    // The durability stream actually flowed.
+    EXPECT_NE(a.find("replica-created"), std::string::npos) << "lease=" << lease;
+    EXPECT_NE(a.find("replica-lost"), std::string::npos) << "lease=" << lease;
+    EXPECT_NE(a.find("repair-scheduled"), std::string::npos) << "lease=" << lease;
+    if (lease > 0) {
+      EXPECT_NE(a.find("server-suspected"), std::string::npos);
+    }
+  }
+}
+
+TEST(ReplicatedPipeline, SingleFailureLosesNothingAtKTwo) {
+  // d = 1 < k = 2: zero staged-object loss, repair traffic scheduled instead.
+  const WorkflowResult replicated =
+      CoupledWorkflow(replicated_config(/*replication=*/2, /*lease=*/0)).run();
+  EXPECT_EQ(replicated.dropped_bytes, 0u);
+  EXPECT_GE(replicated.repairs_scheduled, 1);
+  EXPECT_GT(replicated.repair_bytes, 0u);
+  EXPECT_GT(replicated.replicated_bytes, 0u);
+
+  // The identical schedule without replication loses staged bytes — the
+  // durability layer is what saved them, not a gentle schedule.
+  const WorkflowResult bare =
+      CoupledWorkflow(replicated_config(/*replication=*/1, /*lease=*/0)).run();
+  EXPECT_GT(bare.dropped_bytes, 0u);
+  EXPECT_EQ(bare.repairs_scheduled, 0);
+  EXPECT_EQ(bare.replicated_bytes, 0u);
+}
+
+TEST(ReplicatedPipeline, SuspectedServersForceTransferRetries) {
+  const WorkflowResult instant =
+      CoupledWorkflow(replicated_config(/*replication=*/2, /*lease=*/0)).run();
+  const WorkflowResult leased =
+      CoupledWorkflow(replicated_config(/*replication=*/2, /*lease=*/2)).run();
+  EXPECT_EQ(instant.server_suspicions, 0);
+  EXPECT_GE(leased.server_suspicions, 1);
+  // Transfers routed at suspected servers retry until the lease expires.
+  EXPECT_GT(leased.transfer_retries, instant.transfer_retries);
+  int suspected_steps = 0;
+  for (const StepRecord& s : leased.steps) suspected_steps += s.servers_suspected > 0;
+  EXPECT_GE(suspected_steps, 1);
+}
+
+TEST(ReplicatedPipeline, ReplicationOneAndZeroLeaseMatchTheOriginalPath) {
+  // replication = 1 + lease = 0 must be byte-identical to a config that
+  // never heard of the durability layer (the golden-invariance contract).
+  WorkflowConfig config = fault_config(Mode::AdaptiveMiddleware);
+  config.faults = stormy_faults();
+  WorkflowConfig with_defaults = config;
+  with_defaults.replication = 1;
+  with_defaults.faults.lease_steps = 0;
+  AnalyticSubstrate s1, s2;
+  EXPECT_EQ(events_csv_of(config, s1), events_csv_of(with_defaults, s2));
+  const WorkflowResult r = CoupledWorkflow(config).run();
+  EXPECT_EQ(r.server_suspicions, 0);
+  EXPECT_EQ(r.repairs_scheduled, 0);
+  EXPECT_EQ(r.read_repairs, 0);
+  EXPECT_EQ(r.repair_bytes, 0u);
+  EXPECT_EQ(r.replicated_bytes, 0u);
 }
 
 TEST(FaultPipeline, SeedAloneDoesNotEnableInjection) {

@@ -1,0 +1,296 @@
+// Tests for the staging durability layer: k-way replica placement across
+// failure domains, per-replica ledger accounting, LossPolicy semantics,
+// quorum reads with read-repair, budgeted anti-entropy, and the threaded
+// service surviving k-1 concurrent server failures under client load (the
+// TSan chaos target).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "staging/service.hpp"
+#include "staging/space.hpp"
+
+namespace xl::staging {
+namespace {
+
+using mesh::Box;
+using mesh::Fab;
+
+Box box_at(int i) { return Box::cube({(i % 8) * 32, ((i / 8) % 8) * 32, 0}, 16); }
+
+void fill(StagingSpace& space, int objects, std::size_t bytes = 4096) {
+  for (int i = 0; i < objects; ++i) space.put(i % 4, box_at(i), 1, bytes);
+}
+
+// --- replica placement -------------------------------------------------------
+
+TEST(ReplicaPlacement, TargetsAreDistinctAliveServers) {
+  StagingSpace space(8, std::size_t{1} << 20, /*replication=*/3);
+  for (int i = 0; i < 16; ++i) {
+    const std::vector<int> targets = space.replica_targets(box_at(i), 4096);
+    ASSERT_EQ(targets.size(), 3u) << "object " << i;
+    EXPECT_EQ(targets.front(), space.target_server(box_at(i)));
+    const std::set<int> unique(targets.begin(), targets.end());
+    EXPECT_EQ(unique.size(), targets.size()) << "duplicate server, object " << i;
+  }
+}
+
+TEST(ReplicaPlacement, PrefersDistinctFailureDomains) {
+  // 8 servers in 4 domains of 2: with k = 3 and everything alive, the three
+  // replicas must land in three different domains.
+  StagingSpace space(8, std::size_t{1} << 20, /*replication=*/3, /*servers_per_domain=*/2);
+  for (int i = 0; i < 16; ++i) {
+    const std::vector<int> targets = space.replica_targets(box_at(i), 4096);
+    ASSERT_EQ(targets.size(), 3u);
+    std::set<int> domains;
+    for (int s : targets) domains.insert(space.domain_of(s));
+    EXPECT_EQ(domains.size(), 3u) << "object " << i;
+  }
+}
+
+TEST(ReplicaPlacement, DegradedGroupYieldsFewerReplicas) {
+  StagingSpace space(4, std::size_t{1} << 20, /*replication=*/3);
+  space.fail_server(1, LossPolicy::Drop);
+  space.fail_server(2, LossPolicy::Drop);
+  const Box box = box_at(0);
+  const std::vector<int> targets = space.replica_targets(box, 4096);
+  EXPECT_EQ(targets.size(), 2u);  // only 2 alive servers remain
+  const auto id = space.put(0, box, 1, 4096);
+  EXPECT_EQ(space.object_replicas(id), 2u);
+}
+
+TEST(ReplicaPlacement, QuorumIsMajority) {
+  EXPECT_EQ(StagingSpace(4, 1 << 20, 1).quorum(), 1);
+  EXPECT_EQ(StagingSpace(4, 1 << 20, 2).quorum(), 2);
+  EXPECT_EQ(StagingSpace(4, 1 << 20, 3).quorum(), 2);
+  EXPECT_EQ(StagingSpace(8, 1 << 20, 5).quorum(), 3);
+}
+
+// --- target_server probing edges ---------------------------------------------
+
+TEST(TargetServer, AllDeadReturnsMinusOne) {
+  StagingSpace space(3, 1 << 20);
+  for (int s = 0; s < 3; ++s) space.fail_server(s, LossPolicy::Drop);
+  EXPECT_EQ(space.alive_servers(), 0);
+  EXPECT_EQ(space.target_server(box_at(0)), -1);
+  EXPECT_TRUE(space.replica_targets(box_at(0), 64).empty());
+}
+
+TEST(TargetServer, SingleSurvivorMapsEverything) {
+  StagingSpace space(4, 1 << 20);
+  for (int s : {0, 1, 3}) space.fail_server(s, LossPolicy::Drop);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(space.target_server(box_at(i)), 2);
+}
+
+TEST(TargetServer, RecoveryRestoresHashTargets) {
+  StagingSpace space(4, 1 << 20);
+  std::vector<int> before;
+  for (int i = 0; i < 32; ++i) before.push_back(space.target_server(box_at(i)));
+  for (int s = 0; s < 4; ++s) {
+    space.fail_server(s, LossPolicy::Drop);
+    space.recover_server(s);
+  }
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(space.target_server(box_at(i)), before[i]);
+}
+
+// --- ledger accounting under replication -------------------------------------
+
+TEST(ReplicaLedger, EveryReplicaIsCharged) {
+  StagingSpace space(8, std::size_t{1} << 20, /*replication=*/3);
+  fill(space, 16, 4096);
+  // Physical footprint = k x payload; per-server ledgers sum to used_bytes().
+  EXPECT_EQ(space.used_bytes(), 16u * 4096u * 3u);
+  EXPECT_EQ(space.replica_count(), 48u);
+  std::size_t per_server = 0;
+  for (int s = 0; s < 8; ++s) per_server += space.server_used_bytes(s);
+  EXPECT_EQ(per_server, space.used_bytes());
+  EXPECT_EQ(space.free_bytes(), space.capacity_bytes() - space.used_bytes());
+}
+
+TEST(ReplicaLedger, BalancesThroughFailRepairRecoverCycles) {
+  StagingSpace space(8, std::size_t{1} << 20, /*replication=*/3, /*servers_per_domain=*/2);
+  fill(space, 24, 4096);
+  const std::size_t logical = 24u * 4096u;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const int victim = (2 * cycle) % 8;
+    space.fail_server(victim, LossPolicy::Repair);
+    EXPECT_EQ(space.server_used_bytes(victim), 0u) << "cycle " << cycle;
+    const RepairReport pass = space.anti_entropy_repair();
+    EXPECT_EQ(pass.remaining_deficit, 0u) << "cycle " << cycle;
+    space.recover_server(victim);
+    // Full replication restored: ledgers sum to exactly k x logical again.
+    EXPECT_EQ(space.used_bytes(), logical * 3u) << "cycle " << cycle;
+    EXPECT_EQ(space.replica_deficit(), 0u) << "cycle " << cycle;
+    std::size_t per_server = 0;
+    for (int s = 0; s < 8; ++s) per_server += space.server_used_bytes(s);
+    EXPECT_EQ(per_server, space.used_bytes()) << "cycle " << cycle;
+  }
+  EXPECT_EQ(space.object_count(), 24u);
+}
+
+TEST(ReplicaLedger, EraseFreesEveryReplica) {
+  StagingSpace space(8, std::size_t{1} << 20, /*replication=*/2);
+  const auto id = space.put(0, box_at(0), 1, 4096);
+  EXPECT_EQ(space.used_bytes(), 8192u);
+  space.erase(id);
+  EXPECT_EQ(space.used_bytes(), 0u);
+  for (int s = 0; s < 8; ++s) EXPECT_EQ(space.server_used_bytes(s), 0u);
+}
+
+// --- LossPolicy semantics ----------------------------------------------------
+
+TEST(LossPolicy, RelocateRebuildsReplicasImmediately) {
+  StagingSpace space(8, std::size_t{1} << 20, /*replication=*/2);
+  fill(space, 16, 4096);
+  const ServerLossReport report = space.fail_server(3, LossPolicy::Relocate);
+  EXPECT_EQ(report.dropped_objects, 0u);
+  EXPECT_EQ(report.degraded_objects, 0u);
+  // Whatever server 3 held came back as fresh replicas elsewhere.
+  EXPECT_EQ(report.repaired_bytes, report.repaired_objects * 4096u);
+  EXPECT_EQ(space.replica_deficit(), 0u);
+  EXPECT_EQ(space.object_count(), 16u);
+}
+
+TEST(LossPolicy, RepairLeavesSurvivorsDegraded) {
+  StagingSpace space(8, std::size_t{1} << 20, /*replication=*/2);
+  fill(space, 16, 4096);
+  const ServerLossReport report = space.fail_server(3, LossPolicy::Repair);
+  EXPECT_EQ(report.dropped_objects, 0u);
+  EXPECT_EQ(report.repaired_objects, 0u);
+  EXPECT_EQ(space.replica_deficit(), report.degraded_objects);
+  const RepairReport pass = space.anti_entropy_repair();
+  EXPECT_EQ(pass.repaired_replicas, report.degraded_objects);
+  EXPECT_EQ(space.replica_deficit(), 0u);
+}
+
+TEST(LossPolicy, DropAbandonsLastCopies) {
+  StagingSpace space(2, std::size_t{1} << 20, /*replication=*/1);
+  fill(space, 16, 4096);
+  const std::size_t on0 = space.server_used_bytes(0) / 4096;
+  const ServerLossReport report = space.fail_server(0, LossPolicy::Drop);
+  EXPECT_EQ(report.dropped_objects, on0);
+  EXPECT_EQ(report.dropped_bytes, on0 * 4096u);
+  EXPECT_EQ(space.object_count(), 16u - on0);
+}
+
+// --- anti-entropy budget and read-repair -------------------------------------
+
+TEST(AntiEntropy, ByteBudgetBoundsOnePass) {
+  StagingSpace space(8, std::size_t{1} << 20, /*replication=*/2);
+  fill(space, 16, 4096);
+  space.fail_server(2, LossPolicy::Repair);
+  const std::size_t deficit = space.replica_deficit();
+  ASSERT_GT(deficit, 1u);  // the schedule must actually degrade something
+  const RepairReport partial = space.anti_entropy_repair(/*max_bytes=*/4096);
+  EXPECT_EQ(partial.repaired_replicas, 1u);  // one 4096-byte copy fits
+  EXPECT_EQ(partial.remaining_deficit, deficit - 1);
+  const RepairReport rest = space.anti_entropy_repair();
+  EXPECT_EQ(rest.remaining_deficit, 0u);
+  EXPECT_EQ(partial.repaired_replicas + rest.repaired_replicas, deficit);
+}
+
+TEST(ReadRepair, RestoresQuorumForTheReadObjects) {
+  StagingSpace space(8, std::size_t{1} << 20, /*replication=*/3);
+  fill(space, 16, 4096);
+  space.fail_server(1, LossPolicy::Repair);
+  space.fail_server(4, LossPolicy::Repair);
+  ASSERT_GT(space.replica_deficit(), 0u);
+  const Box everything = Box::domain({256, 256, 256});
+  const ReadReport read = space.read_repair(0, everything);  // version 0 only
+  EXPECT_EQ(read.objects, 4u);
+  EXPECT_GT(read.repaired_replicas, 0u);
+  // Every object the read touched is back at full strength for this group.
+  for (const StagedObject* obj : space.query(0, everything)) {
+    EXPECT_GE(obj->replicas.size(), static_cast<std::size_t>(space.quorum()));
+  }
+  // Objects of other versions were NOT repaired by this read.
+  EXPECT_GT(space.replica_deficit(), 0u);
+}
+
+// --- service-level chaos (the TSan target) -----------------------------------
+
+// f = k-1 concurrent server failures under concurrent client load: no staged
+// object may be lost, and every future must complete. Run under TSan with
+// XL_THREADS=4 in CI; the assertions hold regardless of thread interleaving
+// because loss takes k overlapping failures.
+TEST(ServiceChaos, SurvivesConcurrentFailuresBelowReplication) {
+  constexpr int kReplication = 3;
+  constexpr int kPuts = 48;
+  ServiceConfig cfg;
+  cfg.num_servers = 8;
+  cfg.memory_per_server = std::size_t{8} << 20;
+  cfg.replication = kReplication;
+  cfg.servers_per_domain = 2;
+  cfg.loss_policy = LossPolicy::Repair;
+  StagingService service(cfg);
+
+  std::atomic<int> accepted{0};
+  std::thread writer([&] {
+    for (int i = 0; i < kPuts; ++i) {
+      const Box box = box_at(i);
+      if (service.put_async(0, box, Fab(box, 1, double(i))).get().accepted) {
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread chaos([&] {
+    // k-1 = 2 concurrent failures in distinct domains, twice, with repair
+    // and recovery between rounds — failures land mid-put-stream.
+    for (int round = 0; round < 2; ++round) {
+      const int a = round * 4, b = round * 4 + 2;
+      (void)service.fail_server(a);
+      (void)service.fail_server(b);
+      (void)service.repair_async().get();
+      service.recover_server(a);
+      service.recover_server(b);
+    }
+  });
+  writer.join();
+  chaos.join();
+  service.drain();
+  (void)service.repair_async().get();
+
+  // Zero loss: every accepted put is still readable.
+  const auto fabs = service.get_async(0, Box::domain({256, 256, 256})).get();
+  EXPECT_EQ(static_cast<int>(fabs.size()), accepted.load());
+  EXPECT_EQ(accepted.load(), kPuts);  // memory was ample; nothing was refused
+  EXPECT_EQ(service.replica_deficit(), 0u);
+  EXPECT_EQ(service.replica_count(), static_cast<std::size_t>(kPuts) * kReplication);
+}
+
+TEST(ServiceChaos, ObserverSeesDurabilityEvents) {
+  std::mutex mu;
+  std::vector<ServiceEvent::Kind> kinds;
+  ServiceConfig cfg;
+  cfg.num_servers = 4;
+  cfg.memory_per_server = std::size_t{4} << 20;
+  cfg.replication = 2;
+  cfg.loss_policy = LossPolicy::Repair;
+  cfg.observer = [&](const ServiceEvent& ev) {
+    std::lock_guard<std::mutex> lock(mu);
+    kinds.push_back(ev.kind);
+  };
+  StagingService service(cfg);
+  const Box box = Box::domain({8, 8, 8});
+  ASSERT_TRUE(service.put_async(0, box, Fab(box, 1, 1.0)).get().accepted);
+  (void)service.fail_server(staging::server_for_box(box, 4));  // the primary
+  (void)service.get_async(0, box).get();  // quorum read repairs on the way
+  service.drain();
+
+  std::lock_guard<std::mutex> lock(mu);
+  const auto has = [&](ServiceEvent::Kind k) {
+    for (auto seen : kinds)
+      if (seen == k) return true;
+    return false;
+  };
+  EXPECT_TRUE(has(ServiceEvent::Kind::Put));
+  EXPECT_TRUE(has(ServiceEvent::Kind::ServerLost));
+  EXPECT_TRUE(has(ServiceEvent::Kind::Get));
+}
+
+}  // namespace
+}  // namespace xl::staging

@@ -35,14 +35,16 @@ int usage() {
   std::cerr << "usage:\n"
             << "  xlayer_cli run <config-file> [--csv <out.csv>]"
                " [--events <out.csv>] [--faults <spec>] [--threads <N>]"
-               " [--quiet]\n"
+               " [--replication <K>] [--quiet]\n"
             << "  xlayer_cli print-config\n"
             << "--threads N: per-rank analysis worker threads (0 = serial;"
                " overrides the config's `threads` key and sizes the process"
                " thread pool)\n"
+            << "--replication K: staged-object copies (1 = unreplicated;"
+               " overrides the config's `replication` key)\n"
             << "fault spec clauses (';'-separated):\n"
             << "  seed=N drop=RATE corrupt=RATE retries=N backoff=SECONDS\n"
-            << "  backoff_mult=X timeout=SECONDS\n"
+            << "  backoff_mult=X timeout=SECONDS lease=STEPS\n"
             << "  crash=STEP[:SERVERS[:DURATION]] straggler=STEP[:SLOW[:DURATION]]\n";
   return 2;
 }
@@ -70,7 +72,9 @@ void print_default_config() {
                "staging_usable_fraction = 0.06\n"
                "factors = 2 4\n"
                "sampling_period = 1\n"
-               "# faults = drop=0.05;retries=3;crash=10:64:5   # fault injection (off by default)\n";
+               "replication = 1            # staged-object copies (k-way durability)\n"
+               "# faults = drop=0.05;retries=3;crash=10:64:5;lease=2   # fault injection (off by default)\n"
+               "# lease_steps = 2          # heartbeat lease window (0 = oracle-instant detection)\n";
 }
 
 int run(int argc, char** argv) {
@@ -79,7 +83,8 @@ int run(int argc, char** argv) {
   std::string csv_path;
   std::string events_path;
   std::string fault_spec;
-  int threads = -1;  // -1 = not given on the command line
+  int threads = -1;      // -1 = not given on the command line
+  int replication = -1;  // -1 = not given on the command line
   bool quiet = false;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
@@ -91,6 +96,9 @@ int run(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
       if (threads < 0) return usage();
+    } else if (std::strcmp(argv[i], "--replication") == 0 && i + 1 < argc) {
+      replication = std::atoi(argv[++i]);
+      if (replication < 1) return usage();
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else {
@@ -101,6 +109,7 @@ int run(int argc, char** argv) {
   WorkflowConfig config = parse_workflow_config_file(config_path);
   if (!fault_spec.empty()) config.faults = runtime::parse_fault_spec(fault_spec);
   if (threads >= 0) config.threads = threads;
+  if (replication >= 1) config.replication = replication;
   // Size the process-wide pool to match, so any real kernels invoked in this
   // process (calibration, validation paths) use the same thread count the
   // cost model assumes.
@@ -142,6 +151,15 @@ int run(int argc, char** argv) {
           .cell(std::to_string(result.degraded_insitu_count));
       t.row().cell("staged bytes dropped")
           .cell(format_bytes(static_cast<double>(result.dropped_bytes)));
+      if (config.replication > 1 || config.faults.lease_steps > 0) {
+        t.row().cell("suspicions / repairs / read-repairs")
+            .cell(std::to_string(result.server_suspicions) + " / " +
+                  std::to_string(result.repairs_scheduled) + " / " +
+                  std::to_string(result.read_repairs));
+        t.row().cell("replica copy traffic")
+            .cell(format_bytes(static_cast<double>(result.replicated_bytes +
+                                                   result.repair_bytes)));
+      }
     }
     const EnergyReport energy = estimate_energy(result, config.sim_cores);
     t.row().cell("energy (MJ)").cell(energy.total_joules() / 1e6, 3);
