@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "common/buffer_pool.hpp"
@@ -95,6 +96,21 @@ double block_entropy(const Fab& fab, const Box& region, const EntropyConfig& con
   for (std::size_t b = 0; b < bins; ++b) {
     if (counts[b] == 0) continue;
     const double p = static_cast<double>(counts[b]) / static_cast<double>(total);
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+double distribution_entropy(const std::vector<std::int64_t>& weights) {
+  double total = 0.0;
+  for (std::int64_t w : weights) {
+    if (w > 0) total += static_cast<double>(w);
+  }
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (std::int64_t w : weights) {
+    if (w <= 0) continue;
+    const double p = static_cast<double>(w) / total;
     entropy -= p * std::log2(p);
   }
   return entropy;

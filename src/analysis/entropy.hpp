@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "mesh/fab.hpp"
@@ -23,6 +24,13 @@ struct EntropyConfig {
 /// Entropy in bits of the value distribution of `fab` over `region`.
 double block_entropy(const mesh::Fab& fab, const mesh::Box& region,
                      const EntropyConfig& config = {});
+
+/// Shannon entropy in bits of a discrete weight distribution (negative and
+/// zero weights are ignored). Used by the trigger layer as a cheap structure
+/// signal: the entropy of the cells-per-level occupancy shifts whenever the
+/// refinement hierarchy reshapes, without reading any field data. 0 for an
+/// empty or single-outcome distribution.
+double distribution_entropy(const std::vector<std::int64_t>& weights);
 
 /// Map an entropy value to a down-sampling factor given thresholds sorted
 /// ascending: entropy >= thresholds.back() -> factors.front() (keep most),

@@ -53,8 +53,12 @@ AppDecision select_factor_by_entropy(double block_entropy,
   // the smallest factor; each threshold crossed downward moves one rung up
   // the acceptable ladder, clamped to its length. Unlike
   // analysis::factor_for_entropy this tolerates ladders of any length
-  // relative to the threshold list (user hints are free-form).
+  // relative to the threshold list (user hints are free-form) — but the rung
+  // walk still assumes ascending thresholds, so an unsorted hint would
+  // silently mis-bucket.
   XL_REQUIRE(!acceptable.empty(), "acceptable factor set must be non-empty");
+  XL_REQUIRE(std::is_sorted(thresholds.begin(), thresholds.end()),
+             "entropy thresholds must be sorted ascending");
   std::size_t rung = 0;
   for (std::size_t t = thresholds.size(); t-- > 0;) {
     if (block_entropy >= thresholds[t]) break;

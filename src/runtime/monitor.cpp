@@ -24,9 +24,26 @@ const char* placement_name(Placement placement) noexcept {
 }
 
 Monitor::Monitor(const MonitorConfig& config)
-    : config_(config), insitu_cost_(config.ewma_alpha), intransit_cost_(config.ewma_alpha) {
+    : config_(config),
+      insitu_cost_(config.ewma_alpha),
+      intransit_cost_(config.ewma_alpha),
+      trigger_(config.trigger) {
   XL_REQUIRE(config.sampling_period >= 1, "sampling period must be positive");
   XL_REQUIRE(config.prior_cost > 0.0, "prior cost must be positive");
+}
+
+TriggerDecision Monitor::observe_step(int step, const TriggerInputs& inputs) {
+  if (config_.trigger.policy == TriggerPolicy::FixedPeriod) {
+    // The fixed cadence never consults the detector: the default path stays
+    // byte-identical (and cost-identical) to the pre-trigger Monitor.
+    TriggerDecision decision;
+    decision.fire = should_sample(step);
+    return decision;
+  }
+  const TriggerDecision decision = trigger_.observe(step, inputs);
+  armed_step_ = step;
+  armed_fire_ = decision.fire;
+  return decision;
 }
 
 void Monitor::record_analysis(const AnalysisSample& sample) {
@@ -123,7 +140,12 @@ double Monitor::estimate_analysis_seconds(Placement placement, std::size_t cells
 }
 
 double Monitor::estimate_sim_seconds(std::size_t cells) const {
-  if (last_sim_cells_ == 0 || last_sim_seconds_ <= 0.0) return last_sim_seconds_;
+  if (last_sim_cells_ == 0 || last_sim_seconds_ <= 0.0) {
+    // No usable observation yet: a prior_cost-scaled estimate, mirroring
+    // estimate_analysis_seconds' cold start, so the resource policy's eq. 9
+    // balance never sees a zero next-step time on the first sampling step.
+    return config_.prior_cost * static_cast<double>(cells);
+  }
   return last_sim_seconds_ * static_cast<double>(cells) /
          static_cast<double>(last_sim_cells_);
 }

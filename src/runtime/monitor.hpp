@@ -12,6 +12,7 @@
 
 #include "common/stats.hpp"
 #include "runtime/state.hpp"
+#include "runtime/trigger.hpp"
 
 namespace xl::runtime {
 
@@ -36,6 +37,9 @@ struct MonitorConfig {
   /// Seed estimate used before any observation exists (seconds per cell per
   /// effective core).
   double prior_cost = 1.0e-7;
+  /// Sampling-step selection: fixed k-step cadence (default, byte-identical
+  /// to the paper's Fig. 3 monitor) or the indicator/percentile trigger.
+  TriggerConfig trigger;
 };
 
 class Monitor {
@@ -44,10 +48,23 @@ class Monitor {
 
   const MonitorConfig& config() const noexcept { return config_; }
 
-  /// Is `step` a sampling step (adaptations only trigger on these)?
+  /// Arm the sampling gate for `step` from this step's cheap field
+  /// statistics. FixedPeriod policy ignores the inputs and keeps the k-step
+  /// cadence; Percentile/Hybrid run the TriggerDetector. Must be called in
+  /// step order, once per step, before should_sample(step) is consulted.
+  TriggerDecision observe_step(int step, const TriggerInputs& inputs);
+
+  /// Is `step` a sampling step (adaptations only trigger on these)? Under
+  /// the trigger policies this reads the decision observe_step armed for
+  /// `step`; a step that was never observed is not a sampling step.
   bool should_sample(int step) const noexcept {
-    return step % config_.sampling_period == 0;
+    if (config_.trigger.policy == TriggerPolicy::FixedPeriod) {
+      return step % config_.sampling_period == 0;
+    }
+    return armed_step_ == step && armed_fire_;
   }
+
+  const TriggerDetector& trigger() const noexcept { return trigger_; }
 
   /// Record a finished analysis execution.
   void record_analysis(const AnalysisSample& sample);
@@ -56,8 +73,18 @@ class Monitor {
   /// advanced (the estimator scales by the cell ratio).
   void record_sim_step(int step, double seconds, std::size_t cells);
 
-  /// Inject the true upcoming cost (Oracle estimator ablation only).
+  /// Inject the true upcoming cost (Oracle estimator ablation only). The
+  /// injected values hold until clear_oracle(): callers must clear once the
+  /// step's decisions consumed them, or a one-step oracle would silently
+  /// override the EWMA estimate on every later (possibly off-cadence) call.
   void set_oracle(double insitu_seconds, double intransit_seconds);
+
+  /// Drop any injected oracle values; estimates fall back to the history-
+  /// based estimator. No-op when nothing is injected.
+  void clear_oracle() noexcept {
+    oracle_insitu_.reset();
+    oracle_intransit_.reset();
+  }
 
   /// Record the staging partition's liveness for this sampling period (fed by
   /// the fault layer; defaults to all-healthy when never called).
@@ -83,7 +110,10 @@ class Monitor {
                                    int cores) const;
 
   /// Estimated next simulation step duration (resource policy eq. 9 needs
-  /// T_{i+1}_sim); last observation, scaled by the cell ratio.
+  /// T_{i+1}_sim); last observation, scaled by the cell ratio. Before the
+  /// first record_sim_step observation this falls back to a prior_cost-scaled
+  /// estimate (the way estimate_analysis_seconds does) instead of returning
+  /// 0.0 — a zero next-step time would unbalance eq. 9 on the first sample.
   double estimate_sim_seconds(std::size_t cells) const;
 
   std::size_t analysis_observations() const noexcept { return analysis_count_; }
@@ -109,6 +139,9 @@ class Monitor {
   std::vector<std::pair<int, int>> heartbeat_samples_;
   int declared_down_ = 0;
   int suspected_down_ = 0;
+  TriggerDetector trigger_;
+  int armed_step_ = -1;      ///< step the latest observe_step evaluated.
+  bool armed_fire_ = false;  ///< its decision (trigger policies only).
 };
 
 }  // namespace xl::runtime

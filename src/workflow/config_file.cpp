@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "runtime/trigger.hpp"
 
 namespace xl::workflow {
 
@@ -131,8 +132,37 @@ WorkflowConfig parse_workflow_config(std::istream& is) {
     else if (key == "mc_active_flops")
       c.costs.mc_active_flops_per_cell = to_double(value, key);
     else if (key == "euler") c.euler = to_int(value, key) != 0;
-    else if (key == "sampling_period")
+    else if (key == "sampling_period") {
       c.monitor.sampling_period = to_int(value, key);
+      XL_REQUIRE(c.monitor.sampling_period >= 1,
+                 "config: sampling_period must be >= 1, got " + value);
+    } else if (key == "trigger") {
+      if (value == "fixed") c.monitor.trigger.policy = runtime::TriggerPolicy::FixedPeriod;
+      else if (value == "percentile")
+        c.monitor.trigger.policy = runtime::TriggerPolicy::Percentile;
+      else if (value == "hybrid") c.monitor.trigger.policy = runtime::TriggerPolicy::Hybrid;
+      else
+        throw ContractError("config: unknown trigger '" + value +
+                            "' (expected fixed|percentile|hybrid)");
+    } else if (key == "trigger_quantile") {
+      c.monitor.trigger.quantile = to_double(value, key);
+      XL_REQUIRE(c.monitor.trigger.quantile > 0.0 && c.monitor.trigger.quantile < 1.0,
+                 "config: trigger_quantile must be in (0, 1), got " + value);
+    } else if (key == "trigger_window") {
+      c.monitor.trigger.window = to_int(value, key);
+      XL_REQUIRE(c.monitor.trigger.window >= 2,
+                 "config: trigger_window must be >= 2, got " + value);
+    } else if (key == "trigger_sample_rate") {
+      c.monitor.trigger.sample_rate = to_double(value, key);
+      XL_REQUIRE(c.monitor.trigger.sample_rate > 0.0 &&
+                     c.monitor.trigger.sample_rate <= 1.0,
+                 "config: trigger_sample_rate must be in (0, 1], got " + value);
+    } else if (key == "trigger_max_interval") {
+      c.monitor.trigger.max_interval = to_int(value, key);
+      XL_REQUIRE(c.monitor.trigger.max_interval >= 1,
+                 "config: trigger_max_interval must be >= 1, got " + value);
+    } else if (key == "trigger_seed")
+      c.monitor.trigger.seed = static_cast<std::uint64_t>(to_int(value, key));
     else if (key == "faults")
       c.faults = runtime::parse_fault_spec(value);
     else if (key == "replication") {

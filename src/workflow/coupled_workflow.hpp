@@ -182,6 +182,9 @@ struct WorkflowResult {
   int read_repairs = 0;            ///< staged reads that consumed pending repair.
   std::size_t repair_bytes = 0;      ///< re-replication copy traffic scheduled.
   std::size_t replicated_bytes = 0;  ///< replica copies fanned out on staging puts.
+  // Trigger accounting (all zero under the default FixedPeriod policy).
+  int triggers_fired = 0;          ///< steps where the trigger armed adaptation.
+  int steps_suppressed = 0;        ///< steps the trigger kept on stale decisions.
 };
 
 class ExecutionSubstrate;

@@ -33,6 +33,9 @@ enum class EventKind {
   RepairScheduled,  ///< anti-entropy re-replication queued on the staging cores.
   ReplicaCreated,   ///< staged put fanned out its k-1 secondary copies.
   ReadRepair,       ///< a staged read re-materialized missing replicas.
+  // Trigger stream (adaptive modes under a non-FixedPeriod trigger policy).
+  TriggerFired,      ///< indicator crossed the trailing-quantile threshold.
+  TriggerSuppressed, ///< quiescent step; adaptation skipped this step.
 };
 
 const char* event_kind_name(EventKind kind) noexcept;
@@ -64,6 +67,13 @@ struct WorkflowEvent {
   int servers_down = 0;         ///< Fault/Recovery: staging servers down after it.
   int servers_suspected = 0;    ///< ServerSuspected/StepEnd: in-lease crashed servers.
   int replicas = 0;             ///< Replica*/ReadRepair: copies involved.
+  // Trigger-stream fields (TriggerFired/TriggerSuppressed carry the per-step
+  // evaluation; StepEnd/RunEnd carry the cumulative counters; zero for runs
+  // on the default FixedPeriod cadence).
+  double indicator = 0.0;         ///< max normalized indicator this step.
+  double trigger_threshold = 0.0; ///< trailing-quantile threshold tested.
+  int triggers_fired = 0;         ///< cumulative fired sampling steps.
+  int steps_suppressed = 0;       ///< cumulative suppressed steps.
   // BufferPool telemetry (StepEnd/RunEnd; zero otherwise). Deltas of the
   // process-global pool counters since this run's RunBegin — deltas, not
   // absolutes, so a run's event log is independent of whatever pool traffic

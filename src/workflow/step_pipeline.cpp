@@ -6,6 +6,7 @@
 #include <span>
 
 #include "amr/memory_model.hpp"
+#include "analysis/entropy.hpp"
 #include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -205,6 +206,8 @@ void StepPipeline::emit(WorkflowEvent event) {
     event.pool_misses = now.misses - pool_base_.misses;
     event.pool_releases = now.releases - pool_base_.releases;
     event.pool_copied_bytes = now.copied_bytes - pool_base_.copied_bytes;
+    event.triggers_fired = result_.triggers_fired;
+    event.steps_suppressed = result_.steps_suppressed;
   }
   batch_.push_back(event);
 }
@@ -497,6 +500,31 @@ void MonitorPhase::run(StepContext& ctx) {
 
   // Temporal resolution: only every analysis_interval-th step is analyzed.
   ctx.scheduled = ctx.step % std::max(1, config.analysis_interval) == 0;
+
+  // Trigger detection: feed the detector this step's cheap statistics and
+  // arm (or suppress) the AdaptPhase sampling gate. The default FixedPeriod
+  // policy never reaches this block, keeping the legacy cadence — and its
+  // event stream — byte-identical.
+  if (p_.adaptive_ &&
+      config.monitor.trigger.policy != runtime::TriggerPolicy::FixedPeriod) {
+    runtime::TriggerInputs inputs;
+    inputs.tagged_cells = static_cast<std::int64_t>(ctx.analyzed_cells);
+    inputs.staged_bytes = ctx.raw_bytes;
+    inputs.structure_entropy = analysis::distribution_entropy(ctx.geom.cells_per_level);
+    const runtime::TriggerDecision dec = p_.monitor_.observe_step(ctx.step, inputs);
+    if (dec.fire) {
+      ++p_.result_.triggers_fired;
+    } else {
+      ++p_.result_.steps_suppressed;
+    }
+    WorkflowEvent ev;
+    ev.kind = dec.fire ? EventKind::TriggerFired : EventKind::TriggerSuppressed;
+    ev.step = ctx.step;
+    ev.indicator = dec.indicator;
+    ev.trigger_threshold = dec.threshold;
+    ev.skipped = !dec.sampled;  // estimator skipped this step's window update.
+    p_.emit(ev);
+  }
 }
 
 // --- AdaptPhase --------------------------------------------------------------
@@ -518,6 +546,9 @@ void AdaptPhase::run(StepContext& ctx) {
                               std::max(1, p_.effective_cores())));
     }
     const runtime::EngineDecisions dec = p_.engine_->adapt(ctx.state);
+    // The oracle estimates were computed from THIS step's geometry; drop them
+    // so a later sampling step can never consume stale per-step truth.
+    p_.monitor_.clear_oracle();
     p_.staging_recovered_now_ = false;  // the engine saw the recovery edge.
     p_.result_.application_adaptations += dec.app.has_value();
     p_.result_.resource_adaptations += dec.resource.has_value();

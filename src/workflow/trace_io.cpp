@@ -25,6 +25,8 @@ const char* event_kind_name(EventKind kind) noexcept {
     case EventKind::RepairScheduled: return "repair-scheduled";
     case EventKind::ReplicaCreated: return "replica-created";
     case EventKind::ReadRepair: return "read-repair";
+    case EventKind::TriggerFired: return "trigger-fired";
+    case EventKind::TriggerSuppressed: return "trigger-suppressed";
   }
   return "?";
 }
@@ -57,7 +59,8 @@ void write_events_csv(std::ostream& os, const EventLog& log) {
         "intransit_cores,app_adapted,resource_adapted,middleware_adapted,"
         "cells,bytes,seconds,wait_seconds,skipped,fault,attempt,"
         "backoff_seconds,servers_down,servers_suspected,replicas,pool_hits,"
-        "pool_misses,pool_releases,pool_copied_bytes\n";
+        "pool_misses,pool_releases,pool_copied_bytes,indicator,"
+        "trigger_threshold,triggers_fired,steps_suppressed\n";
   for (const WorkflowEvent& e : log.events()) {
     os << event_kind_name(e.kind) << ',' << e.step << ',' << e.sim_clock << ','
        << e.staging_clock << ',' << runtime::placement_name(e.placement) << ','
@@ -70,7 +73,9 @@ void write_events_csv(std::ostream& os, const EventLog& log) {
        << e.backoff_seconds << ',' << e.servers_down << ','
        << e.servers_suspected << ',' << e.replicas << ',' << e.pool_hits
        << ',' << e.pool_misses << ',' << e.pool_releases << ','
-       << e.pool_copied_bytes << '\n';
+       << e.pool_copied_bytes << ',' << e.indicator << ','
+       << e.trigger_threshold << ',' << e.triggers_fired << ','
+       << e.steps_suppressed << '\n';
   }
   XL_REQUIRE(os.good(), "CSV write failed");
 }
@@ -98,6 +103,10 @@ std::string summarize(const WorkflowResult& result) {
        << " transfer_failures=" << result.transfer_failures
        << " degraded_insitu=" << result.degraded_insitu_count
        << " dropped_bytes=" << result.dropped_bytes;
+  }
+  if (result.triggers_fired > 0 || result.steps_suppressed > 0) {
+    os << " triggers_fired=" << result.triggers_fired
+       << " steps_suppressed=" << result.steps_suppressed;
   }
   if (result.server_suspicions > 0 || result.repairs_scheduled > 0 ||
       result.replicated_bytes > 0) {

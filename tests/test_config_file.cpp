@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
+#include "runtime/trigger.hpp"
 #include "workflow/config_file.hpp"
 
 namespace xl::workflow {
@@ -77,6 +79,53 @@ TEST(ConfigFile, RejectsBadValues) {
   EXPECT_THROW(parse("domain = 16 16"), ContractError);
   EXPECT_THROW(parse("steps ="), ContractError);
   EXPECT_THROW(parse("just a line without equals"), ContractError);
+}
+
+TEST(ConfigFile, ParsesTriggerKeys) {
+  const WorkflowConfig c = parse(R"(
+    trigger = hybrid
+    trigger_quantile = 0.8
+    trigger_window = 12
+    trigger_sample_rate = 0.5
+    trigger_max_interval = 6
+    trigger_seed = 777
+  )");
+  EXPECT_EQ(c.monitor.trigger.policy, runtime::TriggerPolicy::Hybrid);
+  EXPECT_DOUBLE_EQ(c.monitor.trigger.quantile, 0.8);
+  EXPECT_EQ(c.monitor.trigger.window, 12);
+  EXPECT_DOUBLE_EQ(c.monitor.trigger.sample_rate, 0.5);
+  EXPECT_EQ(c.monitor.trigger.max_interval, 6);
+  EXPECT_EQ(c.monitor.trigger.seed, 777u);
+}
+
+TEST(ConfigFile, TriggerDefaultsToFixedPeriod) {
+  EXPECT_EQ(parse("").monitor.trigger.policy, runtime::TriggerPolicy::FixedPeriod);
+}
+
+TEST(ConfigFile, RejectsBadTriggerAndSamplingValues) {
+  // Each error names the offending key so a sweep script's failure is
+  // attributable without bisecting the file.
+  EXPECT_THROW(parse("sampling_period = 0"), ContractError);
+  try {
+    parse("sampling_period = 0");
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("sampling_period"), std::string::npos);
+  }
+  EXPECT_THROW(parse("trigger = sometimes"), ContractError);
+  EXPECT_THROW(parse("trigger_quantile = 0"), ContractError);
+  EXPECT_THROW(parse("trigger_quantile = 1"), ContractError);
+  EXPECT_THROW(parse("trigger_window = 1"), ContractError);
+  EXPECT_THROW(parse("trigger_sample_rate = 0"), ContractError);
+  EXPECT_THROW(parse("trigger_sample_rate = 1.5"), ContractError);
+  EXPECT_THROW(parse("trigger_max_interval = 0"), ContractError);
+  EXPECT_THROW(parse("trigger_quantile = high"), ContractError);
+  try {
+    parse("trigger_window = 1");
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("trigger_window"), std::string::npos);
+  }
 }
 
 TEST(ConfigFile, ParsedConfigActuallyRuns) {

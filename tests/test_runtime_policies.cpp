@@ -92,6 +92,14 @@ TEST(AppPolicy, EntropySelectorLowEntropyReducesAggressively) {
   EXPECT_EQ(d.factor, 8);
 }
 
+TEST(AppPolicy, EntropySelectorRejectsUnsortedThresholds) {
+  // The rung walk assumes ascending thresholds; unsorted input used to
+  // silently mis-bucket instead of failing loudly.
+  EXPECT_THROW(select_factor_by_entropy(4.0, {6.0, 3.0}, {2, 4, 8}, 1 << 18, 5,
+                                        1024 * MB),
+               ContractError);
+}
+
 // --- Middleware policy (eqs. 4-8) --------------------------------------------
 
 PlacementInputs base_inputs() {

@@ -22,6 +22,7 @@
 
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "runtime/trigger.hpp"
 #include "workflow/config_file.hpp"
 #include "workflow/energy.hpp"
 #include "workflow/trace_io.hpp"
@@ -35,13 +36,15 @@ int usage() {
   std::cerr << "usage:\n"
             << "  xlayer_cli run <config-file> [--csv <out.csv>]"
                " [--events <out.csv>] [--faults <spec>] [--threads <N>]"
-               " [--replication <K>] [--quiet]\n"
+               " [--replication <K>] [--trigger <policy>] [--quiet]\n"
             << "  xlayer_cli print-config\n"
             << "--threads N: per-rank analysis worker threads (0 = serial;"
                " overrides the config's `threads` key and sizes the process"
                " thread pool)\n"
             << "--replication K: staged-object copies (1 = unreplicated;"
                " overrides the config's `replication` key)\n"
+            << "--trigger P: sampling-step policy, fixed | percentile | hybrid"
+               " (overrides the config's `trigger` key)\n"
             << "fault spec clauses (';'-separated):\n"
             << "  seed=N drop=RATE corrupt=RATE retries=N backoff=SECONDS\n"
             << "  backoff_mult=X timeout=SECONDS lease=STEPS\n"
@@ -72,6 +75,12 @@ void print_default_config() {
                "staging_usable_fraction = 0.06\n"
                "factors = 2 4\n"
                "sampling_period = 1\n"
+               "trigger = fixed            # fixed | percentile | hybrid (data-driven sampling steps)\n"
+               "trigger_quantile = 0.9     # trailing quantile the indicator must exceed to fire\n"
+               "trigger_window = 16        # trailing window of sampled indicators\n"
+               "trigger_sample_rate = 1.0  # probability a step's indicator enters the window\n"
+               "trigger_max_interval = 8   # hybrid only: force a fire after this many quiet steps\n"
+               "trigger_seed = 1914161381  # seed of the percentile-sampling draws\n"
                "replication = 1            # staged-object copies (k-way durability)\n"
                "# faults = drop=0.05;retries=3;crash=10:64:5;lease=2   # fault injection (off by default)\n"
                "# lease_steps = 2          # heartbeat lease window (0 = oracle-instant detection)\n";
@@ -83,6 +92,7 @@ int run(int argc, char** argv) {
   std::string csv_path;
   std::string events_path;
   std::string fault_spec;
+  std::string trigger_policy;
   int threads = -1;      // -1 = not given on the command line
   int replication = -1;  // -1 = not given on the command line
   bool quiet = false;
@@ -99,6 +109,8 @@ int run(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--replication") == 0 && i + 1 < argc) {
       replication = std::atoi(argv[++i]);
       if (replication < 1) return usage();
+    } else if (std::strcmp(argv[i], "--trigger") == 0 && i + 1 < argc) {
+      trigger_policy = argv[++i];
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else {
@@ -110,6 +122,16 @@ int run(int argc, char** argv) {
   if (!fault_spec.empty()) config.faults = runtime::parse_fault_spec(fault_spec);
   if (threads >= 0) config.threads = threads;
   if (replication >= 1) config.replication = replication;
+  if (!trigger_policy.empty()) {
+    if (trigger_policy == "fixed")
+      config.monitor.trigger.policy = runtime::TriggerPolicy::FixedPeriod;
+    else if (trigger_policy == "percentile")
+      config.monitor.trigger.policy = runtime::TriggerPolicy::Percentile;
+    else if (trigger_policy == "hybrid")
+      config.monitor.trigger.policy = runtime::TriggerPolicy::Hybrid;
+    else
+      return usage();
+  }
   // Size the process-wide pool to match, so any real kernels invoked in this
   // process (calibration, validation paths) use the same thread count the
   // cost model assumes.
@@ -140,6 +162,13 @@ int run(int argc, char** argv) {
               std::to_string(result.skipped_count));
     t.row().cell("staging utilization (eq. 12)")
         .cell(format_percent(result.utilization_efficiency));
+    if (config.monitor.trigger.policy != runtime::TriggerPolicy::FixedPeriod) {
+      t.row().cell("trigger policy")
+          .cell(runtime::trigger_policy_name(config.monitor.trigger.policy));
+      t.row().cell("triggers fired / suppressed")
+          .cell(std::to_string(result.triggers_fired) + " / " +
+                std::to_string(result.steps_suppressed));
+    }
     if (config.faults.enabled()) {
       t.row().cell("faults / recoveries")
           .cell(std::to_string(result.faults_injected) + " / " +
