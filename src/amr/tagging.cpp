@@ -58,7 +58,17 @@ std::vector<IntVect> buffer_tags(const std::vector<IntVect>& tags, int buffer,
     const Box b = Box(t, t).grow(buffer) & domain;
     for (BoxIterator it(b); it.ok(); ++it) grown.insert(*it);
   }
-  return {grown.begin(), grown.end()};
+  // The set's iteration order is hash-order and may differ across standard
+  // libraries; sort lexicographically (z, y, x major — matches BoxIterator)
+  // so the returned tag list is deterministic everywhere it escapes to.
+  std::vector<IntVect> out(grown.begin(), grown.end());
+  std::sort(out.begin(), out.end(), [](const IntVect& a, const IntVect& b) {
+    for (int d = mesh::kDim - 1; d >= 0; --d) {
+      if (a[d] != b[d]) return a[d] < b[d];
+    }
+    return false;
+  });
+  return out;
 }
 
 }  // namespace xl::amr

@@ -1,0 +1,78 @@
+// Clang thread-safety-analysis capability annotations — the compile-time half
+// of the concurrency contract (the run-time half is the TSan CI job).
+//
+// Every macro expands to a Clang `capability` attribute when the compiler
+// supports the analysis (clang with -Wthread-safety) and to nothing otherwise
+// (gcc builds see plain C++). The annotations are therefore zero-cost and
+// cannot change behavior: they only let clang prove, per translation unit,
+// that every access to a guarded field happens with its capability held and
+// that scoped locks are released on every path.
+//
+// Deployment convention (see DESIGN.md §3.9):
+//   - every mutex-owning class uses xl::Mutex / xl::MutexLock / xl::CondVar
+//     (common/mutex.hpp) instead of the unannotated std primitives;
+//   - every field a mutex protects carries XL_GUARDED_BY(mutex_);
+//   - mutable state siblings of a mutex that are deliberately NOT guarded
+//     (immutable after construction, externally synchronized, atomics) say so
+//     with XL_UNGUARDED("reason") — xl_lint's `unguarded-field` rule enforces
+//     that one of the two markers is present;
+//   - private helpers called under the lock are annotated XL_REQUIRES(mutex_);
+//   - XL_NO_THREAD_SAFETY_ANALYSIS takes a MANDATORY reason string; a bare
+//     opt-out does not compile, and xl_lint rejects an empty reason.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define XL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef XL_THREAD_ANNOTATION
+#define XL_THREAD_ANNOTATION(x)  // not clang: annotations compile away
+#endif
+
+/// Class attribute: instances are capabilities (lockable resources).
+#define XL_CAPABILITY(name) XL_THREAD_ANNOTATION(capability(name))
+
+/// Class attribute: RAII objects that hold a capability for their lifetime.
+#define XL_SCOPED_CAPABILITY XL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field attribute: reads and writes require holding `x`.
+#define XL_GUARDED_BY(x) XL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Field attribute: the pointed-to data (not the pointer) is guarded by `x`.
+#define XL_PT_GUARDED_BY(x) XL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: caller must hold the listed capabilities.
+#define XL_REQUIRES(...) XL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: caller must NOT hold the listed capabilities
+/// (deadlock documentation for re-entrant call chains).
+#define XL_EXCLUDES(...) XL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attributes: the function acquires / releases the capabilities.
+#define XL_ACQUIRE(...) XL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define XL_RELEASE(...) XL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires on success (`result` = the success value).
+#define XL_TRY_ACQUIRE(result, ...) \
+  XL_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function attribute: returns a reference to a guarded object without
+/// holding the lock (accessors that hand out the capability itself).
+#define XL_RETURN_CAPABILITY(x) XL_THREAD_ANNOTATION(lock_returned(x))
+
+/// Capability-ordering declarations (documentation the analysis checks).
+#define XL_ACQUIRED_BEFORE(...) XL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define XL_ACQUIRED_AFTER(...) XL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Opt-out with a MANDATORY reason. The reason is compiled away but must be a
+/// non-empty string literal: xl_lint flags empty or missing reasons, and the
+/// macro shape makes a bare `XL_NO_THREAD_SAFETY_ANALYSIS` a compile error.
+#define XL_NO_THREAD_SAFETY_ANALYSIS(reason) \
+  XL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Documentation marker for mutable fields of a mutex-owning class that are
+/// deliberately not guarded by it (immutable after construction, externally
+/// synchronized, atomic). Expands to nothing; xl_lint's `unguarded-field`
+/// rule requires every such field to carry either XL_GUARDED_BY or this.
+#define XL_UNGUARDED(reason)

@@ -73,7 +73,7 @@ std::vector<T> BufferPool::acquire(std::size_t n) {
   if (n == 0) return {};
   std::vector<T> recycled;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (enabled_) {
       Shelf<T>& s = shelf<T>();
       // Any bucket at or above the rounded request can serve it: the cached
@@ -118,7 +118,7 @@ template <typename T>
 void BufferPool::release(std::vector<T>&& buf) {
   if (buf.capacity() == 0) return;
   const std::size_t cached = buf.capacity() * sizeof(T);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.outstanding_bytes -= std::min(stats_.outstanding_bytes, cached);
   if (!enabled_ || stats_.pooled_bytes + cached > capacity_bytes_) {
     ++stats_.trims;
@@ -141,22 +141,22 @@ template void BufferPool::release<std::uint32_t>(std::vector<std::uint32_t>&&);
 template void BufferPool::release<std::size_t>(std::vector<std::size_t>&&);
 
 void BufferPool::set_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   enabled_ = enabled;
 }
 
 bool BufferPool::enabled() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return enabled_;
 }
 
 void BufferPool::set_capacity_bytes(std::size_t capacity_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   capacity_bytes_ = capacity_bytes;
 }
 
 void BufferPool::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   doubles_.free.clear();
   bytes_.free.clear();
   u32_.free.clear();
@@ -165,7 +165,7 @@ void BufferPool::clear() {
 }
 
 PoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   PoolStats out = stats_;
   out.copied_bytes = copied_bytes_.load(std::memory_order_relaxed);
   return out;

@@ -20,10 +20,13 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/contract.hpp"
+#include "common/mutex.hpp"
 
 namespace xl {
 
@@ -121,20 +124,22 @@ class BufferPool {
   };
 
   template <typename T>
-  Shelf<T>& shelf();
+  Shelf<T>& shelf() XL_REQUIRES(mutex_);
 
   static std::size_t bucket_for_acquire(std::size_t n);
   static std::size_t bucket_for_release(std::size_t capacity);
 
-  mutable std::mutex mutex_;
-  bool enabled_ = true;
-  std::size_t capacity_bytes_;
-  PoolStats stats_;  // copied_bytes tracked separately in copied_bytes_.
+  mutable Mutex mutex_;
+  bool enabled_ XL_GUARDED_BY(mutex_) = true;
+  std::size_t capacity_bytes_ XL_GUARDED_BY(mutex_);
+  /// copied_bytes tracked separately in copied_bytes_.
+  PoolStats stats_ XL_GUARDED_BY(mutex_);
+  XL_UNGUARDED("lock-free tap on the hot copy path")
   std::atomic<std::uint64_t> copied_bytes_{0};
-  Shelf<double> doubles_;
-  Shelf<std::uint8_t> bytes_;
-  Shelf<std::uint32_t> u32_;
-  Shelf<std::size_t> sizes_;
+  Shelf<double> doubles_ XL_GUARDED_BY(mutex_);
+  Shelf<std::uint8_t> bytes_ XL_GUARDED_BY(mutex_);
+  Shelf<std::uint32_t> u32_ XL_GUARDED_BY(mutex_);
+  Shelf<std::size_t> sizes_ XL_GUARDED_BY(mutex_);
 };
 
 /// RAII scratch buffer: acquires on construction, releases on destruction.
@@ -179,6 +184,13 @@ template <typename T>
 class ArenaVec {
   static_assert(std::is_trivially_copyable_v<T>,
                 "ArenaVec records are relocated with memcpy");
+  // Alignment contract: pooled byte buffers are std::vector<std::uint8_t>
+  // storage, which libstdc++/libc++ obtain from operator new — aligned to
+  // __STDCPP_DEFAULT_NEW_ALIGNMENT__ >= alignof(std::max_align_t). The pool
+  // recycles whole vectors (it never offsets into them), so every bucket
+  // hand-out keeps that guarantee, and the static_assert below makes the
+  // reinterpret_cast in data() safe for every admissible T. grow() re-checks
+  // the invariant with XL_ASSERT each time the backing buffer changes.
   static_assert(alignof(T) <= alignof(std::max_align_t),
                 "pooled byte buffers guarantee fundamental alignment only");
 
@@ -212,8 +224,16 @@ class ArenaVec {
     raw_ = std::vector<std::uint8_t>();
   }
 
-  T* data() noexcept { return reinterpret_cast<T*>(raw_.data()); }
-  const T* data() const noexcept { return reinterpret_cast<const T*>(raw_.data()); }
+  T* data() noexcept {
+    XL_ASSERT_DBG(reinterpret_cast<std::uintptr_t>(raw_.data()) % alignof(T) == 0,
+                  "pooled arena misaligned for T");
+    return reinterpret_cast<T*>(raw_.data());
+  }
+  const T* data() const noexcept {
+    XL_ASSERT_DBG(reinterpret_cast<std::uintptr_t>(raw_.data()) % alignof(T) == 0,
+                  "pooled arena misaligned for T");
+    return reinterpret_cast<const T*>(raw_.data());
+  }
   T* begin() noexcept { return data(); }
   T* end() noexcept { return data() + size_; }
   const T* begin() const noexcept { return data(); }
@@ -273,6 +293,9 @@ class ArenaVec {
         capacity() == 0 ? BufferPool::kMinBucketElements : capacity() * 2;
     while (want < min_elems) want *= 2;
     std::vector<std::uint8_t> bigger = pool_->acquire<std::uint8_t>(want * sizeof(T));
+    XL_ASSERT(reinterpret_cast<std::uintptr_t>(bigger.data()) % alignof(T) == 0,
+              "pool handed back a buffer misaligned for T (alignof="
+                  << alignof(T) << ")");
     std::memcpy(bigger.data(), raw_.data(), size_ * sizeof(T));
     pool_->release(std::move(raw_));
     raw_ = std::move(bigger);

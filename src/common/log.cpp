@@ -3,11 +3,13 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/mutex.hpp"
+
 namespace xl::log {
 namespace {
 
 std::atomic<int> g_threshold{static_cast<int>(Level::Warn)};
-std::mutex g_write_mutex;
+Mutex g_write_mutex;
 
 }  // namespace
 
@@ -35,7 +37,7 @@ void write(Level level, const char* file, int line, const std::string& message) 
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  MutexLock lock(g_write_mutex);
   std::fprintf(stderr, "[%-5s] %s:%d: %s\n", level_name(level), base, line, message.c_str());
 }
 

@@ -1,0 +1,79 @@
+// Capability-annotated synchronization primitives. Clang's thread-safety
+// analysis only tracks lock/unlock through functions that carry acquire /
+// release attributes, and libstdc++'s std::mutex has none — so every
+// mutex-owning class in the tree uses these thin wrappers instead. They add
+// no state and no behavior over the std primitives; gcc builds compile them
+// to exactly the std code they wrap.
+//
+// Wait loops are written out explicitly at the call sites:
+//
+//   MutexLock lock(mutex_);
+//   while (!ready_) cv_.wait(lock);
+//
+// rather than with a predicate lambda — the analysis cannot see through a
+// lambda that reads guarded fields, but it checks the inline loop fine.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.hpp"
+
+namespace xl {
+
+class CondVar;
+
+/// std::mutex with acquire/release capability annotations.
+class XL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() XL_ACQUIRE() { m_.lock(); }
+  void unlock() XL_RELEASE() { m_.unlock(); }
+  bool try_lock() XL_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII lock on an xl::Mutex — the annotated stand-in for std::lock_guard /
+/// std::unique_lock. Always locks for the full scope; CondVar::wait releases
+/// and reacquires atomically through it.
+class XL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) XL_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() XL_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mutex_;
+};
+
+/// Condition variable over xl::Mutex. wait() atomically releases the lock,
+/// blocks, and reacquires before returning — from the analysis's point of
+/// view the capability is held across the call, which matches the invariant
+/// the caller relies on (guarded state may only be re-checked after wait()
+/// returns, i.e. with the lock held again).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.mutex_.m_); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace xl

@@ -50,7 +50,7 @@ double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 double SampleSet::quantile(double q) const {
   XL_REQUIRE(!samples_.empty(), "quantile of empty sample set");
   XL_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   if (sorted_cache_.size() != samples_.size()) {
     sorted_cache_ = samples_;
     std::sort(sorted_cache_.begin(), sorted_cache_.end());

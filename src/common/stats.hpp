@@ -6,9 +6,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace xl {
 
@@ -49,7 +51,7 @@ class SampleSet {
   SampleSet& operator=(const SampleSet& other) {
     if (this != &other) {
       samples_ = other.samples_;
-      std::lock_guard<std::mutex> lock(cache_mutex_);
+      MutexLock lock(cache_mutex_);
       sorted_cache_.clear();
     }
     return *this;
@@ -57,7 +59,7 @@ class SampleSet {
 
   void add(double x) {
     samples_.push_back(x);
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     sorted_cache_.clear();
   }
   std::size_t count() const noexcept { return samples_.size(); }
@@ -70,9 +72,10 @@ class SampleSet {
   const std::vector<double>& samples() const noexcept { return samples_; }
 
  private:
+  XL_UNGUARDED("writers need external synchronization; const reads are safe")
   std::vector<double> samples_;
-  mutable std::vector<double> sorted_cache_;  // guarded by cache_mutex_
-  mutable std::mutex cache_mutex_;
+  mutable std::vector<double> sorted_cache_ XL_GUARDED_BY(cache_mutex_);
+  mutable Mutex cache_mutex_;
 };
 
 /// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the

@@ -27,8 +27,8 @@ std::size_t default_global_workers() {
 }
 
 struct GlobalPool {
-  std::mutex mutex;
-  std::unique_ptr<ThreadPool> pool;
+  Mutex mutex;
+  std::unique_ptr<ThreadPool> pool XL_GUARDED_BY(mutex);
 };
 
 GlobalPool& global_slot() {
@@ -43,8 +43,8 @@ GlobalPool& global_slot() {
 ThreadPool::TaskGroup::TaskGroup(ThreadPool& pool) : pool_(pool) {}
 
 ThreadPool::TaskGroup::~TaskGroup() {
-  std::unique_lock<std::mutex> lock(pool_.mutex_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(pool_.mutex_);
+  while (pending_ != 0) done_cv_.wait(lock);
 }
 
 void ThreadPool::TaskGroup::run(std::function<void()> task) {
@@ -58,8 +58,8 @@ void ThreadPool::TaskGroup::run(std::function<void()> task) {
 void ThreadPool::TaskGroup::wait() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(pool_.mutex_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(pool_.mutex_);
+    while (pending_ != 0) done_cv_.wait(lock);
     std::swap(error, first_error_);
   }
   if (error) std::rethrow_exception(error);
@@ -78,7 +78,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -87,7 +87,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> task, TaskGroup& group) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push(Task{std::move(task), &group});
     ++group.pending_;
   }
@@ -102,14 +102,14 @@ void ThreadPool::wait() { default_group_->wait(); }
 
 ThreadPool& ThreadPool::global() {
   GlobalPool& slot = global_slot();
-  std::lock_guard<std::mutex> lock(slot.mutex);
+  MutexLock lock(slot.mutex);
   if (!slot.pool) slot.pool = std::make_unique<ThreadPool>(default_global_workers());
   return *slot.pool;
 }
 
 void ThreadPool::set_global_workers(std::size_t workers) {
   GlobalPool& slot = global_slot();
-  std::lock_guard<std::mutex> lock(slot.mutex);
+  MutexLock lock(slot.mutex);
   if (slot.pool && slot.pool->worker_count() == workers) return;
   slot.pool.reset();  // joins the old workers before the new pool spins up
   slot.pool = std::make_unique<ThreadPool>(workers);
@@ -122,8 +122,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) work_cv_.wait(lock);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -135,7 +135,7 @@ void ThreadPool::worker_loop() {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       TaskGroup& group = *task.group;
       if (error && !group.first_error_) group.first_error_ = error;
       if (--group.pending_ == 0) group.done_cv_.notify_all();

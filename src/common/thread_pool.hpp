@@ -9,14 +9,15 @@
 // config key, or the XL_THREADS environment variable.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace xl {
 
@@ -48,10 +49,12 @@ class ThreadPool {
 
    private:
     friend class ThreadPool;
+    XL_UNGUARDED("reference to the owning pool, immutable after construction")
     ThreadPool& pool_;
-    std::size_t pending_ = 0;          // guarded by pool_.mutex_
-    std::exception_ptr first_error_;   // guarded by pool_.mutex_
-    std::condition_variable done_cv_;
+    std::size_t pending_ XL_GUARDED_BY(pool_.mutex_) = 0;
+    std::exception_ptr first_error_ XL_GUARDED_BY(pool_.mutex_);
+    XL_UNGUARDED("condition variables synchronize internally")
+    CondVar done_cv_;
   };
 
   /// @param workers number of worker threads; 0 means "run inline on the caller".
@@ -91,14 +94,17 @@ class ThreadPool {
     TaskGroup* group = nullptr;
   };
 
-  void enqueue(std::function<void()> task, TaskGroup& group);
+  void enqueue(std::function<void()> task, TaskGroup& group) XL_EXCLUDES(mutex_);
   void worker_loop();
 
+  XL_UNGUARDED("written once in the constructor before any worker can race")
   std::vector<std::thread> threads_;
-  std::queue<Task> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  bool stop_ = false;
+  std::queue<Task> queue_ XL_GUARDED_BY(mutex_);
+  Mutex mutex_;
+  XL_UNGUARDED("condition variables synchronize internally")
+  CondVar work_cv_;
+  bool stop_ XL_GUARDED_BY(mutex_) = false;
+  XL_UNGUARDED("written once in the constructor before any submit can race")
   std::unique_ptr<TaskGroup> default_group_;
 };
 

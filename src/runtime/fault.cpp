@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/error.hpp"
 
@@ -91,19 +92,28 @@ double FaultPlan::slowdown_at(int step) const noexcept {
 
 namespace {
 
+// std::sto* throw exactly std::invalid_argument (no conversion) and
+// std::out_of_range (unrepresentable); catch those two specifically — a
+// bare catch (...) here once swallowed contract aborts and bad_alloc too.
 double spec_to_double(const std::string& v, const std::string& clause) {
   try {
     return std::stod(v);
-  } catch (...) {
+  } catch (const std::invalid_argument&) {
     throw ContractError("fault spec: bad number in '" + clause + "'");
+  } catch (const std::out_of_range& e) {
+    throw ContractError("fault spec: number out of range in '" + clause +
+                        "': " + e.what());
   }
 }
 
 int spec_to_int(const std::string& v, const std::string& clause) {
   try {
     return std::stoi(v);
-  } catch (...) {
+  } catch (const std::invalid_argument&) {
     throw ContractError("fault spec: bad integer in '" + clause + "'");
+  } catch (const std::out_of_range& e) {
+    throw ContractError("fault spec: integer out of range in '" + clause +
+                        "': " + e.what());
   }
 }
 
@@ -134,8 +144,11 @@ FaultConfig parse_fault_spec(const std::string& spec) {
     if (key == "seed") {
       try {
         config.seed = std::stoull(value);
-      } catch (...) {
+      } catch (const std::invalid_argument&) {
         throw ContractError("fault spec: bad seed in '" + clause + "'");
+      } catch (const std::out_of_range& e) {
+        throw ContractError("fault spec: seed out of range in '" + clause +
+                            "': " + e.what());
       }
     } else if (key == "drop") {
       config.transfer_drop_rate = spec_to_double(value, clause);

@@ -5,16 +5,16 @@
 namespace xl::staging {
 
 void VersionLockManager::lock_on_write(int version) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   VersionState& state = versions_[version];
   XL_REQUIRE(!state.complete, "version already written and sealed");
-  cv_.wait(lock, [&] { return !versions_[version].writer_active; });
+  while (versions_[version].writer_active) cv_.wait(lock);
   versions_[version].writer_active = true;
 }
 
 void VersionLockManager::unlock_on_write(int version) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = versions_.find(version);
     XL_REQUIRE(it != versions_.end() && it->second.writer_active,
                "unlock_on_write without a held write lock");
@@ -25,16 +25,17 @@ void VersionLockManager::unlock_on_write(int version) {
 }
 
 void VersionLockManager::lock_on_read(int version) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] {
+  MutexLock lock(mutex_);
+  for (;;) {
     auto it = versions_.find(version);
-    return it != versions_.end() && it->second.complete;
-  });
+    if (it != versions_.end() && it->second.complete) break;
+    cv_.wait(lock);
+  }
   ++versions_[version].readers;
 }
 
 void VersionLockManager::unlock_on_read(int version) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = versions_.find(version);
   XL_REQUIRE(it != versions_.end() && it->second.readers > 0,
              "unlock_on_read without a held read lock");
@@ -42,13 +43,13 @@ void VersionLockManager::unlock_on_read(int version) {
 }
 
 bool VersionLockManager::is_complete(int version) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = versions_.find(version);
   return it != versions_.end() && it->second.complete;
 }
 
 int VersionLockManager::active_readers(int version) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = versions_.find(version);
   return it == versions_.end() ? 0 : it->second.readers;
 }

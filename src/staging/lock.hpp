@@ -7,9 +7,10 @@
 // producer(version v+1) — the pipelining the in-transit path relies on.
 #pragma once
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace xl::staging {
 
@@ -43,9 +44,10 @@ class VersionLockManager {
     int readers = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<int, VersionState> versions_;
+  mutable Mutex mutex_;
+  XL_UNGUARDED("condition variables synchronize internally")
+  CondVar cv_;
+  std::map<int, VersionState> versions_ XL_GUARDED_BY(mutex_);
 };
 
 }  // namespace xl::staging

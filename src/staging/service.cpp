@@ -39,7 +39,7 @@ StagingService::StagingService(const ServiceConfig& config)
 
 StagingService::~StagingService() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -48,7 +48,7 @@ StagingService::~StagingService() {
 
 void StagingService::enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     XL_REQUIRE(!stop_, "service is shutting down");
     queue_.push_back(std::move(task));
   }
@@ -59,8 +59,8 @@ void StagingService::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) work_cv_.wait(lock);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -70,7 +70,7 @@ void StagingService::worker_loop() {
     task();  // tasks capture their promise and never throw past it
     const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       busy_seconds_ += elapsed;
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
@@ -94,7 +94,7 @@ std::future<PutAck> StagingService::put_async(int version, const mesh::Box& box,
     {
       // Space mutations happen on service threads; the space itself is guarded
       // by the service mutex (requests may run on several workers).
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (space_.can_accept(box, bytes)) {
         ack.id = space_.put(version, box, payload->ncomp(), bytes, payload);
         ack.accepted = true;
@@ -133,7 +133,7 @@ std::future<std::vector<std::shared_ptr<const mesh::Fab>>> StagingService::get_a
     ReadReport repair;
     {
       // Readers share the staged buffers: only refcounts move under the lock.
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (config_.replication > 1) {
         // Quorum read: re-materialize missing replicas of the objects this
         // get touches before handing the payloads out, so a reader leaves
@@ -176,7 +176,7 @@ std::future<RepairReport> StagingService::repair_async(std::size_t max_bytes) {
     const auto start = Clock::now();
     RepairReport report;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       report = space_.anti_entropy_repair(max_bytes);
     }
     if (config_.observer && report.repaired_replicas > 0) {
@@ -207,7 +207,7 @@ std::future<AnalysisResult> StagingService::analyze_async(int version,
     // the buffers alive after the erase.
     std::vector<std::shared_ptr<const mesh::Fab>> payloads;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       std::vector<std::uint64_t> ids;
       for (const StagedObject* obj : space_.query(version, region)) {
         if (!obj->payload) continue;
@@ -241,8 +241,8 @@ std::future<AnalysisResult> StagingService::analyze_async(int version,
 void StagingService::drain() {
   const auto start = Clock::now();
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    while (!queue_.empty() || in_flight_ != 0) idle_cv_.wait(lock);
   }
   if (config_.observer) {
     ServiceEvent ev;
@@ -259,7 +259,7 @@ ServerLossReport StagingService::fail_server(int server) {
 ServerLossReport StagingService::fail_server(int server, LossPolicy policy) {
   ServerLossReport report;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     report = space_.fail_server(server, policy);
   }
   XL_LOG_WARN("staging server " << server << " lost (" << loss_policy_name(policy)
@@ -282,7 +282,7 @@ ServerLossReport StagingService::fail_server(int server, LossPolicy policy) {
 
 void StagingService::recover_server(int server) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     space_.recover_server(server);
   }
   if (config_.observer) {
@@ -294,37 +294,37 @@ void StagingService::recover_server(int server) {
 }
 
 int StagingService::alive_servers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return space_.alive_servers();
 }
 
 std::size_t StagingService::pending_requests() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size() + static_cast<std::size_t>(in_flight_);
 }
 
 std::size_t StagingService::used_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return space_.used_bytes();
 }
 
 std::size_t StagingService::free_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return space_.free_bytes();
 }
 
 std::size_t StagingService::replica_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return space_.replica_count();
 }
 
 std::size_t StagingService::replica_deficit() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return space_.replica_deficit();
 }
 
 double StagingService::busy_seconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return busy_seconds_;
 }
 

@@ -12,16 +12,16 @@
 //   iso.get().triangles;   // completed on the service threads
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "staging/space.hpp"
 #include "viz/marching_cubes.hpp"
 
@@ -52,6 +52,49 @@ struct ServiceEvent {
 };
 
 const char* service_event_kind_name(ServiceEvent::Kind kind) noexcept;
+
+/// Thread-safe recorder for the ServiceEvent stream — the sanctioned
+/// ServiceConfig::observer sink. Service workers append concurrently; tests
+/// and benches snapshot after a drain. Connect with `log.observer()`.
+class ServiceEventLog {
+ public:
+  void append(const ServiceEvent& event) {
+    MutexLock lock(mutex_);
+    events_.push_back(event);
+  }
+
+  /// Copy of the stream so far (stable snapshot; workers may keep appending).
+  std::vector<ServiceEvent> snapshot() const {
+    MutexLock lock(mutex_);
+    return events_;
+  }
+
+  std::size_t count(ServiceEvent::Kind kind) const {
+    MutexLock lock(mutex_);
+    std::size_t n = 0;
+    for (const ServiceEvent& e : events_) n += e.kind == kind;
+    return n;
+  }
+
+  std::size_t size() const {
+    MutexLock lock(mutex_);
+    return events_.size();
+  }
+
+  void clear() {
+    MutexLock lock(mutex_);
+    events_.clear();
+  }
+
+  /// Callback bound to this log, suitable for ServiceConfig::observer.
+  std::function<void(const ServiceEvent&)> observer() {
+    return [this](const ServiceEvent& event) { append(event); };
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::vector<ServiceEvent> events_ XL_GUARDED_BY(mutex_);
+};
 
 struct ServiceConfig {
   int num_servers = 2;                       ///< worker threads (staging "cores").
@@ -157,17 +200,22 @@ class StagingService {
 
  private:
   void worker_loop();
-  void enqueue(std::function<void()> task);
+  void enqueue(std::function<void()> task) XL_EXCLUDES(mutex_);
 
+  XL_UNGUARDED("immutable after construction; observer must be thread-safe")
   ServiceConfig config_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  int in_flight_ = 0;
-  bool stop_ = false;
-  StagingSpace space_;
-  double busy_seconds_ = 0.0;
+  mutable Mutex mutex_;
+  XL_UNGUARDED("condition variables synchronize internally")
+  CondVar work_cv_;
+  XL_UNGUARDED("condition variables synchronize internally")
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ XL_GUARDED_BY(mutex_);
+  int in_flight_ XL_GUARDED_BY(mutex_) = 0;
+  bool stop_ XL_GUARDED_BY(mutex_) = false;
+  /// Requests may run on any worker; every space access takes the lock.
+  StagingSpace space_ XL_GUARDED_BY(mutex_);
+  double busy_seconds_ XL_GUARDED_BY(mutex_) = 0.0;
+  XL_UNGUARDED("written once in the constructor before any request can race")
   std::vector<std::thread> workers_;
 };
 

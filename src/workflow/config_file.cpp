@@ -4,6 +4,7 @@
 #include <fstream>
 #include <istream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/error.hpp"
 #include "runtime/trigger.hpp"
@@ -19,19 +20,28 @@ std::string trim(const std::string& s) {
   return s.substr(first, last - first + 1);
 }
 
+// std::sto* throw exactly std::invalid_argument and std::out_of_range;
+// catching (...) here used to eat unrelated failures (bad_alloc, contract
+// aborts surfacing as exceptions) and mislabel them as config syntax errors.
 int to_int(const std::string& v, const std::string& key) {
   try {
     return std::stoi(v);
-  } catch (...) {
+  } catch (const std::invalid_argument&) {
     throw ContractError("config: bad integer for '" + key + "': " + v);
+  } catch (const std::out_of_range& e) {
+    throw ContractError("config: integer out of range for '" + key + "': " + v +
+                        " (" + e.what() + ")");
   }
 }
 
 double to_double(const std::string& v, const std::string& key) {
   try {
     return std::stod(v);
-  } catch (...) {
+  } catch (const std::invalid_argument&) {
     throw ContractError("config: bad number for '" + key + "': " + v);
+  } catch (const std::out_of_range& e) {
+    throw ContractError("config: number out of range for '" + key + "': " + v +
+                        " (" + e.what() + ")");
   }
 }
 

@@ -263,17 +263,13 @@ TEST(ServiceChaos, SurvivesConcurrentFailuresBelowReplication) {
 }
 
 TEST(ServiceChaos, ObserverSeesDurabilityEvents) {
-  std::mutex mu;
-  std::vector<ServiceEvent::Kind> kinds;
+  ServiceEventLog log;
   ServiceConfig cfg;
   cfg.num_servers = 4;
   cfg.memory_per_server = std::size_t{4} << 20;
   cfg.replication = 2;
   cfg.loss_policy = LossPolicy::Repair;
-  cfg.observer = [&](const ServiceEvent& ev) {
-    std::lock_guard<std::mutex> lock(mu);
-    kinds.push_back(ev.kind);
-  };
+  cfg.observer = log.observer();
   StagingService service(cfg);
   const Box box = Box::domain({8, 8, 8});
   ASSERT_TRUE(service.put_async(0, box, Fab(box, 1, 1.0)).get().accepted);
@@ -281,15 +277,9 @@ TEST(ServiceChaos, ObserverSeesDurabilityEvents) {
   (void)service.get_async(0, box).get();  // quorum read repairs on the way
   service.drain();
 
-  std::lock_guard<std::mutex> lock(mu);
-  const auto has = [&](ServiceEvent::Kind k) {
-    for (auto seen : kinds)
-      if (seen == k) return true;
-    return false;
-  };
-  EXPECT_TRUE(has(ServiceEvent::Kind::Put));
-  EXPECT_TRUE(has(ServiceEvent::Kind::ServerLost));
-  EXPECT_TRUE(has(ServiceEvent::Kind::Get));
+  EXPECT_GE(log.count(ServiceEvent::Kind::Put), 1u);
+  EXPECT_GE(log.count(ServiceEvent::Kind::ServerLost), 1u);
+  EXPECT_GE(log.count(ServiceEvent::Kind::Get), 1u);
 }
 
 }  // namespace

@@ -55,13 +55,9 @@ TEST(StagingService, VersionsAreIsolated) {
 }
 
 TEST(StagingService, ObserverSeesEveryRequest) {
-  std::mutex mu;
-  std::vector<ServiceEvent> seen;
+  ServiceEventLog log;
   ServiceConfig cfg = small_service();
-  cfg.observer = [&](const ServiceEvent& ev) {
-    std::lock_guard<std::mutex> lock(mu);
-    seen.push_back(ev);
-  };
+  cfg.observer = log.observer();
   StagingService service(cfg);
   const Box box = Box::domain({8, 8, 8});
   auto ack = service.put_async(3, box, Fab(box, 1, 1.5)).get();
@@ -70,7 +66,7 @@ TEST(StagingService, ObserverSeesEveryRequest) {
   (void)service.analyze_async(3, box, 0.0, 0).get();
   service.drain();
 
-  std::lock_guard<std::mutex> lock(mu);
+  const std::vector<ServiceEvent> seen = log.snapshot();
   ASSERT_EQ(seen.size(), 4u);
   EXPECT_EQ(seen[0].kind, ServiceEvent::Kind::Put);
   EXPECT_EQ(seen[0].version, 3);
@@ -171,13 +167,9 @@ TEST(StagingService, DrainWaitsForQueue) {
 }
 
 TEST(StagingService, FailServerEmitsServerLostAndShrinksCapacity) {
-  std::mutex mu;
-  std::vector<ServiceEvent> seen;
+  ServiceEventLog log;
   ServiceConfig cfg = small_service(2);
-  cfg.observer = [&](const ServiceEvent& ev) {
-    std::lock_guard<std::mutex> lock(mu);
-    seen.push_back(ev);
-  };
+  cfg.observer = log.observer();
   StagingService service(cfg);
   const Box box = Box::domain({8, 8, 8});
   ASSERT_TRUE(service.put_async(0, box, Fab(box, 1, 1.0)).get().accepted);
@@ -200,14 +192,8 @@ TEST(StagingService, FailServerEmitsServerLostAndShrinksCapacity) {
   EXPECT_TRUE(service.put_async(1, box, Fab(box, 1, 2.0)).get().accepted);
   service.drain();
 
-  std::lock_guard<std::mutex> lock(mu);
-  std::size_t lost = 0, recovered = 0;
-  for (const ServiceEvent& ev : seen) {
-    lost += ev.kind == ServiceEvent::Kind::ServerLost;
-    recovered += ev.kind == ServiceEvent::Kind::ServerRecovered;
-  }
-  EXPECT_EQ(lost, 2u);
-  EXPECT_EQ(recovered, 1u);
+  EXPECT_EQ(log.count(ServiceEvent::Kind::ServerLost), 2u);
+  EXPECT_EQ(log.count(ServiceEvent::Kind::ServerRecovered), 1u);
   EXPECT_STREQ(service_event_kind_name(ServiceEvent::Kind::ServerLost),
                "server-lost");
   EXPECT_STREQ(service_event_kind_name(ServiceEvent::Kind::ServerRecovered),

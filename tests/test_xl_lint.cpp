@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "xl_lint/lint.hpp"
+#include "xl_lint/report.hpp"
 
 namespace xl::lint {
 namespace {
@@ -377,6 +378,494 @@ const int big = 1'000'000;
 auto t = std::chrono::steady_clock::now();
 )cpp");
   EXPECT_EQ(count_rule(f, "wallclock"), 1);
+}
+
+// --- unordered-escape (semantic) ---------------------------------------------
+
+TEST(UnorderedEscape, ReturnOfBeginFlagged) {
+  const auto f = lint_text("src/amr/foo.cpp", R"cpp(
+#include <unordered_set>
+#include <vector>
+std::vector<int> snapshot(const std::unordered_set<int>& seen) {
+  return std::vector<int>(seen.begin(), seen.end());
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "unordered-escape"), 1);
+}
+
+TEST(UnorderedEscape, FloatAccumulationFlagged) {
+  const auto f = lint_text("src/amr/foo.cpp", R"cpp(
+#include <unordered_map>
+double total(const std::unordered_map<int, double>& costs) {
+  double t = 0.0;
+  for (const auto& kv : costs) t += kv.second;
+  return t;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "unordered-escape"), 1);
+}
+
+TEST(UnorderedEscape, SinkCallFlagged) {
+  const auto f = lint_text("src/amr/foo.cpp", R"cpp(
+#include <unordered_set>
+void dump(const std::unordered_set<int>& ids, Log& log) {
+  for (int id : ids) {
+    log.record(id);
+  }
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "unordered-escape"), 1);
+}
+
+TEST(UnorderedEscape, SortedBeforeEscapePasses) {
+  const auto f = lint_text("src/amr/foo.cpp", R"cpp(
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+std::vector<int> snapshot(const std::unordered_set<int>& seen) {
+  std::vector<int> out;
+  for (int v : seen) {
+    out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "unordered-escape"), 0);
+}
+
+TEST(UnorderedEscape, CopyIntoOrderedContainerPasses) {
+  const auto f = lint_text("src/amr/foo.cpp", R"cpp(
+#include <set>
+#include <unordered_set>
+int count_sorted(const std::unordered_set<int>& ids) {
+  std::set<int> sorted(ids.begin(), ids.end());
+  return static_cast<int>(sorted.size());
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "unordered-escape"), 0);
+}
+
+TEST(UnorderedEscape, RuntimeLayerOwnedByLexicalRule) {
+  // In src/runtime (and cluster/workflow) the stricter lexical unordered-iter
+  // rule owns the diagnosis; the semantic rule stands down to avoid doubles.
+  const auto f = lint_text("src/runtime/foo.cpp", R"cpp(
+#include <unordered_map>
+double total(const std::unordered_map<int, double>& costs) {
+  double t = 0.0;
+  for (const auto& kv : costs) t += kv.second;
+  return t;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "unordered-escape"), 0);
+  EXPECT_GE(count_rule(f, "unordered-iter"), 1);
+}
+
+TEST(UnorderedEscape, SuppressedPasses) {
+  const auto f = lint_text("src/amr/foo.cpp", R"cpp(
+#include <unordered_map>
+double total(const std::unordered_map<int, double>& costs) {
+  double t = 0.0;
+  // xl-lint: allow(unordered-escape): diagnostics-only total, order-free
+  for (const auto& kv : costs) t += kv.second;
+  return t;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "unordered-escape"), 0);
+}
+
+// --- unguarded-field (semantic) ----------------------------------------------
+
+constexpr const char* kUnguardedClass = R"cpp(
+#include <mutex>
+class Counter {
+ public:
+  void add(int n);
+ private:
+  std::mutex mu_;
+  int total_ = 0;
+};
+)cpp";
+
+TEST(UnguardedField, BadFlagged) {
+  const auto f = lint_text("src/common/foo.hpp", kUnguardedClass);
+  ASSERT_EQ(count_rule(f, "unguarded-field"), 1);
+  for (const Finding& x : f) {
+    if (x.rule == "unguarded-field") {
+      EXPECT_NE(x.message.find("total_"), std::string::npos);
+    }
+  }
+}
+
+TEST(UnguardedField, OutsideSrcAndToolsPasses) {
+  EXPECT_EQ(count_rule(lint_text("bench/foo.hpp", kUnguardedClass),
+                       "unguarded-field"),
+            0);
+}
+
+TEST(UnguardedField, AnnotatedFieldsPass) {
+  const auto f = lint_text("src/common/foo.hpp", R"cpp(
+#include <mutex>
+#include <string>
+class Counter {
+ public:
+  void add(int n);
+ private:
+  std::mutex mu_;
+  int total_ XL_GUARDED_BY(mu_) = 0;
+  XL_UNGUARDED("written once in the constructor")
+  std::string label_;
+};
+)cpp");
+  EXPECT_EQ(count_rule(f, "unguarded-field"), 0);
+}
+
+TEST(UnguardedField, ExemptCategoriesPass) {
+  // atomics, condition variables, threads, constants, and references never
+  // need a guard annotation.
+  const auto f = lint_text("src/common/foo.hpp", R"cpp(
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+class Worker {
+ private:
+  std::mutex mu_;
+  std::atomic<bool> stop_{false};
+  std::condition_variable cv_;
+  std::thread thread_;
+  static constexpr int kLimit = 8;
+  const int capacity_ = 4;
+  Registry& registry_;
+};
+)cpp");
+  EXPECT_EQ(count_rule(f, "unguarded-field"), 0);
+}
+
+TEST(UnguardedField, MutexFreeClassPasses) {
+  const auto f = lint_text("src/common/foo.hpp", R"cpp(
+class Point {
+ public:
+  int x = 0;
+  int y = 0;
+};
+)cpp");
+  EXPECT_EQ(count_rule(f, "unguarded-field"), 0);
+}
+
+// --- lock-order (semantic, cross-TU) -----------------------------------------
+
+constexpr const char* kTransferHeader = R"cpp(
+#include <mutex>
+class Transfer {
+ public:
+  void credit();
+  void debit();
+ private:
+  std::mutex ledger_;
+  std::mutex journal_;
+};
+)cpp";
+
+TEST(LockOrder, CrossFileCycleFlagged) {
+  // The class lives in the header; the conflicting acquisition orders live in
+  // the .cpp. Only the cross-TU symbol table can connect them.
+  const auto f = lint_texts({{"src/transfer.hpp", kTransferHeader},
+                             {"src/transfer.cpp", R"cpp(
+void Transfer::credit() {
+  std::lock_guard<std::mutex> a(ledger_);
+  std::lock_guard<std::mutex> b(journal_);
+}
+void Transfer::debit() {
+  std::lock_guard<std::mutex> a(journal_);
+  std::lock_guard<std::mutex> b(ledger_);
+}
+)cpp"}});
+  EXPECT_EQ(count_rule(f, "lock-order"), 1);
+}
+
+TEST(LockOrder, ConsistentOrderPasses) {
+  const auto f = lint_texts({{"src/transfer.hpp", kTransferHeader},
+                             {"src/transfer.cpp", R"cpp(
+void Transfer::credit() {
+  std::lock_guard<std::mutex> a(ledger_);
+  std::lock_guard<std::mutex> b(journal_);
+}
+void Transfer::debit() {
+  std::lock_guard<std::mutex> a(ledger_);
+  std::lock_guard<std::mutex> b(journal_);
+}
+)cpp"}});
+  EXPECT_EQ(count_rule(f, "lock-order"), 0);
+}
+
+TEST(LockOrder, DoubleAcquisitionFlagged) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+#include <mutex>
+void twice(std::mutex& mu) {
+  std::lock_guard<std::mutex> a(mu);
+  std::lock_guard<std::mutex> b(mu);
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "lock-order"), 1);
+}
+
+TEST(LockOrder, SelfDeadlockThroughCalleeFlagged) {
+  // a() calls b() while holding mu_; b() re-locks mu_. One level of call
+  // propagation turns that into a self-edge on Pool::mu_.
+  const auto f = lint_texts({{"src/pool.hpp", R"cpp(
+#include <mutex>
+class Pool {
+ public:
+  void a();
+  void b();
+ private:
+  std::mutex mu_;
+};
+)cpp"},
+                             {"src/pool.cpp", R"cpp(
+void Pool::a() {
+  std::lock_guard<std::mutex> l(mu_);
+  b();
+}
+void Pool::b() {
+  std::lock_guard<std::mutex> l(mu_);
+}
+)cpp"}});
+  EXPECT_EQ(count_rule(f, "lock-order"), 1);
+}
+
+TEST(LockOrder, ScopedUnlockBetweenAcquisitionsPasses) {
+  // Sequential (non-nested) acquisitions create no ordering edge.
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+#include <mutex>
+void sequential(std::mutex& first, std::mutex& second) {
+  {
+    std::lock_guard<std::mutex> a(first);
+  }
+  {
+    std::lock_guard<std::mutex> b(second);
+  }
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "lock-order"), 0);
+}
+
+// --- parallel-float-merge (semantic) -----------------------------------------
+
+TEST(ParallelFloatMerge, OuterAccumulatorFlagged) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+#include <cstddef>
+#include <vector>
+double unstable(const std::vector<double>& xs) {
+  double sum = 0.0;
+  parallel_for(xs.size(), [&](std::size_t i) {
+    sum += xs[i];
+  });
+  return sum;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "parallel-float-merge"), 1);
+}
+
+TEST(ParallelFloatMerge, PerChunkSlotsPass) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+#include <cstddef>
+#include <vector>
+double stable(const std::vector<double>& xs, std::size_t chunks) {
+  std::vector<double> parts(chunks, 0.0);
+  parallel_for_chunks(xs.size(), chunks,
+                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) parts[c] += xs[i];
+                      });
+  double sum = 0.0;
+  for (std::size_t c = 0; c < chunks; ++c) sum += parts[c];
+  return sum;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "parallel-float-merge"), 0);
+}
+
+TEST(ParallelFloatMerge, LambdaLocalAccumulatorPasses) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+#include <cstddef>
+void per_chunk(std::size_t n) {
+  parallel_for(n, [&](std::size_t i) {
+    double local = 0.0;
+    local += 1.0;
+    consume(local);
+  });
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "parallel-float-merge"), 0);
+}
+
+// --- scratch-escape (semantic) -----------------------------------------------
+
+TEST(ScratchEscape, ReturnOfRawStorageFlagged) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+#include <cstddef>
+const double* leak(std::size_t n) {
+  Scratch<double> tmp(n);
+  return tmp.data();
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "scratch-escape"), 1);
+}
+
+TEST(ScratchEscape, MemberStoreFlagged) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+#include <cstddef>
+struct Cache {
+  double* view_ = nullptr;
+  void refresh(std::size_t n) {
+    Scratch<double> tmp(n);
+    view_ = tmp.data();
+  }
+};
+)cpp");
+  EXPECT_EQ(count_rule(f, "scratch-escape"), 1);
+}
+
+TEST(ScratchEscape, DeferredCaptureFlagged) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+#include <cstddef>
+void defer(ThreadPool& pool, std::size_t n) {
+  ArenaVec<int> ids(n);
+  pool.submit([&] { consume(ids); });
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "scratch-escape"), 1);
+}
+
+TEST(ScratchEscape, ScopedUsePasses) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+#include <cstddef>
+double checksum(const double* xs, std::size_t n) {
+  Scratch<double> tmp(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp.data()[i] = xs[i] + 1.0;
+    acc += tmp.data()[i];
+  }
+  return acc;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "scratch-escape"), 0);
+}
+
+// --- stale-suppression -------------------------------------------------------
+
+TEST(StaleSuppression, UnusedMarkerFlagged) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+// xl-lint: allow(wallclock): the clock read this guarded is long gone
+int x = 0;
+)cpp");
+  EXPECT_EQ(count_rule(f, "stale-suppression"), 1);
+}
+
+TEST(StaleSuppression, UnknownRuleFlagged) {
+  const auto f = lint_text(
+      "src/foo.cpp", "int x = 0;  // xl-lint: allow(wall-clock): typo'd id\n");
+  ASSERT_EQ(count_rule(f, "stale-suppression"), 1);
+  EXPECT_NE(f[0].message.find("unknown rule"), std::string::npos);
+}
+
+TEST(StaleSuppression, UsedMarkerNotFlagged) {
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+// xl-lint: allow(wallclock): measurement-only diagnostic
+auto t = std::chrono::steady_clock::now();
+)cpp");
+  EXPECT_EQ(count_rule(f, "stale-suppression"), 0);
+}
+
+TEST(StaleSuppression, PartiallyUsedMultiRuleMarkerFlagged) {
+  // One marker, two rules; only wallclock fires, so the banned-symbol half of
+  // the marker is dead weight and gets reported.
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+// xl-lint: allow(wallclock, banned-symbol): timing harness
+auto t = std::chrono::steady_clock::now();
+)cpp");
+  EXPECT_EQ(count_rule(f, "stale-suppression"), 1);
+}
+
+TEST(StaleSuppression, MarkerInsideStringLiteralIgnored) {
+  // A marker spelled inside a string literal is data, not a suppression: it
+  // must neither suppress the real finding nor count as a stale marker.
+  const auto f = lint_text("src/foo.cpp", R"cpp(
+const char* doc = "// xl-lint: allow(wallclock)";
+auto t = std::chrono::steady_clock::now();
+)cpp");
+  EXPECT_EQ(count_rule(f, "wallclock"), 1);
+  EXPECT_EQ(count_rule(f, "stale-suppression"), 0);
+}
+
+// --- baseline ----------------------------------------------------------------
+
+TEST(Baseline, RoundTripAbsorbsEverything) {
+  const auto findings = lint_text("src/foo.cpp", R"cpp(
+auto t = std::chrono::steady_clock::now();
+const char* v = std::getenv(name);
+)cpp");
+  ASSERT_EQ(findings.size(), 2u);
+  const auto parsed = parse_baseline(baseline_from_findings(findings));
+  ASSERT_TRUE(parsed.has_value());
+  const BaselineResult r = apply_baseline(findings, *parsed, "baseline.json");
+  EXPECT_TRUE(r.kept.empty());
+  EXPECT_TRUE(r.stale.empty());
+  EXPECT_EQ(r.suppressed, 2u);
+}
+
+TEST(Baseline, CannotGrowSilently) {
+  // One wallclock finding is grandfathered; the tree now has two. The whole
+  // group fails -- a baseline never absorbs growth.
+  Baseline b;
+  b.entries[{"src/foo.cpp", "wallclock"}] = 1;
+  const auto findings = lint_text("src/foo.cpp", R"cpp(
+auto a = std::chrono::steady_clock::now();
+auto c = std::chrono::steady_clock::now();
+)cpp");
+  ASSERT_EQ(findings.size(), 2u);
+  const BaselineResult r = apply_baseline(findings, b, "baseline.json");
+  EXPECT_EQ(r.kept.size(), 2u);
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(Baseline, StaleEntryFlagged) {
+  Baseline b;
+  b.entries[{"src/foo.cpp", "wallclock"}] = 2;
+  const auto findings = lint_text(
+      "src/foo.cpp", "auto a = std::chrono::steady_clock::now();\n");
+  const BaselineResult r =
+      apply_baseline(findings, b, "tools/xl_lint/baseline.json");
+  EXPECT_TRUE(r.kept.empty());
+  EXPECT_EQ(r.suppressed, 1u);
+  ASSERT_EQ(r.stale.size(), 1u);
+  EXPECT_EQ(r.stale[0].rule, "stale-baseline");
+  EXPECT_EQ(r.stale[0].file, "tools/xl_lint/baseline.json");
+}
+
+TEST(Baseline, MalformedRejectedEmptyAccepted) {
+  EXPECT_FALSE(parse_baseline("not json").has_value());
+  EXPECT_TRUE(parse_baseline("{}").has_value());
+  const auto empty = parse_baseline(R"({"version": 1, "entries": []})");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->entries.empty());
+}
+
+// --- machine-readable reports ------------------------------------------------
+
+TEST(Reports, JsonAndSarifCarryTheFindings) {
+  const auto findings = lint_text(
+      "src/foo.cpp", "auto t = std::chrono::steady_clock::now();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string j = json_report(findings);
+  EXPECT_NE(j.find("\"wallclock\""), std::string::npos);
+  EXPECT_NE(j.find("\"count\": 1"), std::string::npos);
+  const std::string s = sarif_report(findings);
+  EXPECT_NE(s.find("2.1.0"), std::string::npos);
+  EXPECT_NE(s.find("wallclock"), std::string::npos);
+  EXPECT_NE(s.find("src/foo.cpp"), std::string::npos);
 }
 
 // --- CLI-facing basics -------------------------------------------------------

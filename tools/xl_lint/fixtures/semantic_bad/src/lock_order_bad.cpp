@@ -1,0 +1,16 @@
+// Seeded-bad fixture for the lock-order rule (see lock_order_bad.hpp).
+#include "lock_order_bad.hpp"
+
+namespace fixture {
+
+void Transfer::credit() {
+  std::lock_guard<std::mutex> hold_ledger(ledger_);
+  std::lock_guard<std::mutex> hold_journal(journal_);
+}
+
+void Transfer::debit() {
+  std::lock_guard<std::mutex> hold_journal(journal_);
+  std::lock_guard<std::mutex> hold_ledger(ledger_);
+}
+
+}  // namespace fixture

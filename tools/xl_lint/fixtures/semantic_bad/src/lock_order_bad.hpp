@@ -1,0 +1,20 @@
+// Seeded-bad fixture for the lock-order rule: the class declaration lives in
+// this header; the two methods in lock_order_bad.cpp take its mutexes in
+// opposite orders, which only a cross-translation-unit pass can see.
+#pragma once
+
+#include <mutex>
+
+namespace fixture {
+
+class Transfer {
+ public:
+  void credit();
+  void debit();
+
+ private:
+  std::mutex ledger_;
+  std::mutex journal_;
+};
+
+}  // namespace fixture

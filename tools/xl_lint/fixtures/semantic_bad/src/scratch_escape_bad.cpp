@@ -1,0 +1,15 @@
+// Seeded-bad fixture for the scratch-escape rule: raw storage of a pooled
+// Scratch buffer is returned past the RAII scope that recycles it.
+#include <cstddef>
+
+namespace fixture {
+
+const double* leak_scratch(std::size_t n) {
+  Scratch<double> tmp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp.data()[i] = 0.0;
+  }
+  return tmp.data();
+}
+
+}  // namespace fixture

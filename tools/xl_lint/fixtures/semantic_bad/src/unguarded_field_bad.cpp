@@ -1,0 +1,20 @@
+// Seeded-bad fixture for the unguarded-field rule: a mutex-owning class with
+// data members carrying neither XL_GUARDED_BY nor XL_UNGUARDED(reason).
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void add(std::size_t n);
+
+ private:
+  std::mutex mu_;
+  std::size_t total_ = 0;
+  std::vector<std::string> names_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Clean twin of lock_order_bad.cpp: ledger_ before journal_ everywhere.
+#include "lock_order_clean.hpp"
+
+namespace fixture {
+
+void Transfer::credit() {
+  std::lock_guard<std::mutex> hold_ledger(ledger_);
+  std::lock_guard<std::mutex> hold_journal(journal_);
+}
+
+void Transfer::debit() {
+  std::lock_guard<std::mutex> hold_ledger(ledger_);
+  std::lock_guard<std::mutex> hold_journal(journal_);
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Clean twin of lock_order_bad.hpp: both methods in lock_order_clean.cpp
+// take the mutexes in the same order, so the acquisition graph is acyclic.
+#pragma once
+
+#include <mutex>
+
+namespace fixture {
+
+class Transfer {
+ public:
+  void credit();
+  void debit();
+
+ private:
+  std::mutex ledger_;
+  std::mutex journal_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Clean twin of parallel_float_merge_bad.cpp: each chunk accumulates into
+// its own parts[c] slot and the partials are merged in chunk order after the
+// parallel region, so the sum is bit-identical across thread interleavings.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+double stable_sum(const std::vector<double>& xs, std::size_t chunks) {
+  std::vector<double> parts(chunks, 0.0);
+  parallel_for_chunks(xs.size(), chunks,
+                      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          parts[c] += xs[i];
+                        }
+                      });
+  double sum = 0.0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    sum += parts[c];
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Clean twin of scratch_escape_bad.cpp: the pooled buffer is used strictly
+// inside its RAII scope and only a scalar copy of the data leaves.
+#include <cstddef>
+
+namespace fixture {
+
+double checksum(const double* xs, std::size_t n) {
+  Scratch<double> tmp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp.data()[i] = xs[i] + 1.0;
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += tmp.data()[i];
+  }
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Clean twin of unordered_escape_bad.cpp: the hash-ordered contents are
+// sorted before they leave the function, so iteration order cannot reach the
+// timeline.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::vector<int> snapshot(const std::unordered_set<int>& seen) {
+  std::vector<int> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> active_names(
+    const std::unordered_map<std::string, int>& live) {
+  std::vector<std::string> out;
+  for (const auto& entry : live) {
+    out.push_back(entry.first);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fixture

@@ -10,6 +10,10 @@
 #include <set>
 #include <sstream>
 
+#include "model.hpp"
+#include "report.hpp"
+#include "semantic.hpp"
+
 namespace xl::lint {
 
 namespace {
@@ -18,8 +22,12 @@ namespace {
 
 // Blank out comments, string literals, char literals, and raw strings so the
 // rule patterns only ever see code. Newlines are preserved (line numbers stay
-// valid); every other scrubbed character becomes a space.
-std::string scrub(const std::string& text) {
+// valid); every other scrubbed character becomes a space. With
+// `keep_comments`, comment text survives (string/char literals are still
+// blanked) -- that view is what suppression parsing reads, so an
+// `xl-lint: allow(...)` inside a string literal (e.g. a lint test snippet)
+// is not mistaken for a marker of the enclosing file.
+std::string scrub(const std::string& text, bool keep_comments = false) {
   std::string out = text;
   enum class State { Normal, LineComment, BlockComment, String, Char, RawString };
   State state = State::Normal;
@@ -31,10 +39,10 @@ std::string scrub(const std::string& text) {
       case State::Normal:
         if (c == '/' && next == '/') {
           state = State::LineComment;
-          out[i] = ' ';
+          if (!keep_comments) out[i] = ' ';
         } else if (c == '/' && next == '*') {
           state = State::BlockComment;
-          out[i] = ' ';
+          if (!keep_comments) out[i] = ' ';
         } else if (c == 'R' && next == '"' &&
                    (i == 0 || (!std::isalnum(static_cast<unsigned char>(out[i - 1])) &&
                                out[i - 1] != '_'))) {
@@ -63,17 +71,19 @@ std::string scrub(const std::string& text) {
       case State::LineComment:
         if (c == '\n') {
           state = State::Normal;
-        } else {
+        } else if (!keep_comments) {
           out[i] = ' ';
         }
         break;
       case State::BlockComment:
         if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
+          if (!keep_comments) {
+            out[i] = ' ';
+            out[i + 1] = ' ';
+          }
           ++i;
           state = State::Normal;
-        } else if (c != '\n') {
+        } else if (c != '\n' && !keep_comments) {
           out[i] = ' ';
         }
         break;
@@ -141,16 +151,32 @@ int line_of_offset(const std::string& text, std::size_t offset) {
 
 // --- suppressions ------------------------------------------------------------
 
-struct Suppressions {
-  std::set<std::string> file_wide;            // rule ids allowed file-wide.
-  std::map<int, std::set<std::string>> line;  // line -> rule ids.
+/// One rule id from one `xl-lint: allow(...)` comment. Usage is tracked so
+/// markers that stop matching anything are reported (stale-suppression).
+struct Marker {
+  int marker_line = 0;  // line holding the comment (1-based).
+  int target_line = 0;  // code line guarded (unused for file-wide markers).
+  bool file_wide = false;
+  std::string rule;
+  bool used = false;
+};
 
-  bool allows(const std::string& rule, int at_line) const {
-    if (file_wide.count(rule) || file_wide.count("all")) return true;
-    // Suppressions guard exactly one code line: parse_suppressions resolves a
-    // comment-only marker to the code line below it, so no fuzzy reach here.
-    const auto it = line.find(at_line);
-    return it != line.end() && (it->second.count(rule) || it->second.count("all"));
+struct Suppressions {
+  std::vector<Marker> markers;
+
+  /// Does any marker cover (rule, at_line)? Marks every covering marker used.
+  bool allows(const std::string& rule, int at_line) {
+    bool covered = false;
+    for (Marker& m : markers) {
+      if (m.rule != rule && m.rule != "all") continue;
+      // Suppressions guard exactly one code line: parse_suppressions resolves
+      // a comment-only marker to the code line below it, so no fuzzy reach.
+      if (m.file_wide || m.target_line == at_line) {
+        m.used = true;
+        covered = true;
+      }
+    }
+    return covered;
   }
 };
 
@@ -186,11 +212,12 @@ Suppressions parse_suppressions(const std::vector<std::string>& raw_lines) {
                                 [](unsigned char c) { return std::isspace(c); }),
                  id.end());
         if (id.empty()) continue;
-        if (file_wide) {
-          sup.file_wide.insert(id);
-        } else {
-          sup.line[static_cast<int>(target) + 1].insert(id);
-        }
+        Marker marker;
+        marker.marker_line = static_cast<int>(i) + 1;
+        marker.target_line = static_cast<int>(target) + 1;
+        marker.file_wide = file_wide;
+        marker.rule = id;
+        sup.markers.push_back(std::move(marker));
       }
       begin = m.suffix().first;
     }
@@ -579,6 +606,7 @@ void rule_fab_by_value(const Ctx& ctx) {
 
 const std::vector<RuleInfo>& rules() {
   static const std::vector<RuleInfo> kRules = {
+      // Lexical layer.
       {"wallclock", "wall-clock/time sources outside the substrate clock"},
       {"raw-random", "unseeded or global randomness outside common/rng.hpp"},
       {"unordered-iter",
@@ -588,35 +616,111 @@ const std::vector<RuleInfo>& rules() {
       {"missing-include", "use of a std symbol without its owning header"},
       {"banned-symbol", "environment/process escapes (getenv, system, sleeps)"},
       {"fab-by-value", "pass-by-value Fab/StagedObject parameters (payload deep-copy)"},
+      // Semantic layer (declaration/scope model + cross-TU symbol table).
+      {"unordered-escape",
+       "hash-order iteration results escaping unsorted (returns, sinks, float sums)"},
+      {"unguarded-field",
+       "mutex-owning class field lacking XL_GUARDED_BY or XL_UNGUARDED(reason)"},
+      {"lock-order", "cycle in the cross-TU lock acquisition order graph"},
+      {"parallel-float-merge",
+       "float accumulation in a parallel_for body bypassing the ordered merge"},
+      {"scratch-escape",
+       "pooled Scratch/ArenaVec storage escaping its RAII scope"},
+      // Meta layer.
+      {"stale-suppression", "an allow() marker that no longer suppresses anything"},
+      {"stale-baseline", "a baseline entry larger than the current tree needs"},
   };
   return kRules;
 }
 
-std::vector<Finding> lint_text(const std::string& path, const std::string& text) {
-  std::vector<Finding> findings;
-  const std::string scrubbed = scrub(text);
-  const std::vector<std::string> raw_lines = split_lines(text);
-  const std::vector<std::string> lines = split_lines(scrubbed);
-  const Suppressions sup = parse_suppressions(raw_lines);
+std::string scrub_source(const std::string& text) { return scrub(text); }
 
-  const Ctx ctx{path, scrubbed, lines, findings};
-  rule_wallclock(ctx);
-  rule_raw_random(ctx);
-  rule_unordered_iter(ctx);
-  rule_float_cast(ctx);
-  rule_parallel_merge(ctx);
-  rule_missing_include(ctx, text);
-  rule_banned_symbol(ctx);
-  rule_fab_by_value(ctx);
-
-  std::vector<Finding> kept;
-  for (Finding& f : findings) {
-    if (!sup.allows(f.rule, f.line)) kept.push_back(std::move(f));
+std::vector<Finding> lint_texts(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  struct PerFile {
+    const std::string* path = nullptr;
+    std::string scrubbed;
+    std::vector<std::string> raw_lines;
+    std::vector<std::string> lines;
+    Suppressions sup;
+    std::vector<Finding> findings;  // pre-suppression.
+  };
+  std::vector<PerFile> files(sources.size());
+  std::vector<FileModel> models;
+  models.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    PerFile& pf = files[i];
+    pf.path = &sources[i].first;
+    pf.scrubbed = scrub(sources[i].second);
+    pf.raw_lines = split_lines(scrub(sources[i].second, /*keep_comments=*/true));
+    pf.lines = split_lines(pf.scrubbed);
+    pf.sup = parse_suppressions(pf.raw_lines);
+    models.push_back(build_file_model(sources[i].first, pf.scrubbed));
   }
-  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
-    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
-  });
-  return kept;
+  const SymbolTable table = build_symbol_table(models);
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    PerFile& pf = files[i];
+    const Ctx ctx{*pf.path, pf.scrubbed, pf.lines, pf.findings};
+    rule_wallclock(ctx);
+    rule_raw_random(ctx);
+    rule_unordered_iter(ctx);
+    rule_float_cast(ctx);
+    rule_parallel_merge(ctx);
+    rule_missing_include(ctx, sources[i].second);
+    rule_banned_symbol(ctx);
+    rule_fab_by_value(ctx);
+    run_file_semantic_rules(models[i], table, pf.findings);
+  }
+
+  // Lock-order runs once over the whole table; its findings are attributed to
+  // the file holding the representative acquisition so that file's
+  // suppressions govern them.
+  std::vector<Finding> global;
+  run_lock_order_rule(models, table, global);
+  for (Finding& f : global) {
+    for (PerFile& pf : files) {
+      if (*pf.path == f.file) {
+        pf.findings.push_back(std::move(f));
+        break;
+      }
+    }
+  }
+
+  std::set<std::string> known_rules;
+  for (const RuleInfo& rule : rules()) known_rules.insert(rule.id);
+
+  std::vector<Finding> out;
+  for (PerFile& pf : files) {
+    std::vector<Finding> kept;
+    for (Finding& f : pf.findings) {
+      if (!pf.sup.allows(f.rule, f.line)) kept.push_back(std::move(f));
+    }
+    // Stale / mistyped markers: an allow() that suppressed nothing is debt.
+    for (const Marker& m : pf.sup.markers) {
+      if (!known_rules.count(m.rule) && m.rule != "all") {
+        kept.push_back(Finding{
+            *pf.path, m.marker_line, "stale-suppression",
+            "suppression references unknown rule '" + m.rule +
+                "' (see --list-rules); fix the id or remove the marker"});
+      } else if (!m.used) {
+        kept.push_back(Finding{
+            *pf.path, m.marker_line, "stale-suppression",
+            "suppression for rule '" + m.rule +
+                "' no longer matches any finding; remove the marker"});
+      }
+    }
+    std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+      return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+    });
+    out.insert(out.end(), std::make_move_iterator(kept.begin()),
+               std::make_move_iterator(kept.end()));
+  }
+  return out;
+}
+
+std::vector<Finding> lint_text(const std::string& path, const std::string& text) {
+  return lint_texts({{path, text}});
 }
 
 std::vector<Finding> lint_file(const std::string& disk_path,
@@ -666,23 +770,41 @@ std::vector<std::string> collect_sources(const std::string& root,
 int run_cli(int argc, const char* const* argv) {
   std::string root = ".";
   std::vector<std::string> paths;
+  std::string baseline_path, write_baseline_path, sarif_path;
   bool quiet = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
     } else if (arg == "--list-rules") {
       for (const RuleInfo& rule : rules()) {
         std::cout << rule.id << "  " << rule.summary << "\n";
       }
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: xl_lint [--root DIR] [--quiet] [--list-rules] PATH...\n"
-                   "Lints .cpp/.hpp/.h/.cc files under each PATH (relative to "
-                   "--root) against\nthe determinism-contract rules. Exit 0 = "
-                   "clean, 1 = findings, 2 = error.\n";
+      std::cout
+          << "usage: xl_lint [--root DIR] [--quiet] [--json] [--sarif FILE]\n"
+             "               [--baseline FILE] [--write-baseline FILE]\n"
+             "               [--list-rules] PATH...\n"
+             "Lints .cpp/.hpp/.h/.cc files under each PATH (relative to --root)\n"
+             "against the determinism-contract rules (lexical + semantic).\n"
+             "  --json            print findings as JSON instead of text\n"
+             "  --sarif FILE      additionally write a SARIF 2.1.0 report\n"
+             "  --baseline FILE   absorb grandfathered findings; new findings\n"
+             "                    and stale baseline entries still fail\n"
+             "  --write-baseline FILE  regenerate the baseline and exit 0\n"
+             "Exit 0 = clean, 1 = findings, 2 = error.\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "xl_lint: unknown option " << arg << "\n";
@@ -700,25 +822,92 @@ int run_cli(int argc, const char* const* argv) {
     std::cerr << "xl_lint: no source files found under the given paths\n";
     return 2;
   }
-  std::size_t total = 0;
-  std::size_t files_with_findings = 0;
+
+  // Read every file up front: the semantic rules want one symbol table
+  // spanning all translation units.
+  std::vector<std::pair<std::string, std::string>> sources;
+  std::vector<Finding> findings;
   for (const std::string& rel : files) {
     const std::string disk = (std::filesystem::path(root) / rel).string();
-    const std::vector<Finding> findings = lint_file(disk, rel);
-    if (!findings.empty()) ++files_with_findings;
-    total += findings.size();
+    std::ifstream in(disk, std::ios::binary);
+    if (!in) {
+      findings.push_back(Finding{rel, 0, "io", "cannot open file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    sources.emplace_back(rel, buffer.str());
+  }
+  {
+    std::vector<Finding> linted = lint_texts(sources);
+    findings.insert(findings.end(), std::make_move_iterator(linted.begin()),
+                    std::make_move_iterator(linted.end()));
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "xl_lint: cannot write baseline " << write_baseline_path << "\n";
+      return 2;
+    }
+    out << baseline_from_findings(findings);
+    if (!quiet) {
+      std::cerr << "xl_lint: wrote baseline for " << findings.size()
+                << " finding(s) to " << write_baseline_path << "\n";
+    }
+    return 0;
+  }
+
+  std::size_t baselined = 0;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "xl_lint: cannot open baseline " << baseline_path << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::optional<Baseline> baseline = parse_baseline(buffer.str());
+    if (!baseline) {
+      std::cerr << "xl_lint: malformed baseline " << baseline_path << "\n";
+      return 2;
+    }
+    BaselineResult result = apply_baseline(findings, *baseline, baseline_path);
+    baselined = result.suppressed;
+    findings = std::move(result.kept);
+    findings.insert(findings.end(), std::make_move_iterator(result.stale.begin()),
+                    std::make_move_iterator(result.stale.end()));
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "xl_lint: cannot write SARIF report " << sarif_path << "\n";
+      return 2;
+    }
+    out << sarif_report(findings);
+  }
+
+  if (json) {
+    std::cout << json_report(findings);
+  } else {
     for (const Finding& f : findings) {
       std::cout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
                 << "\n";
     }
   }
-  if (!quiet) {
-    std::cerr << "xl_lint: " << files.size() << " files, " << total << " finding"
-              << (total == 1 ? "" : "s");
-    if (total != 0) std::cerr << " in " << files_with_findings << " files";
+  if (!quiet && !json) {
+    std::set<std::string> files_with_findings;
+    for (const Finding& f : findings) files_with_findings.insert(f.file);
+    std::cerr << "xl_lint: " << files.size() << " files, " << findings.size()
+              << " finding" << (findings.size() == 1 ? "" : "s");
+    if (!findings.empty()) {
+      std::cerr << " in " << files_with_findings.size() << " files";
+    }
+    if (baselined != 0) std::cerr << " (" << baselined << " baselined)";
     std::cerr << "\n";
   }
-  return total == 0 ? 0 : 1;
+  return findings.empty() ? 0 : 1;
 }
 
 }  // namespace xl::lint

@@ -3,10 +3,17 @@
 // A small, dependency-free static analyzer that enforces the repo's hard
 // invariants (bit-identical timelines, seeded-only randomness, ordered
 // parallel merges, guarded numeric conversions) at commit time instead of
-// test time. It is deliberately lexical -- comments, strings, and raw
-// strings are scrubbed, then per-rule pattern checks run over the scrubbed
-// text -- which keeps it fast, deterministic, and easy to extend, at the
-// cost of being a heuristic: every rule supports explicit suppression.
+// test time. It runs in two layers over scrubbed sources (comments, strings,
+// and raw strings blanked):
+//
+//   - lexical rules: per-line/per-pattern checks over the scrubbed text;
+//   - semantic rules: checks over a parsed declaration/scope model with a
+//     cross-translation-unit symbol table (tools/xl_lint/model.hpp), so a
+//     mutex declared in a header is resolved when locked from a .cpp file.
+//
+// Both layers are heuristics, not a compiler: every rule supports explicit
+// suppression, and a suppression that stops matching anything is itself
+// flagged (stale-suppression) so the allow-list never rots.
 //
 // Suppression syntax. A trailing suppression guards its own line; one on a
 // comment-only line guards the next code line, however many comment lines the
@@ -16,7 +23,7 @@
 //   // xl-lint: allow(<rule>, <rule2>): ...   -- several rules at once
 //   // xl-lint: allow-file(<rule>): <reason>  -- whole file
 //
-// Rules (see rules() for the authoritative list):
+// Lexical rules (see rules() for the authoritative list):
 //   wallclock        wall-clock/time sources outside the substrate clock
 //   raw-random       unseeded or global randomness outside common/rng.hpp
 //   unordered-iter   iteration over unordered containers in the layers where
@@ -25,9 +32,22 @@
 //   parallel-merge   shared-container mutation inside a parallel_for body
 //   missing-include  use of a std symbol without its owning header
 //   banned-symbol    environment/process escapes (getenv, system, sleeps)
+//   fab-by-value     pass-by-value Fab/StagedObject parameters
+//
+// Semantic rules (tools/xl_lint/semantic.hpp):
+//   unordered-escape     hash-order iteration results escaping unsorted
+//   unguarded-field      mutex-owning class with an unannotated field
+//   lock-order           cross-TU lock acquisition order cycles
+//   parallel-float-merge unordered float accumulation in parallel_for bodies
+//   scratch-escape       pooled Scratch/ArenaVec storage escaping RAII scope
+//
+// Meta rules:
+//   stale-suppression    an allow() marker that no longer suppresses anything
+//   stale-baseline       a baseline entry larger than the current tree needs
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace xl::lint {
@@ -46,6 +66,17 @@ struct RuleInfo {
 
 /// The authoritative rule list (stable ids; suppressions reference these).
 const std::vector<RuleInfo>& rules();
+
+/// Blank out comments, strings, char literals, and raw strings, preserving
+/// newlines (line numbers stay valid). Exposed for the semantic model/tests.
+std::string scrub_source(const std::string& text);
+
+/// Lint a set of translation units together: the semantic rules share one
+/// symbol table across every file, so cross-TU facts (a mutex declared in a
+/// header, locked from a .cpp) resolve. Findings come back grouped per file
+/// in input order, sorted by (line, rule) within each file.
+std::vector<Finding> lint_texts(
+    const std::vector<std::pair<std::string, std::string>>& sources);
 
 /// Lint one translation unit. `path` classifies the file (rules scope
 /// themselves by directory) and labels findings; `text` is the file content.

@@ -1,0 +1,126 @@
+// Semantic model for xl_lint: a lightweight tokenizer and declaration/scope
+// parser over scrubbed C++ sources. It is not a compiler front end -- it
+// recovers exactly the structure the semantic rules need:
+//
+//   - classes/structs with their data members, mutex members, and the
+//     XL_GUARDED_BY / XL_UNGUARDED annotations attached to each member;
+//   - function and method bodies (offset spans into the scrubbed text);
+//   - lock acquisitions inside each body (MutexLock / lock_guard /
+//     unique_lock / scoped_lock), with their nesting structure;
+//   - call sites made while holding a lock (for one level of cross-TU
+//     lock-order propagation).
+//
+// Models from every translation unit are merged into a SymbolTable so rules
+// can resolve `pool_.mutex_` to `ThreadPool::mutex_` even when the class is
+// declared in a header and locked from a .cpp file.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xl::lint {
+
+struct Token {
+  enum class Kind { Ident, Number, Punct };
+  Kind kind = Kind::Punct;
+  std::string text;
+  std::size_t offset = 0;  ///< into the scrubbed text.
+  int line = 1;            ///< 1-based.
+};
+
+/// Tokenize scrubbed source. Preprocessor lines (and their backslash
+/// continuations) are skipped entirely; `<` and `>` are always single-char
+/// tokens so template argument lists can be depth-matched.
+std::vector<Token> tokenize(const std::string& scrubbed);
+
+struct Member {
+  std::string name;
+  std::string type;   ///< declaration text before the name, macros stripped.
+  std::string guard;  ///< XL_GUARDED_BY argument ("" when absent).
+  int line = 0;
+  bool is_mutex = false;    ///< Mutex / std::mutex family.
+  bool is_exempt = false;   ///< const/static/atomic/CondVar/thread/reference.
+  bool is_guarded = false;  ///< XL_GUARDED_BY / XL_PT_GUARDED_BY present.
+  bool is_marked_unguarded = false;  ///< XL_UNGUARDED(reason) present.
+};
+
+struct ClassModel {
+  std::string name;
+  int line = 0;
+  std::size_t body_begin = 0;  ///< offset just past the opening '{'.
+  std::size_t body_end = 0;    ///< offset of the closing '}'.
+  std::vector<Member> members;
+
+  bool has_mutex() const {
+    for (const Member& m : members) {
+      if (m.is_mutex) return true;
+    }
+    return false;
+  }
+  const Member* find_member(const std::string& n) const {
+    for (const Member& m : members) {
+      if (m.name == n) return &m;
+    }
+    return nullptr;
+  }
+};
+
+/// One scoped lock acquisition inside a function body.
+struct Acquisition {
+  std::string expr;  ///< raw lock expression, whitespace stripped.
+  int line = 0;
+  std::size_t offset = 0;
+  bool top_level = false;  ///< acquired while holding no other lock.
+  /// Raw exprs of locks already held at this acquisition (innermost last).
+  std::vector<std::string> held;
+};
+
+/// A call made while holding at least one lock.
+struct CallSite {
+  std::string name;      ///< callee identifier.
+  std::string receiver;  ///< `recv.name(...)` receiver ident ("" for free calls).
+  int line = 0;
+  std::vector<std::string> held;  ///< raw exprs of locks held at the call.
+};
+
+struct FunctionModel {
+  std::string name;
+  std::string class_name;  ///< qualifier or enclosing class ("" for free).
+  int line = 0;
+  std::size_t body_begin = 0;  ///< offset just past the opening '{'.
+  std::size_t body_end = 0;    ///< offset of the closing '}'.
+  std::size_t body_open = 0;    ///< token index of the opening '{'.
+  std::size_t body_close = 0;   ///< token index of the closing '}'.
+  std::size_t params_open = 0;  ///< token index of the parameter-list '('.
+  std::size_t params_close = 0; ///< token index of the parameter-list ')'.
+  std::vector<Acquisition> acquisitions;
+  std::vector<CallSite> locked_calls;
+};
+
+struct FileModel {
+  std::string path;
+  std::string scrubbed;
+  std::vector<Token> tokens;
+  std::vector<ClassModel> classes;
+  std::vector<FunctionModel> functions;
+
+  /// Innermost class whose body span contains `offset` (nullptr if none).
+  const ClassModel* enclosing_class(std::size_t offset) const;
+};
+
+/// Cross-translation-unit view over every parsed file.
+struct SymbolTable {
+  std::map<std::string, std::vector<const ClassModel*>> classes;
+  std::map<std::string, std::vector<const FunctionModel*>> functions;
+
+  /// First definition of `name` that has members (headers win over stubs).
+  const ClassModel* find_class(const std::string& name) const;
+  const Member* find_member(const std::string& cls, const std::string& member) const;
+};
+
+FileModel build_file_model(const std::string& path, const std::string& scrubbed);
+SymbolTable build_symbol_table(const std::vector<FileModel>& models);
+
+}  // namespace xl::lint

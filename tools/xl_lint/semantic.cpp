@@ -1,0 +1,747 @@
+#include "semantic.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+namespace xl::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool in_src_or_tools(const std::string& path) {
+  return path.find("src/") != std::string::npos ||
+         path.find("tools/") != std::string::npos;
+}
+
+bool in_lexical_unordered_scope(const std::string& path) {
+  return path.find("src/runtime") != std::string::npos ||
+         path.find("src/cluster") != std::string::npos ||
+         path.find("src/workflow") != std::string::npos;
+}
+
+std::size_t match_group_tok(const Tokens& t, std::size_t open, std::size_t end,
+                            const char* oc, const char* cc) {
+  int depth = 0;
+  for (std::size_t i = open; i < end; ++i) {
+    if (t[i].text == oc) ++depth;
+    else if (t[i].text == cc) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return end;
+}
+
+std::size_t match_angles_tok(const Tokens& t, std::size_t open, std::size_t end) {
+  int depth = 0;
+  for (std::size_t i = open; i < end; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "<") ++depth;
+    else if (x == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (x == ";" || x == "{" || x == "}") {
+      return open;
+    }
+  }
+  return open;
+}
+
+bool tok_is(const Tokens& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+/// The class-ish identifier a member/local type string resolves to: the last
+/// identifier in `type` that names a class in the symbol table.
+std::string resolve_type_class(const std::string& type, const SymbolTable& table) {
+  std::string best, cur;
+  for (std::size_t i = 0; i <= type.size(); ++i) {
+    const char c = i < type.size() ? type[i] : '\0';
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      cur += c;
+    } else {
+      if (!cur.empty() && table.classes.count(cur)) best = cur;
+      cur.clear();
+    }
+  }
+  return best;
+}
+
+// --- rule: unguarded-field ---------------------------------------------------
+
+void rule_unguarded_field(const FileModel& model, std::vector<Finding>& findings) {
+  if (!in_src_or_tools(model.path)) return;
+  for (const ClassModel& cls : model.classes) {
+    if (!cls.has_mutex()) continue;
+    for (const Member& m : cls.members) {
+      if (m.is_mutex || m.is_exempt || m.is_guarded || m.is_marked_unguarded) {
+        continue;
+      }
+      findings.push_back(Finding{
+          model.path, m.line, "unguarded-field",
+          "class '" + cls.name + "' owns a mutex but field '" + m.name +
+              "' is neither XL_GUARDED_BY a capability nor XL_UNGUARDED(reason)"});
+    }
+  }
+}
+
+// --- rule: unordered-escape --------------------------------------------------
+
+struct LocalDecl {
+  std::string name;
+  std::string type;  // joined type tokens.
+};
+
+/// Scan `[b, e)` for simple local declarations `Type name` where Type's last
+/// identifier is `type_word` (e.g. unordered_set, double). Appends names.
+void collect_typed_locals(const Tokens& t, std::size_t b, std::size_t e,
+                          const std::set<std::string>& type_words,
+                          std::map<std::string, std::string>& out) {
+  for (std::size_t i = b; i + 1 < e; ++i) {
+    if (t[i].kind != Token::Kind::Ident || !type_words.count(t[i].text)) continue;
+    std::size_t j = i + 1;
+    if (tok_is(t, j, "<")) {
+      const std::size_t past = match_angles_tok(t, j, e);
+      if (past == j) continue;
+      j = past;
+    }
+    while (j < e && (t[j].text == "&" || t[j].text == "*")) ++j;
+    if (j < e && t[j].kind == Token::Kind::Ident) {
+      const std::string next = j + 1 < e ? t[j + 1].text : "";
+      if (next == ";" || next == "=" || next == "{" || next == "(" ||
+          next == "," || next == ")") {  // ')' / ',' cover parameter lists.
+        out[t[j].text] = t[i].text;
+      }
+    }
+  }
+}
+
+/// Locals declared in the body plus the function's parameters.
+void collect_typed_locals_and_params(const Tokens& t, const FunctionModel& fn,
+                                     const std::set<std::string>& type_words,
+                                     std::map<std::string, std::string>& out) {
+  collect_typed_locals(t, fn.body_open + 1, fn.body_close, type_words, out);
+  if (fn.params_open < fn.params_close) {
+    collect_typed_locals(t, fn.params_open + 1, fn.params_close + 1, type_words,
+                         out);
+  }
+}
+
+/// Statement boundaries: the token range around `at` delimited by ';' '{' '}'.
+std::pair<std::size_t, std::size_t> statement_around(const Tokens& t,
+                                                     std::size_t at,
+                                                     std::size_t lo,
+                                                     std::size_t hi) {
+  std::size_t b = at;
+  while (b > lo) {
+    const std::string& x = t[b - 1].text;
+    if (x == ";" || x == "{" || x == "}") break;
+    --b;
+  }
+  std::size_t e = at;
+  while (e < hi && t[e].text != ";" && t[e].text != "{" && t[e].text != "}") ++e;
+  return {b, e};
+}
+
+bool range_contains_ident(const Tokens& t, std::size_t b, std::size_t e,
+                          const std::string& name) {
+  for (std::size_t i = b; i < e; ++i) {
+    if (t[i].kind == Token::Kind::Ident && t[i].text == name) return true;
+  }
+  return false;
+}
+
+/// Is `dest` sorted anywhere in [b, e)? Looks for sort/stable_sort with dest
+/// among its arguments.
+bool sorted_later(const Tokens& t, std::size_t b, std::size_t e,
+                  const std::string& dest) {
+  for (std::size_t i = b; i + 1 < e; ++i) {
+    if (t[i].kind != Token::Kind::Ident ||
+        (t[i].text != "sort" && t[i].text != "stable_sort")) {
+      continue;
+    }
+    if (!tok_is(t, i + 1, "(")) continue;
+    const std::size_t past = match_group_tok(t, i + 1, e, "(", ")");
+    if (range_contains_ident(t, i + 2, past, dest)) return true;
+  }
+  return false;
+}
+
+bool is_sink_call_name(const std::string& name) {
+  return name.rfind("write", 0) == 0 || name == "on_event" ||
+         name == "observer" || name == "record" || name == "append" ||
+         name == "emit";
+}
+
+void rule_unordered_escape(const FileModel& model, const SymbolTable& table,
+                           std::vector<Finding>& findings) {
+  if (!in_src_or_tools(model.path)) return;
+  if (in_lexical_unordered_scope(model.path)) return;  // unordered-iter owns these.
+  const Tokens& t = model.tokens;
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  static const std::set<std::string> kFloatTypes = {"double", "float"};
+
+  for (const FunctionModel& fn : model.functions) {
+    const std::size_t b = fn.body_open + 1, e = fn.body_close;
+    std::map<std::string, std::string> unordered;
+    collect_typed_locals_and_params(t, fn, kUnordered, unordered);
+    if (const ClassModel* cls = model.enclosing_class(fn.body_begin)) {
+      for (const Member& m : cls->members) {
+        if (m.type.find("unordered_") != std::string::npos) {
+          unordered[m.name] = "unordered_member";
+        }
+      }
+    }
+    if (unordered.empty()) continue;
+    std::map<std::string, std::string> float_locals;
+    collect_typed_locals_and_params(t, fn, kFloatTypes, float_locals);
+    std::map<std::string, std::string> ordered_locals;
+    static const std::set<std::string> kOrdered = {"set", "map", "multiset",
+                                                   "multimap"};
+    collect_typed_locals(t, b, e, kOrdered, ordered_locals);
+
+    // Escape shape 1: name.begin()/cbegin() feeding a return or an unsorted
+    // ordered-sequence construction.
+    for (std::size_t i = b; i + 2 < e; ++i) {
+      if (t[i].kind != Token::Kind::Ident || !unordered.count(t[i].text)) continue;
+      if (t[i + 1].text != "." && t[i + 1].text != "->") continue;
+      if (t[i + 2].text != "begin" && t[i + 2].text != "cbegin") continue;
+      const std::string& name = t[i].text;
+      const auto [sb, se] = statement_around(t, i, b, e);
+      bool is_return = false;
+      for (std::size_t k = sb; k < se; ++k) {
+        if (t[k].text == "return") is_return = true;
+      }
+      if (is_return) {
+        findings.push_back(Finding{
+            model.path, t[i].line, "unordered-escape",
+            "hash-ordered contents of '" + name +
+                "' escape through a return value; copy into a vector and sort "
+                "(or use an ordered container) before returning"});
+        continue;
+      }
+      // Construction/assignment destination: ident before '=' or before the
+      // '(' / '{' group holding the .begin().
+      std::string dest;
+      for (std::size_t k = sb; k < se; ++k) {
+        if (t[k].text == "=" && k > sb && t[k - 1].kind == Token::Kind::Ident) {
+          dest = t[k - 1].text;
+          break;
+        }
+        if ((t[k].text == "(" || t[k].text == "{") && k > sb &&
+            t[k - 1].kind == Token::Kind::Ident && k < i) {
+          dest = t[k - 1].text;
+        }
+      }
+      if (dest.empty()) continue;
+      if (ordered_locals.count(dest)) continue;  // feeding a std::set/map: fine.
+      if (unordered.count(dest)) continue;       // unordered-to-unordered: no escape.
+      if (sorted_later(t, se, e, dest)) continue;
+      findings.push_back(Finding{
+          model.path, t[i].line, "unordered-escape",
+          "hash-ordered contents of '" + name + "' copied into '" + dest +
+              "' which is never sorted in this function; sort it before it "
+              "escapes"});
+    }
+
+    // Escape shape 2: range-for over the container with an order-sensitive
+    // body (stream <<, observer/CSV sink call, float accumulation, or an
+    // unsorted collection append).
+    for (std::size_t i = b; i < e; ++i) {
+      if (t[i].kind != Token::Kind::Ident || t[i].text != "for") continue;
+      if (!tok_is(t, i + 1, "(")) continue;
+      const std::size_t head_end = match_group_tok(t, i + 1, e, "(", ")");
+      std::string name;
+      for (std::size_t k = i + 2; k + 1 < head_end; ++k) {
+        if (t[k].text == ":" && t[k + 1].kind == Token::Kind::Ident &&
+            unordered.count(t[k + 1].text) && k + 2 + 1 >= head_end) {
+          name = t[k + 1].text;
+        }
+      }
+      if (name.empty()) continue;
+      std::size_t body_b = head_end, body_e;
+      if (tok_is(t, head_end, "{")) {
+        body_e = match_group_tok(t, head_end, e, "{", "}");
+        body_b = head_end + 1;
+      } else {
+        const auto stmt = statement_around(t, head_end, b, e);
+        body_e = stmt.second;
+      }
+      const int line = t[i].line;
+      for (std::size_t k = body_b; k < body_e; ++k) {
+        const Token& tok = t[k];
+        if (tok.text == "<" && k + 1 < body_e && t[k + 1].text == "<" &&
+            t[k + 1].offset == tok.offset + 1) {
+          findings.push_back(Finding{
+              model.path, line, "unordered-escape",
+              "iteration over '" + name +
+                  "' streams (<<) in hash order; iterate a sorted copy so the "
+                  "output is deterministic"});
+          break;
+        }
+        if (tok.kind == Token::Kind::Ident && is_sink_call_name(tok.text) &&
+            tok_is(t, k + 1, "(")) {
+          findings.push_back(Finding{
+              model.path, line, "unordered-escape",
+              "iteration over '" + name + "' reaches sink '" + tok.text +
+                  "' in hash order; iterate a sorted copy so delivery order is "
+                  "deterministic"});
+          break;
+        }
+        if ((tok.text == "+=" || tok.text == "-=") && k > body_b &&
+            t[k - 1].kind == Token::Kind::Ident &&
+            float_locals.count(t[k - 1].text)) {
+          findings.push_back(Finding{
+              model.path, line, "unordered-escape",
+              "iteration over '" + name + "' accumulates into float '" +
+                  t[k - 1].text +
+                  "' in hash order; sum over a sorted copy (float addition is "
+                  "not associative)"});
+          break;
+        }
+        if (tok.kind == Token::Kind::Ident &&
+            (tok.text == "push_back" || tok.text == "emplace_back") &&
+            k >= body_b + 2 && t[k - 1].text == "." &&
+            t[k - 2].kind == Token::Kind::Ident) {
+          const std::string& dest = t[k - 2].text;
+          if (!ordered_locals.count(dest) && !unordered.count(dest) &&
+              !sorted_later(t, body_e, e, dest)) {
+            findings.push_back(Finding{
+                model.path, line, "unordered-escape",
+                "iteration over '" + name + "' appends to '" + dest +
+                    "' in hash order and '" + dest +
+                    "' is never sorted in this function; sort it before it "
+                    "escapes"});
+            break;
+          }
+        }
+      }
+    }
+  }
+  (void)table;
+}
+
+// --- rule: parallel-float-merge ----------------------------------------------
+
+void rule_parallel_float_merge(const FileModel& model,
+                               std::vector<Finding>& findings) {
+  const Tokens& t = model.tokens;
+  static const std::set<std::string> kFloatTypes = {"double", "float"};
+
+  for (const FunctionModel& fn : model.functions) {
+    const std::size_t b = fn.body_open + 1, e = fn.body_close;
+    for (std::size_t i = b; i < e; ++i) {
+      if (t[i].kind != Token::Kind::Ident ||
+          (t[i].text != "parallel_for" && t[i].text != "parallel_for_chunks")) {
+        continue;
+      }
+      if (!tok_is(t, i + 1, "(")) continue;
+      const std::size_t call_end = match_group_tok(t, i + 1, e, "(", ")");
+      // First lambda in the argument list.
+      std::size_t lam = i + 2;
+      while (lam < call_end && t[lam].text != "[") ++lam;
+      if (lam >= call_end) continue;
+      std::size_t j = match_group_tok(t, lam, call_end, "[", "]");
+      if (tok_is(t, j, "(")) j = match_group_tok(t, j, call_end, "(", ")");
+      while (j < call_end && t[j].text != "{") ++j;
+      if (j >= call_end) continue;
+      const std::size_t body_b = j + 1;
+      const std::size_t body_e = match_group_tok(t, j, call_end, "{", "}") - 1;
+
+      std::map<std::string, std::string> lambda_floats;
+      collect_typed_locals(t, body_b, body_e, kFloatTypes, lambda_floats);
+      std::map<std::string, std::string> outer_floats;
+      collect_typed_locals(t, b, lam, kFloatTypes, outer_floats);
+      if (fn.params_open < fn.params_close) {
+        collect_typed_locals(t, fn.params_open + 1, fn.params_close + 1,
+                             kFloatTypes, outer_floats);
+      }
+      if (const ClassModel* cls = model.enclosing_class(fn.body_begin)) {
+        for (const Member& m : cls->members) {
+          if (m.type.find("double") != std::string::npos ||
+              m.type.find("float") != std::string::npos) {
+            outer_floats[m.name] = m.type;
+          }
+        }
+      }
+
+      const auto flag = [&](const std::string& var, int line) {
+        findings.push_back(Finding{
+            model.path, line, "parallel-float-merge",
+            "floating-point accumulation into '" + var +
+                "' inside a parallel_for body runs in nondeterministic chunk "
+                "order; accumulate per-chunk partials (parts[c]) and merge in "
+                "chunk order after the loop"});
+      };
+      for (std::size_t k = body_b; k < body_e; ++k) {
+        if (t[k].text == "+=" || t[k].text == "-=") {
+          if (k == body_b) continue;
+          const Token& lhs = t[k - 1];
+          if (lhs.text == "]") continue;  // parts[c] += ...: per-chunk slot.
+          if (lhs.kind != Token::Kind::Ident) continue;
+          if (lambda_floats.count(lhs.text)) continue;  // lambda-local: fine.
+          if (outer_floats.count(lhs.text)) flag(lhs.text, lhs.line);
+          continue;
+        }
+        // x = x + ... on an outer float.
+        if (t[k].text == "=" && k > body_b && k + 2 < body_e &&
+            t[k - 1].kind == Token::Kind::Ident &&
+            t[k + 1].kind == Token::Kind::Ident &&
+            t[k + 1].text == t[k - 1].text && t[k + 2].text == "+" &&
+            !lambda_floats.count(t[k - 1].text) &&
+            outer_floats.count(t[k - 1].text)) {
+          flag(t[k - 1].text, t[k - 1].line);
+        }
+      }
+      i = call_end - 1;
+    }
+  }
+}
+
+// --- rule: scratch-escape ----------------------------------------------------
+
+void rule_scratch_escape(const FileModel& model, std::vector<Finding>& findings) {
+  const Tokens& t = model.tokens;
+  for (const FunctionModel& fn : model.functions) {
+    const std::size_t b = fn.body_open + 1, e = fn.body_close;
+    // Pooled RAII locals: Scratch<T> name(...) / ArenaVec<T> name(...).
+    std::set<std::string> pooled;
+    for (std::size_t i = b; i + 1 < e; ++i) {
+      if (t[i].kind != Token::Kind::Ident ||
+          (t[i].text != "Scratch" && t[i].text != "ArenaVec")) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (tok_is(t, j, "<")) {
+        const std::size_t past = match_angles_tok(t, j, e);
+        if (past == j) continue;
+        j = past;
+      }
+      if (j < e && t[j].kind == Token::Kind::Ident) {
+        const std::string next = j + 1 < e ? t[j + 1].text : "";
+        if (next == "(" || next == "{" || next == ";" || next == "=") {
+          pooled.insert(t[j].text);
+        }
+      }
+    }
+    if (pooled.empty()) continue;
+
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& tok = t[i];
+      if (tok.kind != Token::Kind::Ident) continue;
+
+      // Escape 1: return of the buffer or its raw storage.
+      if (tok.text == "return") {
+        const auto [sb, se] = statement_around(t, i, b, e);
+        for (std::size_t k = sb; k < se; ++k) {
+          if (t[k].kind != Token::Kind::Ident || !pooled.count(t[k].text)) continue;
+          const bool raw = k + 2 < se && (t[k + 1].text == "." || t[k + 1].text == "->") &&
+                           (t[k + 2].text == "data" || t[k + 2].text == "vec");
+          const bool addr = k > sb && t[k - 1].text == "&";
+          const bool moved = k >= sb + 2 && t[k - 1].text == "(" &&
+                             t[k - 2].text == "move";
+          const bool bare = k + 1 == se;  // `return name;` -- name is last.
+          if (raw || addr || moved || bare) {
+            findings.push_back(Finding{
+                model.path, t[k].line, "scratch-escape",
+                "pooled buffer '" + t[k].text +
+                    "' is returned past its RAII scope; the storage is recycled "
+                    "when the Scratch destructor runs -- copy the data out or "
+                    "hand ownership through the pool instead"});
+            break;
+          }
+        }
+        i = se;
+        continue;
+      }
+
+      // Escape 2: raw storage stored to a member/static.
+      if (pooled.count(tok.text) && i + 2 < e &&
+          (t[i + 1].text == "." || t[i + 1].text == "->") &&
+          (t[i + 2].text == "data" || t[i + 2].text == "vec")) {
+        const auto [sb, se] = statement_around(t, i, b, e);
+        for (std::size_t k = sb; k < se && k < i; ++k) {
+          if (t[k].text != "=") continue;
+          if (k == sb || t[k - 1].kind != Token::Kind::Ident) break;
+          const std::string& lhs = t[k - 1].text;
+          const bool member_store =
+              (!lhs.empty() && lhs.back() == '_') ||
+              (k >= sb + 2 && (t[k - 2].text == "." || t[k - 2].text == "->"));
+          if (member_store) {
+            findings.push_back(Finding{
+                model.path, tok.line, "scratch-escape",
+                "raw pointer from pooled buffer '" + tok.text +
+                    "' stored in '" + lhs +
+                    "' outlives the RAII scope; the pool recycles the storage "
+                    "at scope exit"});
+          }
+          break;
+        }
+        continue;
+      }
+
+      // Escape 3: captured by deferred work (task queues, async submission).
+      const bool deferred_call =
+          (tok.text == "submit" || tok.text == "enqueue" || tok.text == "post" ||
+           tok.text == "spawn" || tok.text == "detach" ||
+           (tok.text.size() > 6 &&
+            tok.text.compare(tok.text.size() - 6, 6, "_async") == 0)) &&
+          tok_is(t, i + 1, "(");
+      if (deferred_call) {
+        const std::size_t past = match_group_tok(t, i + 1, e, "(", ")");
+        for (std::size_t k = i + 2; k < past; ++k) {
+          if (t[k].kind == Token::Kind::Ident && pooled.count(t[k].text)) {
+            findings.push_back(Finding{
+                model.path, t[k].line, "scratch-escape",
+                "pooled buffer '" + t[k].text + "' captured by deferred work ('" +
+                    tok.text +
+                    "') may outlive its RAII scope; copy the data or keep the "
+                    "task synchronous"});
+            break;
+          }
+        }
+        i = past - 1;
+      }
+    }
+  }
+}
+
+// --- rule: lock-order --------------------------------------------------------
+
+/// Split a whitespace-free lock expression on '.' / '->'.
+std::vector<std::string> split_expr(const std::string& expr) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (std::size_t i = 0; i < expr.size(); ++i) {
+    if (expr[i] == '.') {
+      parts.push_back(cur);
+      cur.clear();
+    } else if (expr[i] == '-' && i + 1 < expr.size() && expr[i + 1] == '>') {
+      parts.push_back(cur);
+      cur.clear();
+      ++i;
+    } else {
+      cur += expr[i];
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+/// Type (class name) of `name` as a local in `fn`, via `Type name` decls whose
+/// Type is a known class.
+std::string local_class_type(const Tokens& t, const FunctionModel& fn,
+                             const std::string& name, const SymbolTable& table) {
+  for (std::size_t i = fn.body_open + 1; i + 1 < fn.body_close; ++i) {
+    if (t[i].kind != Token::Kind::Ident || !table.classes.count(t[i].text)) continue;
+    std::size_t j = i + 1;
+    while (j < fn.body_close && (t[j].text == "&" || t[j].text == "*")) ++j;
+    if (j < fn.body_close && t[j].kind == Token::Kind::Ident && t[j].text == name) {
+      return t[i].text;
+    }
+  }
+  return "";
+}
+
+std::string canonical_lock(const std::string& raw_expr, const FunctionModel& fn,
+                           const FileModel& model, const SymbolTable& table) {
+  std::string expr = raw_expr;
+  if (expr.rfind("this->", 0) == 0) expr = expr.substr(6);
+  if (!expr.empty() && expr[0] == '&') expr = expr.substr(1);
+  if (!expr.empty() && expr[0] == '*') expr = expr.substr(1);
+  const std::vector<std::string> parts = split_expr(expr);
+  if (parts.size() == 1) {
+    const std::string& p = parts[0];
+    if (!fn.class_name.empty() && table.find_member(fn.class_name, p)) {
+      return fn.class_name + "::" + p;
+    }
+    return model.path + "::" + p;
+  }
+  const std::string& recv = parts[parts.size() - 2];
+  const std::string& mem = parts[parts.size() - 1];
+  std::string recv_class;
+  if (!fn.class_name.empty()) {
+    if (const Member* m = table.find_member(fn.class_name, recv)) {
+      recv_class = resolve_type_class(m->type, table);
+    }
+  }
+  if (recv_class.empty()) {
+    recv_class = local_class_type(model.tokens, fn, recv, table);
+  }
+  if (!recv_class.empty()) return recv_class + "::" + mem;
+  return model.path + "::" + expr;
+}
+
+struct Edge {
+  std::string file;
+  int line = 0;
+  std::string via;  ///< human description of how the edge arises.
+};
+
+void rule_lock_order(const std::vector<FileModel>& models, const SymbolTable& table,
+                     std::vector<Finding>& findings) {
+  std::map<std::string, std::map<std::string, Edge>> graph;
+  const auto add_edge = [&](const std::string& from, const std::string& to,
+                            const std::string& file, int line,
+                            const std::string& via) {
+    if (from == to) {
+      // Self-edge: immediate double acquisition; report directly.
+      findings.push_back(Finding{
+          file, line, "lock-order",
+          "lock '" + from + "' acquired while already held (" + via + ")"});
+      return;
+    }
+    graph[from].emplace(to, Edge{file, line, via});
+    (void)graph[to];  // ensure every node exists.
+  };
+
+  // Pass 1: canonicalize and add intra-function nesting edges.
+  std::map<const Acquisition*, std::string> canon;
+  for (const FileModel& model : models) {
+    for (const FunctionModel& fn : model.functions) {
+      for (const Acquisition& acq : fn.acquisitions) {
+        canon[&acq] = canonical_lock(acq.expr, fn, model, table);
+      }
+    }
+  }
+  const auto held_canonical = [&](const FunctionModel& fn,
+                                  const std::string& held_expr) -> std::string {
+    for (const Acquisition& h : fn.acquisitions) {
+      if (h.expr == held_expr) return canon[&h];
+    }
+    return "";
+  };
+  for (const FileModel& model : models) {
+    for (const FunctionModel& fn : model.functions) {
+      for (const Acquisition& acq : fn.acquisitions) {
+        for (const std::string& held_expr : acq.held) {
+          const std::string held = held_canonical(fn, held_expr);
+          if (held.empty()) continue;
+          add_edge(held, canon[&acq], model.path, acq.line,
+                   "'" + acq.expr + "' acquired under '" + held_expr + "' in " +
+                       (fn.class_name.empty() ? fn.name
+                                              : fn.class_name + "::" + fn.name));
+        }
+      }
+    }
+  }
+
+  // Pass 2: one level of call propagation -- a call made under a lock inherits
+  // the callee's top-level acquisitions.
+  for (const FileModel& model : models) {
+    for (const FunctionModel& fn : model.functions) {
+      for (const CallSite& call : fn.locked_calls) {
+        // Resolve the callee: by receiver type, else own class, else a
+        // globally unique free function of that name.
+        std::vector<const FunctionModel*> callees;
+        const auto it = table.functions.find(call.name);
+        if (it == table.functions.end()) continue;
+        if (!call.receiver.empty()) {
+          std::string recv_class;
+          if (!fn.class_name.empty()) {
+            if (const Member* m = table.find_member(fn.class_name, call.receiver)) {
+              recv_class = resolve_type_class(m->type, table);
+            }
+          }
+          if (recv_class.empty()) {
+            recv_class = local_class_type(model.tokens, fn, call.receiver, table);
+          }
+          if (recv_class.empty()) continue;
+          for (const FunctionModel* cand : it->second) {
+            if (cand->class_name == recv_class) callees.push_back(cand);
+          }
+        } else {
+          for (const FunctionModel* cand : it->second) {
+            if (!fn.class_name.empty() && cand->class_name == fn.class_name) {
+              callees.push_back(cand);
+            }
+          }
+          if (callees.empty() && it->second.size() == 1 &&
+              it->second.front()->class_name.empty()) {
+            callees.push_back(it->second.front());
+          }
+        }
+        for (const FunctionModel* callee : callees) {
+          if (callee == &fn) continue;
+          for (const Acquisition& acq : callee->acquisitions) {
+            if (!acq.top_level || canon[&acq].empty()) continue;
+            for (const std::string& held_expr : call.held) {
+              const std::string held = held_canonical(fn, held_expr);
+              if (held.empty()) continue;
+              add_edge(held, canon[&acq], model.path, call.line,
+                       "call to '" + call.name + "' (which locks '" + acq.expr +
+                           "') while holding '" + held_expr + "' in " +
+                           (fn.class_name.empty()
+                                ? fn.name
+                                : fn.class_name + "::" + fn.name));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Cycle detection: DFS with colors; each distinct cycle reported once in
+  // canonical rotation (lexicographically smallest node first).
+  std::set<std::vector<std::string>> reported;
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black.
+  std::vector<std::string> path_stack;
+
+  const std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = 1;
+    path_stack.push_back(node);
+    const auto it = graph.find(node);
+    if (it != graph.end()) {
+      for (const auto& [next, edge] : it->second) {
+        if (color[next] == 1) {
+          // Back edge: extract the cycle from the stack.
+          std::vector<std::string> cycle;
+          bool in_cycle = false;
+          for (const std::string& n : path_stack) {
+            if (n == next) in_cycle = true;
+            if (in_cycle) cycle.push_back(n);
+          }
+          if (cycle.empty()) continue;
+          const auto min_it = std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), min_it, cycle.end());
+          if (!reported.insert(cycle).second) continue;
+          std::string desc;
+          for (const std::string& n : cycle) desc += n + " -> ";
+          desc += cycle.front();
+          findings.push_back(Finding{
+              edge.file, edge.line, "lock-order",
+              "lock acquisition order cycle: " + desc + " (" + edge.via + ")"});
+        } else if (color[next] == 0) {
+          dfs(next);
+        }
+      }
+    }
+    path_stack.pop_back();
+    color[node] = 2;
+  };
+  for (const auto& [node, _] : graph) {
+    if (color[node] == 0) dfs(node);
+  }
+}
+
+}  // namespace
+
+void run_file_semantic_rules(const FileModel& model, const SymbolTable& table,
+                             std::vector<Finding>& findings) {
+  rule_unguarded_field(model, findings);
+  rule_unordered_escape(model, table, findings);
+  rule_parallel_float_merge(model, findings);
+  rule_scratch_escape(model, findings);
+}
+
+void run_lock_order_rule(const std::vector<FileModel>& models,
+                         const SymbolTable& table,
+                         std::vector<Finding>& findings) {
+  rule_lock_order(models, table, findings);
+}
+
+}  // namespace xl::lint

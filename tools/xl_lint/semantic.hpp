@@ -1,0 +1,36 @@
+// Semantic rules for xl_lint: checks that need the parsed declaration/scope
+// model (tools/xl_lint/model.hpp) rather than line-local patterns.
+//
+//   unordered-escape     hash-order iteration results reaching a return value,
+//                        an observer/CSV sink, or a float accumulation
+//   unguarded-field      mutex-owning class with a field that is neither
+//                        XL_GUARDED_BY a capability nor XL_UNGUARDED(reason)
+//   lock-order           cycle in the "acquired while holding" graph, built
+//                        across translation units
+//   parallel-float-merge float accumulation inside a parallel_for body that
+//                        bypasses the ordered per-chunk merge idiom
+//   scratch-escape       pooled Scratch/ArenaVec storage escaping its RAII
+//                        scope (returned, stored to a member, or captured by
+//                        deferred work)
+#pragma once
+
+#include <vector>
+
+#include "lint.hpp"
+#include "model.hpp"
+
+namespace xl::lint {
+
+/// Per-file semantic rules (everything except lock-order). `table` supplies
+/// cross-TU member/type resolution.
+void run_file_semantic_rules(const FileModel& model, const SymbolTable& table,
+                             std::vector<Finding>& findings);
+
+/// Global lock-order rule over every parsed file: builds the acquired-under
+/// graph (with one level of cross-TU call propagation) and reports each
+/// distinct cycle once, attributed to a representative acquisition site.
+void run_lock_order_rule(const std::vector<FileModel>& models,
+                         const SymbolTable& table,
+                         std::vector<Finding>& findings);
+
+}  // namespace xl::lint
