@@ -1,24 +1,43 @@
-// Thread-scaling benchmark: run the real analysis kernels serially and on
-// the shared xl::ThreadPool at 2 and 4 workers, and report the measured
-// speedups. This grounds cluster::KernelCosts::thread_efficiency (the DES
-// divides analysis kernel times by T^thread_efficiency when `threads` is
-// set) the same way bench_calibration_kernels grounds the flops/cell
-// constants. Outputs are bit-identical across thread counts by construction,
-// which the harness asserts on every run.
+// Kernel raw-speed and thread-scaling benchmark.
+//
+// Section 1 — row/SIMD speedup: the seed per-cell kernels (every access
+// through the bounds-checked `fab(*it, c)` path, bit-by-bit stream packing)
+// are kept alive HERE as reference replicas, timed single-thread against the
+// library's flat-row implementations. The replicas also serve as oracles: the
+// library output must match them EXACTLY (bit-for-bit / byte-for-byte), which
+// is the determinism contract of DESIGN.md §3.10 made executable. `--check`
+// additionally gates the speedups (>= kMinSpeedup on >= kMinKernelsFast of
+// the four kernels).
+//
+// Section 2 — thread scaling: run the kernels serially and on the shared
+// xl::ThreadPool at 2 and 4 workers and report speedups; outputs are
+// bit-identical across thread counts by construction, asserted on every run.
+// This grounds cluster::KernelCosts::thread_efficiency.
+//
+// Flags:
+//   --quick   smaller field, fewer repeats (CI smoke)
+//   --json F  write the report as JSON to file F
+//   --check   exit non-zero unless the row-path speedup gates pass
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <cstdlib>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "amr/advection_diffusion.hpp"
 #include "analysis/compress.hpp"
 #include "analysis/downsample.hpp"
 #include "analysis/entropy.hpp"
+#include "common/simd.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "viz/marching_cubes.hpp"
@@ -31,10 +50,16 @@ constexpr int kN = 128;       // field edge: large enough for threading to win
 constexpr int kRepeats = 5;   // keep the min — least-noise estimate
 
 // --quick (CI smoke): smaller field, fewer repeats. Timings get noisier but
-// the bit-identity assertion is just as strict.
+// the bit-identity assertions are just as strict.
 constexpr int kQuickN = 64;
 constexpr int kQuickRepeats = 2;
 int g_repeats = kRepeats;
+
+// --check gates: the flat-row path must beat the seed per-cell path by at
+// least kMinSpeedup on at least kMinKernelsFast of the four kernels,
+// single-threaded. (Bit-identity is asserted unconditionally.)
+constexpr double kMinSpeedup = 2.0;
+constexpr int kMinKernelsFast = 3;
 
 mesh::Fab sample_field(int n) {
   mesh::Fab fab(mesh::Box::domain({n, n, n}), 1);
@@ -62,6 +87,177 @@ double min_seconds(const std::function<void()>& body) {
   return best;
 }
 
+double checksum(std::span<const double> data) {
+  double sum = 0.0;
+  for (double v : data) sum += v;
+  return sum;
+}
+
+// --- seed per-cell reference replicas ----------------------------------------
+// Frozen copies of the pre-row-traversal kernels: every cell access funnels
+// through the bounds-checked fab(p, c) operator and compression packs the
+// stream one bit at a time. They are the baseline the speedup table measures
+// against AND the oracle the library output is compared to.
+
+double seed_block_entropy(const mesh::Fab& fab, const mesh::Box& region,
+                          const analysis::EntropyConfig& config = {}) {
+  const mesh::Box scan = fab.box() & region;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (mesh::BoxIterator it(scan); it.ok(); ++it) {
+    const double v = fab(*it, config.comp);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) return 0.0;
+  const auto bins = static_cast<std::size_t>(config.bins);
+  const double scale = static_cast<double>(config.bins) / (hi - lo);
+  const double last_bin = static_cast<double>(config.bins - 1);
+  std::vector<std::size_t> counts(bins, 0);
+  std::size_t total = 0;
+  for (mesh::BoxIterator it(scan); it.ok(); ++it) {
+    const double idx = (fab(*it, config.comp) - lo) * scale;
+    if (std::isnan(idx)) continue;
+    // xl-lint: allow(float-cast): NaN dropped and range clamped above.
+    ++counts[static_cast<std::size_t>(std::clamp(idx, 0.0, last_bin))];
+    ++total;
+  }
+  if (total == 0) return 0.0;
+  double entropy = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (counts[b] == 0) continue;
+    const double p = static_cast<double>(counts[b]) / static_cast<double>(total);
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+mesh::Fab seed_downsample_average(const mesh::Fab& src, int factor) {
+  const mesh::IntVect rvec = mesh::IntVect::uniform(factor);
+  mesh::Fab out(src.box().coarsen(rvec), src.ncomp());
+  const double inv_vol = 1.0 / static_cast<double>(factor) / factor / factor;
+  const std::size_t full = static_cast<std::size_t>(factor) * factor * factor;
+  for (int c = 0; c < src.ncomp(); ++c) {
+    for (mesh::BoxIterator it(out.box()); it.ok(); ++it) {
+      const mesh::IntVect base = (*it).refine(rvec);
+      const mesh::Box children =
+          mesh::Box(base, base + (factor - 1)) & src.box();
+      double sum = 0.0;
+      for (mesh::BoxIterator fit(children); fit.ok(); ++fit) sum += src(*fit, c);
+      out(*it, c) = static_cast<std::size_t>(children.num_cells()) == full
+                        ? sum * inv_vol
+                        : sum / static_cast<double>(children.num_cells());
+    }
+  }
+  return out;
+}
+
+void seed_linear_fit(const double* v, std::size_t n, double& a, double& b) {
+  if (n == 1) {
+    a = v[0];
+    b = 0.0;
+    return;
+  }
+  double sum_v = 0.0, sum_iv = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_v += v[i];
+    sum_iv += static_cast<double>(i) * v[i];
+  }
+  const double nn = static_cast<double>(n);
+  const double sum_i = nn * (nn - 1.0) / 2.0;
+  const double sum_ii = (nn - 1.0) * nn * (2.0 * nn - 1.0) / 6.0;
+  const double denom = nn * sum_ii - sum_i * sum_i;
+  b = denom != 0.0 ? (nn * sum_iv - sum_i * sum_v) / denom : 0.0;
+  a = (sum_v - b * sum_i) / nn;
+}
+
+/// Seed encoder: scalar quantize straight off the residual expression, then
+/// set the packed stream one bit at a time.
+std::vector<std::uint8_t> seed_compress_payload(
+    const mesh::Fab& fab, const analysis::CompressConfig& config) {
+  const std::span<const double> data = fab.flat();
+  const auto levels = (1u << config.residual_bits) - 1u;
+  const auto block = static_cast<std::size_t>(config.block);
+  const int bits = config.residual_bits;
+  const std::size_t header = 4 * sizeof(double);
+  const auto payload_bytes = [&](std::size_t n) {
+    return (n * static_cast<std::size_t>(bits) + 7) / 8;
+  };
+  const std::size_t nblocks = (data.size() + block - 1) / block;
+  const std::size_t full_bytes = header + payload_bytes(block);
+  const std::size_t tail_n = data.size() - (nblocks - 1) * block;
+  std::vector<std::uint8_t> payload(
+      (nblocks - 1) * full_bytes + header + payload_bytes(tail_n), 0);
+  std::vector<std::uint32_t> q(block);
+  for (std::size_t bi = 0; bi < nblocks; ++bi) {
+    const std::size_t n = bi + 1 == nblocks ? tail_n : block;
+    const double* v = data.data() + bi * block;
+    std::uint8_t* dst = payload.data() + bi * full_bytes;
+    double a, b;
+    seed_linear_fit(v, n, a, b);
+    double rmin = 0.0, rmax = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = v[i] - (a + b * static_cast<double>(i));
+      rmin = i == 0 ? r : std::min(rmin, r);
+      rmax = i == 0 ? r : std::max(rmax, r);
+    }
+    const double step = rmax > rmin ? (rmax - rmin) / levels : 0.0;
+    std::memcpy(dst + 0 * sizeof(double), &a, sizeof(double));
+    std::memcpy(dst + 1 * sizeof(double), &b, sizeof(double));
+    std::memcpy(dst + 2 * sizeof(double), &rmin, sizeof(double));
+    std::memcpy(dst + 3 * sizeof(double), &step, sizeof(double));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (step > 0.0) {
+        const double r = v[i] - (a + b * static_cast<double>(i));
+        // xl-lint: allow(float-cast): lround of a value in [0, levels].
+        q[i] = static_cast<std::uint32_t>(std::lround((r - rmin) / step));
+        if (q[i] > levels) q[i] = levels;
+      } else {
+        q[i] = 0;
+      }
+    }
+    std::uint8_t* packed = dst + header;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int bit = 0; bit < bits; ++bit) {
+        if ((q[i] >> bit) & 1u) {
+          const std::size_t bitpos =
+              i * static_cast<std::size_t>(bits) + static_cast<std::size_t>(bit);
+          packed[bitpos >> 3] |=
+              static_cast<std::uint8_t>(1u << (bitpos & 7));
+        }
+      }
+    }
+  }
+  return payload;
+}
+
+void seed_face_flux(const mesh::Fab& u, const mesh::Box& faces, int dim,
+                    double vel, double d_over_dx, mesh::Fab& flux) {
+  for (mesh::BoxIterator it(faces); it.ok(); ++it) {
+    mesh::IntVect lo = *it;
+    lo[dim] -= 1;
+    const double ul = u(lo, 0);
+    const double ur = u(*it, 0);
+    const double advective = vel * (vel >= 0.0 ? ul : ur);
+    const double diffusive = -d_over_dx * (ur - ul);
+    flux(*it, 0) = advective + diffusive;
+  }
+}
+
+// --- report plumbing ---------------------------------------------------------
+
+struct SpeedupRow {
+  std::string name;
+  std::size_t cells = 0;
+  double seed_s = 0.0;
+  double fast_s = 0.0;
+  bool identical = false;
+  double speedup() const { return fast_s > 0.0 ? seed_s / fast_s : 0.0; }
+  double fast_cells_per_s() const {
+    return fast_s > 0.0 ? static_cast<double>(cells) / fast_s : 0.0;
+  }
+};
+
 struct Kernel {
   std::string name;
   /// Runs the kernel and returns a digest of its output (summed bytes,
@@ -69,29 +265,124 @@ struct Kernel {
   std::function<double()> run;
 };
 
-double checksum(std::span<const double> data) {
-  double sum = 0.0;
-  for (double v : data) sum += v;
-  return sum;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool check = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") {
+    if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_kernel_scaling [--quick]\n";
+      std::cerr << "usage: bench_kernel_scaling [--quick] [--check] [--json FILE]\n";
       return 2;
     }
   }
   g_repeats = quick ? kQuickRepeats : kRepeats;
-  const mesh::Fab field = sample_field(quick ? kQuickN : kN);
+  const int n = quick ? kQuickN : kN;
+  const mesh::Fab field = sample_field(n);
   const mesh::Box cells(field.box().lo(), field.box().hi() - 1);
   analysis::CompressConfig ccfg;
 
+  // ---- Section 1: seed per-cell path vs flat-row path, single thread ----
+  ThreadPool::set_global_workers(0);
+  std::vector<SpeedupRow> speedups;
+
+  {
+    SpeedupRow r;
+    r.name = "block entropy";
+    r.cells = static_cast<std::size_t>(field.box().num_cells());
+    const double seed_out = seed_block_entropy(field, field.box());
+    const double fast_out = analysis::block_entropy(field, field.box());
+    r.identical = seed_out == fast_out;
+    r.seed_s = min_seconds([&] { seed_block_entropy(field, field.box()); });
+    r.fast_s = min_seconds([&] { analysis::block_entropy(field, field.box()); });
+    speedups.push_back(r);
+  }
+  {
+    SpeedupRow r;
+    r.name = "downsample (average)";
+    r.cells = static_cast<std::size_t>(field.box().num_cells());
+    const mesh::Fab seed_out = seed_downsample_average(field, 2);
+    const mesh::Fab fast_out =
+        analysis::downsample(field, 2, analysis::DownsampleMethod::Average);
+    const std::span<const double> a = seed_out.flat(), b = fast_out.flat();
+    r.identical = a.size() == b.size() &&
+                  std::memcmp(a.data(), b.data(), a.size_bytes()) == 0;
+    r.seed_s = min_seconds([&] { seed_downsample_average(field, 2); });
+    r.fast_s = min_seconds([&] {
+      analysis::downsample(field, 2, analysis::DownsampleMethod::Average);
+    });
+    speedups.push_back(r);
+  }
+  {
+    SpeedupRow r;
+    r.name = "compress (encode)";
+    r.cells = static_cast<std::size_t>(field.box().num_cells());
+    const std::vector<std::uint8_t> seed_out = seed_compress_payload(field, ccfg);
+    const analysis::CompressedField fast_out = analysis::compress(field, ccfg);
+    r.identical = seed_out.size() == fast_out.payload.size() &&
+                  std::memcmp(seed_out.data(), fast_out.payload.data(),
+                              seed_out.size()) == 0;
+    r.seed_s = min_seconds([&] { seed_compress_payload(field, ccfg); });
+    r.fast_s = min_seconds([&] { analysis::compress(field, ccfg); });
+    speedups.push_back(r);
+  }
+  {
+    SpeedupRow r;
+    r.name = "face flux (dim 0)";
+    const amr::AdvectionDiffusionConfig pcfg;
+    const amr::AdvectionDiffusion physics(pcfg);
+    const double dx = 1.0 / n;
+    // Faces whose left neighbour still lies inside the field.
+    const mesh::Box faces(field.box().lo() + mesh::IntVect{1, 0, 0},
+                          field.box().hi());
+    r.cells = static_cast<std::size_t>(faces.num_cells());
+    mesh::Fab seed_out(faces, 1), fast_out(faces, 1);
+    seed_face_flux(field, faces, 0, pcfg.velocity[0], pcfg.diffusivity / dx,
+                   seed_out);
+    physics.face_flux(field, faces, 0, dx, fast_out);
+    const std::span<const double> a = seed_out.flat(), b = fast_out.flat();
+    r.identical = std::memcmp(a.data(), b.data(), a.size_bytes()) == 0;
+    r.seed_s = min_seconds([&] {
+      seed_face_flux(field, faces, 0, pcfg.velocity[0], pcfg.diffusivity / dx,
+                     seed_out);
+    });
+    r.fast_s = min_seconds([&] { physics.face_flux(field, faces, 0, dx, fast_out); });
+    speedups.push_back(r);
+  }
+
+  std::cout << "row/SIMD path vs seed per-cell path (single thread, "
+            << (simd::active() ? "XLAYER_SIMD active" : "scalar pack lanes")
+            << "):\n";
+  Table st({"kernel", "seed (ms)", "rows (ms)", "speedup", "rows Mcells/s",
+            "bit-identical"});
+  bool all_identical = true;
+  int fast_enough = 0;
+  for (const SpeedupRow& r : speedups) {
+    all_identical = all_identical && r.identical;
+    if (r.speedup() >= kMinSpeedup) ++fast_enough;
+    st.row()
+        .cell(r.name)
+        .cell(r.seed_s * 1e3, 2)
+        .cell(r.fast_s * 1e3, 2)
+        .cell(r.speedup(), 2)
+        .cell(r.fast_cells_per_s() / 1e6, 1)
+        .cell(r.identical ? "yes" : "NO");
+  }
+  std::cout << st.to_string();
+  if (!all_identical) {
+    std::cerr << "FAIL: row-path kernel output differs from the seed "
+                 "per-cell reference\n";
+    return 1;
+  }
+
+  // ---- Section 2: thread scaling, bit-identity across worker counts ----
   const std::vector<Kernel> kernels = {
       {"marching cubes",
        [&] {
@@ -116,6 +407,7 @@ int main(int argc, char** argv) {
            "speedup @2", "speedup @4"});
   bool mismatch = false;
   double best_speedup4 = 0.0;
+  std::vector<std::vector<double>> thread_seconds;
   for (const Kernel& k : kernels) {
     std::vector<double> seconds;
     std::vector<double> digests;
@@ -139,8 +431,9 @@ int main(int argc, char** argv) {
         .cell(seconds[2] * 1e3, 2)
         .cell(s2, 2)
         .cell(s4, 2);
+    thread_seconds.push_back(seconds);
   }
-  std::cout << t.to_string();
+  std::cout << "\n" << t.to_string();
   if (mismatch) {
     std::cerr << "FAIL: kernel output changed with thread count\n";
     return 1;
@@ -157,6 +450,45 @@ int main(int argc, char** argv) {
                  "speedups reflect oversubscription, not the kernels' "
                  "scaling; rerun on a multi-core host to calibrate "
                  "thread_efficiency\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"quick\": " << (quick ? "true" : "false")
+        << ",\n  \"n\": " << n
+        << ",\n  \"simd_active\": " << (simd::active() ? "true" : "false")
+        << ",\n  \"row_speedup\": [\n";
+    for (std::size_t i = 0; i < speedups.size(); ++i) {
+      const SpeedupRow& r = speedups[i];
+      out << "    {\"kernel\": \"" << r.name << "\", \"cells\": " << r.cells
+          << ", \"seed_ms\": " << r.seed_s * 1e3
+          << ", \"rows_ms\": " << r.fast_s * 1e3
+          << ", \"speedup\": " << r.speedup()
+          << ", \"rows_cells_per_s\": " << r.fast_cells_per_s()
+          << ", \"bit_identical\": " << (r.identical ? "true" : "false")
+          << "}" << (i + 1 < speedups.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"thread_scaling\": [\n";
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      out << "    {\"kernel\": \"" << kernels[i].name
+          << "\", \"serial_ms\": " << thread_seconds[i][0] * 1e3
+          << ", \"t2_ms\": " << thread_seconds[i][1] * 1e3
+          << ", \"t4_ms\": " << thread_seconds[i][2] * 1e3 << "}"
+          << (i + 1 < kernels.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+  if (check) {
+    if (fast_enough < kMinKernelsFast) {
+      std::cerr << "check FAILED: only " << fast_enough << " of "
+                << speedups.size() << " kernels reached the " << kMinSpeedup
+                << "x row-path speedup (need >= " << kMinKernelsFast << ")\n";
+      return 1;
+    }
+    std::printf("check: OK (%d/%zu kernels >= %.1fx over the seed per-cell "
+                "path, outputs bit-identical)\n",
+                fast_enough, speedups.size(), kMinSpeedup);
   }
   return 0;
 }

@@ -1,9 +1,18 @@
 #include "amr/interp.hpp"
 
+#include <vector>
+
 namespace xl::amr {
 
 using mesh::BoxIterator;
 using mesh::Fab;
+
+namespace {
+
+/// Floor division matching IntVect::coarsen on negative coordinates.
+int floor_div(int a, int b) { return (a >= 0) ? a / b : -((-a + b - 1) / b); }
+
+}  // namespace
 
 void prolong_constant(const AmrLevel& coarse, AmrLevel& fine, int ratio) {
   const IntVect rvec = IntVect::uniform(ratio);
@@ -16,10 +25,21 @@ void prolong_constant(const AmrLevel& coarse, AmrLevel& fine, int ratio) {
       if (coverlap.empty()) continue;
       const Fab& cfab = coarse.data[ci];
       const Box ftarget = coverlap.refine(rvec) & fvalid;
+      // Each fine row reads one coarse row (the one at j/ratio, k/ratio);
+      // only the x gather index changes per cell.
+      const int fx0 = ftarget.lo()[0];
+      const int cx0 = cfab.box().lo()[0];
+      const auto nx = static_cast<std::size_t>(ftarget.size()[0]);
+      const auto fxoff = static_cast<std::size_t>(fx0 - ffab.box().lo()[0]);
       for (int c = 0; c < ffab.ncomp(); ++c) {
-        for (BoxIterator it(ftarget); it.ok(); ++it) {
-          ffab(*it, c) = cfab((*it).coarsen(rvec), c);
-        }
+        mesh::for_each_row(ftarget, [&](int j, int k) {
+          double* fr = ffab.row(c, j, k) + fxoff;
+          const double* cr =
+              cfab.row(c, floor_div(j, ratio), floor_div(k, ratio));
+          for (std::size_t i = 0; i < nx; ++i) {
+            fr[i] = cr[floor_div(fx0 + static_cast<int>(i), ratio) - cx0];
+          }
+        });
       }
     }
   }
@@ -35,13 +55,38 @@ void restrict_average(const AmrLevel& fine, AmrLevel& coarse, int ratio) {
       const Box covered = fine.layout.box(fi).coarsen(rvec) & cvalid;
       if (covered.empty()) continue;
       const Fab& ffab = fine.data[fi];
+      // All ratio^2 child rows of a coarse row are hoisted once; the per-cell
+      // sum walks them dz -> dy -> dx, the exact BoxIterator child order, so
+      // the accumulation is bit-identical to the seed per-cell loop.
+      const int cx0 = covered.lo()[0];
+      const auto ncx = static_cast<std::size_t>(covered.size()[0]);
+      const auto cxoff = static_cast<std::size_t>(cx0 - cfab.box().lo()[0]);
+      const int ffx0 = ffab.box().lo()[0];
+      std::vector<const double*> frows(
+          static_cast<std::size_t>(ratio) * static_cast<std::size_t>(ratio));
       for (int c = 0; c < cfab.ncomp(); ++c) {
-        for (BoxIterator it(covered); it.ok(); ++it) {
-          const Box children((*it).refine(rvec), (*it).refine(rvec) + (ratio - 1));
-          double sum = 0.0;
-          for (BoxIterator fit(children); fit.ok(); ++fit) sum += ffab(*fit, c);
-          cfab(*it, c) = sum * inv_vol;
-        }
+        mesh::for_each_row(covered, [&](int j, int k) {
+          for (int dz = 0; dz < ratio; ++dz) {
+            for (int dy = 0; dy < ratio; ++dy) {
+              frows[static_cast<std::size_t>(dz * ratio + dy)] =
+                  ffab.row(c, j * ratio + dy, k * ratio + dz);
+            }
+          }
+          double* cr = cfab.row(c, j, k) + cxoff;
+          for (std::size_t i = 0; i < ncx; ++i) {
+            const int fx = (cx0 + static_cast<int>(i)) * ratio;
+            double sum = 0.0;
+            for (int dz = 0; dz < ratio; ++dz) {
+              for (int dy = 0; dy < ratio; ++dy) {
+                const double* fr =
+                    frows[static_cast<std::size_t>(dz * ratio + dy)] +
+                    (fx - ffx0);
+                for (int dx = 0; dx < ratio; ++dx) sum += fr[dx];
+              }
+            }
+            cr[i] = sum * inv_vol;
+          }
+        });
       }
     }
   }

@@ -64,7 +64,7 @@ void write_plotfile(std::ostream& os, const AmrHierarchy& hierarchy, int step,
   // One pack buffer reused across every box of every level: it grows to the
   // largest box once and recycles through the pool afterwards, instead of a
   // fresh vector per box.
-  std::vector<double> payload;
+  PoolVec<double> payload;
   for (std::size_t l = 0; l < hierarchy.num_levels(); ++l) {
     const AmrLevel& level = hierarchy.level(l);
     write_box(os, level.domain);
@@ -107,7 +107,7 @@ PlotFileData read_plotfile(std::istream& is) {
   XL_REQUIRE(num_levels >= 1 && num_levels < 64, "implausible level count");
 
   // Mirror of the writer: one read buffer reused across all boxes.
-  std::vector<double> payload;
+  PoolVec<double> payload;
   for (std::uint32_t l = 0; l < num_levels; ++l) {
     PlotLevel level;
     level.domain = read_box(is);

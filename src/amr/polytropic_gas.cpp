@@ -7,8 +7,6 @@
 
 namespace xl::amr {
 
-using mesh::BoxIterator;
-
 namespace {
 
 /// Minmod slope limiter.
@@ -74,14 +72,20 @@ void PolytropicGas::physical_flux(const double* cons, int dim, double* out) cons
 double PolytropicGas::max_wave_speed(const Fab& u, const Box& valid, double /*dx*/) const {
   double speed = 0.0;
   double cons[kNcomp];
-  for (BoxIterator it(valid); it.ok(); ++it) {
-    for (int c = 0; c < kNcomp; ++c) cons[c] = u(*it, c);
-    const double rho = std::max(cons[kRho], 1e-12);
-    const double cs = sound_speed(cons);
-    for (int d = 0; d < mesh::kDim; ++d) {
-      speed = std::max(speed, std::fabs(cons[kMomX + d] / rho) + cs);
+  const auto nx = static_cast<std::size_t>(valid.size()[0]);
+  const auto xoff = static_cast<std::size_t>(valid.lo()[0] - u.box().lo()[0]);
+  mesh::for_each_row(valid, [&](int j, int k) {
+    const double* rows[kNcomp];
+    for (int c = 0; c < kNcomp; ++c) rows[c] = u.row(c, j, k) + xoff;
+    for (std::size_t i = 0; i < nx; ++i) {
+      for (int c = 0; c < kNcomp; ++c) cons[c] = rows[c][i];
+      const double rho = std::max(cons[kRho], 1e-12);
+      const double cs = sound_speed(cons);
+      for (int d = 0; d < mesh::kDim; ++d) {
+        speed = std::max(speed, std::fabs(cons[kMomX + d] / rho) + cs);
+      }
     }
-  }
+  });
   return speed;
 }
 
@@ -89,39 +93,63 @@ void PolytropicGas::face_flux(const Fab& u, const Box& faces, int dim, double /*
                               Fab& flux) const {
   XL_REQUIRE(flux.box().contains(faces), "flux fab does not cover faces");
   double left[kNcomp], right[kNcomp], fl[kNcomp], fr[kNcomp];
-  for (BoxIterator it(faces); it.ok(); ++it) {
-    // Face between cells lo = p - e_dim and hi = p.
-    IntVect lo = *it;
-    lo[dim] -= 1;
-    IntVect lolo = lo;
-    lolo[dim] -= 1;
-    IntVect hihi = *it;
-    hihi[dim] += 1;
-
-    // Limited linear reconstruction of the conserved state on both sides.
+  // The four-point stencil along `dim` is four flat rows per component: for
+  // dim 0 they are the same row shifted, otherwise rows at j/k offsets. The
+  // per-face Rusanov math itself stays scalar — it is branchy (minmod,
+  // clamps) and feeds golden byte-compared output; the win here is replacing
+  // twenty bounds-checked Fab index computations per face with row cursors.
+  const auto nx = static_cast<std::size_t>(faces.size()[0]);
+  const auto uxoff = static_cast<std::size_t>(faces.lo()[0] - u.box().lo()[0]);
+  const auto fxoff = static_cast<std::size_t>(faces.lo()[0] - flux.box().lo()[0]);
+  mesh::for_each_row(faces, [&](int j, int k) {
+    const double* rll[kNcomp];
+    const double* rl[kNcomp];
+    const double* rr[kNcomp];
+    const double* rrr[kNcomp];
+    double* rf[kNcomp];
     for (int c = 0; c < kNcomp; ++c) {
-      const double ull = u(lolo, c);
-      const double ul = u(lo, c);
-      const double ur = u(*it, c);
-      const double urr = u(hihi, c);
-      const double slope_l = minmod(ul - ull, ur - ul);
-      const double slope_r = minmod(ur - ul, urr - ur);
-      left[c] = ul + 0.5 * slope_l;
-      right[c] = ur - 0.5 * slope_r;
+      rr[c] = u.row(c, j, k) + uxoff;
+      if (dim == 0) {
+        rl[c] = rr[c] - 1;
+        rll[c] = rr[c] - 2;
+        rrr[c] = rr[c] + 1;
+      } else if (dim == 1) {
+        rl[c] = u.row(c, j - 1, k) + uxoff;
+        rll[c] = u.row(c, j - 2, k) + uxoff;
+        rrr[c] = u.row(c, j + 1, k) + uxoff;
+      } else {
+        rl[c] = u.row(c, j, k - 1) + uxoff;
+        rll[c] = u.row(c, j, k - 2) + uxoff;
+        rrr[c] = u.row(c, j, k + 1) + uxoff;
+      }
+      rf[c] = flux.row(c, j, k) + fxoff;
     }
+    for (std::size_t i = 0; i < nx; ++i) {
+      // Limited linear reconstruction of the conserved state on both sides.
+      for (int c = 0; c < kNcomp; ++c) {
+        const double ull = rll[c][i];
+        const double ul = rl[c][i];
+        const double ur = rr[c][i];
+        const double urr = rrr[c][i];
+        const double slope_l = minmod(ul - ull, ur - ul);
+        const double slope_r = minmod(ur - ul, urr - ur);
+        left[c] = ul + 0.5 * slope_l;
+        right[c] = ur - 0.5 * slope_r;
+      }
 
-    // Rusanov flux: 0.5 (F(L)+F(R)) - 0.5 smax (R - L).
-    physical_flux(left, dim, fl);
-    physical_flux(right, dim, fr);
-    const double rho_l = std::max(left[kRho], 1e-12);
-    const double rho_r = std::max(right[kRho], 1e-12);
-    const double smax =
-        std::max(std::fabs(left[kMomX + dim] / rho_l) + sound_speed(left),
-                 std::fabs(right[kMomX + dim] / rho_r) + sound_speed(right));
-    for (int c = 0; c < kNcomp; ++c) {
-      flux(*it, c) = 0.5 * (fl[c] + fr[c]) - 0.5 * smax * (right[c] - left[c]);
+      // Rusanov flux: 0.5 (F(L)+F(R)) - 0.5 smax (R - L).
+      physical_flux(left, dim, fl);
+      physical_flux(right, dim, fr);
+      const double rho_l = std::max(left[kRho], 1e-12);
+      const double rho_r = std::max(right[kRho], 1e-12);
+      const double smax =
+          std::max(std::fabs(left[kMomX + dim] / rho_l) + sound_speed(left),
+                   std::fabs(right[kMomX + dim] / rho_r) + sound_speed(right));
+      for (int c = 0; c < kNcomp; ++c) {
+        rf[c][i] = 0.5 * (fl[c] + fr[c]) - 0.5 * smax * (right[c] - left[c]);
+      }
     }
-  }
+  });
 }
 
 }  // namespace xl::amr

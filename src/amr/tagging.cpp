@@ -25,22 +25,37 @@ std::vector<IntVect> tag_cells(const AmrLevel& level, const TagCriterion& criter
     parallel_for_chunks(pool, 0, nz,
                         [&](std::size_t c, std::size_t zb, std::size_t ze) {
       std::vector<IntVect>& out = parts[c];
-      for (BoxIterator it(mesh::z_slab(valid, zb, ze)); it.ok(); ++it) {
-        const IntVect& p = *it;
-        const double center = fab(p, criterion.comp);
-        double grad = 0.0;
-        for (int d = 0; d < mesh::kDim; ++d) {
-          IntVect lo = p, hi = p;
-          lo[d] -= 1;
-          hi[d] += 1;
-          // Fab includes ghosts, so neighbours are always readable.
-          const double diff = 0.5 * (fab(hi, criterion.comp) - fab(lo, criterion.comp));
+      const Box slab = mesh::z_slab(valid, zb, ze);
+      const int x0 = slab.lo()[0];
+      const auto nx = static_cast<std::size_t>(slab.size()[0]);
+      const auto xoff = static_cast<std::size_t>(x0 - fab.box().lo()[0]);
+      // The six-point gradient stencil is five flat rows: the x neighbours are
+      // the centre row shifted one cell, the y/z neighbours the rows at j±1 /
+      // k±1. Fab includes ghosts, so all five are readable; the predicate and
+      // push_back stay scalar (the gradient math runs in the seed's d=0,1,2
+      // order) so the tag list is byte-identical.
+      mesh::for_each_row(slab, [&](int j, int k) {
+        const double* rc = fab.row(criterion.comp, j, k) + xoff;
+        const double* ry_lo = fab.row(criterion.comp, j - 1, k) + xoff;
+        const double* ry_hi = fab.row(criterion.comp, j + 1, k) + xoff;
+        const double* rz_lo = fab.row(criterion.comp, j, k - 1) + xoff;
+        const double* rz_hi = fab.row(criterion.comp, j, k + 1) + xoff;
+        for (std::size_t i = 0; i < nx; ++i) {
+          const double center = rc[i];
+          double grad = 0.0;
+          double diff = 0.5 * (rc[i + 1] - rc[i - 1]);
           grad += diff * diff;
+          diff = 0.5 * (ry_hi[i] - ry_lo[i]);
+          grad += diff * diff;
+          diff = 0.5 * (rz_hi[i] - rz_lo[i]);
+          grad += diff * diff;
+          grad = std::sqrt(grad);
+          const double scale = std::max(std::fabs(center), criterion.abs_floor);
+          if (grad / scale > criterion.rel_threshold) {
+            out.push_back(IntVect{x0 + static_cast<int>(i), j, k});
+          }
         }
-        grad = std::sqrt(grad);
-        const double scale = std::max(std::fabs(center), criterion.abs_floor);
-        if (grad / scale > criterion.rel_threshold) out.push_back(p);
-      }
+      });
     });
     for (std::vector<IntVect>& part : parts) {
       tags.insert(tags.end(), part.begin(), part.end());

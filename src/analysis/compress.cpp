@@ -7,6 +7,7 @@
 
 #include "common/buffer_pool.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 
 namespace xl::analysis {
@@ -51,10 +52,17 @@ void linear_fit(const double* v, std::size_t n, double& a, double& b) {
 }
 
 /// Encode one block of `n` values into `dst` (header + zeroed packed bits).
+/// `q` and `t` are caller-owned scratch of at least `n` slots.
 void encode_block(const double* v, std::size_t n, int bits, std::uint32_t levels,
-                  std::vector<std::uint32_t>& q, std::uint8_t* dst) {
+                  PoolVec<std::uint32_t>& q, PoolVec<double>& t,
+                  std::uint8_t* dst) {
+  using simd::dpack;
   double a, b;
   linear_fit(v, n, a, b);
+  // The residual range is a sequential scalar scan BY CONTRACT: rmin and
+  // step are stored in the stream header and byte-compared by the golden
+  // tests, and a lane-parallel min could legally resolve a ±0.0 tie to the
+  // other sign bit. (The entropy scan has no such byte-visible artifact.)
   double rmin = 0.0, rmax = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const double r = v[i] - (a + b * static_cast<double>(i));
@@ -66,25 +74,55 @@ void encode_block(const double* v, std::size_t n, int bits, std::uint32_t levels
   store_double(dst + 1 * sizeof(double), b);
   store_double(dst + 2 * sizeof(double), rmin);
   store_double(dst + 3 * sizeof(double), step);
-  // Quantize then bit-pack.
+  // Stage the scaled residuals (v - (a + b*i) - rmin) / step elementwise:
+  // lane-per-value SIMD, every lane running the scalar operation sequence,
+  // so t[i] is bit-identical to the scalar expression.
+  if (step > 0.0) {
+    std::size_t i = 0;
+    const dpack va = dpack::broadcast(a);
+    const dpack vb = dpack::broadcast(b);
+    const dpack vrmin = dpack::broadcast(rmin);
+    const dpack vstep = dpack::broadcast(step);
+    for (; i + dpack::lanes <= n; i += dpack::lanes) {
+      const dpack idx = dpack::broadcast(static_cast<double>(i)) + dpack::iota();
+      const dpack r = dpack::load(v + i) - (va + vb * idx);
+      const dpack scaled = (r - vrmin) / vstep;
+      scaled.store(t.data() + i);
+    }
+    for (; i < n; ++i) {
+      const double r = v[i] - (a + b * static_cast<double>(i));
+      t[i] = (r - rmin) / step;
+    }
+  }
+  // Quantize: lround's half-away-from-zero rounding has no exact vector
+  // equivalent (floor(x + 0.5) differs one ulp below .5 boundaries), so the
+  // cast stays scalar on the staged values.
   for (std::size_t i = 0; i < n; ++i) {
-    const double r = v[i] - (a + b * static_cast<double>(i));
     q[i] = step > 0.0
                // xl-lint: allow(float-cast): lround of a value in [0, levels] by
                // construction; the clamp below catches rounding spill.
-               ? static_cast<std::uint32_t>(std::lround((r - rmin) / step))
+               ? static_cast<std::uint32_t>(std::lround(t[i]))
                : 0u;
     if (q[i] > levels) q[i] = levels;
   }
+  // Bit-pack word-wise: append each value LSB-first into a 64-bit
+  // accumulator and flush whole bytes — the same little-endian-in-byte bit
+  // order as the seed per-bit loop (bit `bit` of value i lands at stream bit
+  // i*bits + bit), at ~one store per 8 bits instead of one test per bit.
+  // bits <= 16 and we flush below 8 pending bits, so acc never overflows.
   std::uint8_t* packed = dst + kBlockHeaderBytes;
-  std::size_t bitpos = 0;
+  std::uint64_t acc = 0;
+  unsigned pending = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    for (int bit = 0; bit < bits; ++bit, ++bitpos) {
-      if (q[i] & (1u << bit)) {
-        packed[bitpos / 8] |= static_cast<std::uint8_t>(1u << (bitpos % 8));
-      }
+    acc |= static_cast<std::uint64_t>(q[i]) << pending;
+    pending += static_cast<unsigned>(bits);
+    while (pending >= 8) {
+      *packed++ = static_cast<std::uint8_t>(acc);
+      acc >>= 8;
+      pending -= 8;
     }
   }
+  if (pending > 0) *packed = static_cast<std::uint8_t>(acc);
 }
 
 void validate(const CompressConfig& config) {
@@ -120,13 +158,14 @@ CompressedField compress(const mesh::Fab& fab, const CompressConfig& config) {
                [&](std::size_t blo, std::size_t bhi) {
     // Quantizer scratch recycles through the pool: one acquire per task-group
     // chunk, reused across every block the chunk encodes, released on exit.
-    // encode_block fully writes q[0..n) before packing, so recycled contents
-    // never leak into the stream.
+    // encode_block fully writes q[0..n) / t[0..n) before reading, so recycled
+    // contents never leak into the stream.
     Scratch<std::uint32_t> q(block);
+    Scratch<double> t(block);
     for (std::size_t b = blo; b < bhi; ++b) {
       const std::size_t n = b + 1 == nblocks ? tail_n : block;
       encode_block(data.data() + b * block, n, config.residual_bits, levels,
-                   q.vec(), out.payload.data() + b * full_bytes);
+                   q.vec(), t.vec(), out.payload.data() + b * full_bytes);
     }
   });
   return out;
@@ -149,6 +188,9 @@ mesh::Fab decompress(const CompressedField& field) {
 
   parallel_for(ThreadPool::global(), 0, nblocks,
                [&](std::size_t blo, std::size_t bhi) {
+    using simd::dpack;
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    Scratch<std::uint32_t> q(block);
     for (std::size_t b = blo; b < bhi; ++b) {
       const std::size_t n = b + 1 == nblocks ? tail_n : block;
       const std::uint8_t* p = field.payload.data() + b * full_bytes;
@@ -157,13 +199,37 @@ mesh::Fab decompress(const CompressedField& field) {
       const double rmin = read_double(p);
       const double step = read_double(p);
       const std::size_t start = b * block;
-      std::size_t bitpos = 0;
+      // Unpack word-wise (mirror of encode_block's packer): bytes refill a
+      // 64-bit accumulator, each value is the next `bits` LSBs.
+      std::uint64_t acc = 0;
+      unsigned pending = 0;
       for (std::size_t i = 0; i < n; ++i) {
-        std::uint32_t q = 0;
-        for (int bit = 0; bit < bits; ++bit, ++bitpos) {
-          if (p[bitpos / 8] & (1u << (bitpos % 8))) q |= 1u << bit;
+        while (pending < static_cast<unsigned>(bits)) {
+          acc |= static_cast<std::uint64_t>(*p++) << pending;
+          pending += 8;
         }
-        data[start + i] = a + bb * static_cast<double>(i) + rmin + step * q;
+        q[i] = static_cast<std::uint32_t>(acc & mask);
+        acc >>= bits;
+        pending -= static_cast<unsigned>(bits);
+      }
+      // Reconstruct elementwise: ((a + bb*i) + rmin) + step*q per lane, the
+      // scalar operation sequence exactly (-ffp-contract=off, no FMA).
+      std::size_t i = 0;
+      const dpack va = dpack::broadcast(a);
+      const dpack vb = dpack::broadcast(bb);
+      const dpack vrmin = dpack::broadcast(rmin);
+      const dpack vstep = dpack::broadcast(step);
+      for (; i + dpack::lanes <= n; i += dpack::lanes) {
+        const dpack idx = dpack::broadcast(static_cast<double>(i)) + dpack::iota();
+        const dpack qd{{static_cast<double>(q[i]), static_cast<double>(q[i + 1]),
+                        static_cast<double>(q[i + 2]), static_cast<double>(q[i + 3])}};
+        dpack r = va + vb * idx;
+        r += vrmin;
+        r += vstep * qd;
+        r.store(data.data() + start + i);
+      }
+      for (; i < n; ++i) {
+        data[start + i] = a + bb * static_cast<double>(i) + rmin + step * q[i];
       }
     }
   });

@@ -1,9 +1,11 @@
 #include "analysis/downsample.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/contract.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 
 namespace xl::analysis {
@@ -12,6 +14,76 @@ using mesh::Box;
 using mesh::BoxIterator;
 using mesh::Fab;
 using mesh::IntVect;
+
+namespace {
+
+// Round-toward-minus-infinity division, matching IntVect::coarsen on
+// negative coordinates.
+int floor_div(int a, int b) { return a >= 0 ? a / b : -((-a + b - 1) / b); }
+int ceil_div(int a, int b) { return a >= 0 ? (a + b - 1) / b : -((-a) / b); }
+
+/// One coarse cell the seed way: sum the (possibly clipped) children in
+/// BoxIterator order, divide by their count. Used for every boundary cell so
+/// clipped cells are trivially byte-identical to the seed path.
+double average_cell_clipped(const Fab& src, const IntVect& coarse, int c,
+                            int factor, double inv_vol) {
+  const IntVect base = coarse.refine(IntVect::uniform(factor));
+  const Box children = Box(base, base + (factor - 1)) & src.box();
+  double sum = 0.0;
+  // xl-lint: allow(row-loop): boundary cells reuse the seed per-cell path BY
+  // CONTRACT — clipped children must accumulate in exact BoxIterator order so
+  // edge cells stay byte-identical; at most one cell per box face runs here.
+  for (BoxIterator fit(children); fit.ok(); ++fit) sum += src(*fit, c);
+  return children.num_cells() == factor * factor * factor
+             ? sum * inv_vol
+             : sum / static_cast<double>(children.num_cells());
+}
+
+/// Interior coarse cells [cx_lo, cx_hi] of one coarse row: every child lies
+/// inside src, so the sum runs dz -> dy -> dx — the exact BoxIterator order
+/// of the unclipped children box. Lane-per-output-cell SIMD for factor 2
+/// (even/odd deinterleave of the child row); flat scalar rows otherwise.
+void average_row_interior(const Fab& src, Fab& out, int c, int j, int k,
+                          int cx_lo, int cx_hi, int factor, double inv_vol) {
+  using simd::dpack;
+  double* orow = out.row(c, j, k);
+  const int out_x0 = out.box().lo()[0];
+  const int src_x0 = src.box().lo()[0];
+  int cx = cx_lo;
+  if (factor == 2) {
+    const dpack vinv = dpack::broadcast(inv_vol);
+    for (; cx + static_cast<int>(dpack::lanes) - 1 <= cx_hi;
+         cx += static_cast<int>(dpack::lanes)) {
+      dpack acc = dpack::broadcast(0.0);
+      for (int dz = 0; dz < 2; ++dz) {
+        for (int dy = 0; dy < 2; ++dy) {
+          const double* p =
+              src.row(c, 2 * j + dy, 2 * k + dz) + (2 * cx - src_x0);
+          dpack even, odd;
+          dpack::deinterleave2(dpack::load(p), dpack::load(p + dpack::lanes),
+                               even, odd);
+          acc += even;  // dx = 0 children, then dx = 1: BoxIterator order
+          acc += odd;
+        }
+      }
+      acc *= vinv;
+      acc.store(orow + (cx - out_x0));
+    }
+  }
+  for (; cx <= cx_hi; ++cx) {
+    double sum = 0.0;
+    for (int dz = 0; dz < factor; ++dz) {
+      for (int dy = 0; dy < factor; ++dy) {
+        const double* p = src.row(c, factor * j + dy, factor * k + dz) +
+                          (factor * cx - src_x0);
+        for (int dx = 0; dx < factor; ++dx) sum += p[dx];
+      }
+    }
+    orow[cx - out_x0] = sum * inv_vol;
+  }
+}
+
+}  // namespace
 
 Fab downsample(const Fab& src, int factor, DownsampleMethod method) {
   XL_REQUIRE(factor >= 1, "downsample factor must be >= 1");
@@ -24,6 +96,13 @@ Fab downsample(const Fab& src, int factor, DownsampleMethod method) {
   const Box coarse_box = src.box().coarsen(rvec);
   Fab out(coarse_box, src.ncomp());
   const double inv_vol = 1.0 / static_cast<double>(factor) / factor / factor;
+  const IntVect slo = src.box().lo(), shi = src.box().hi();
+  // Interior coarse x-range: cells whose children [cx*f, cx*f + f - 1] sit
+  // fully inside the source x-extent. Outside it (at most one cell per end)
+  // the children box is clipped and handled by the seed per-cell path.
+  const int cx_in_lo = std::max(coarse_box.lo()[0], ceil_div(slo[0], factor));
+  const int cx_in_hi =
+      std::min(coarse_box.hi()[0], floor_div(shi[0] - factor + 1, factor));
   // Every coarse cell is computed independently and written in place:
   // identical output for any slab partition / thread count.
   const auto nz = static_cast<std::size_t>(coarse_box.size()[2]);
@@ -31,27 +110,47 @@ Fab downsample(const Fab& src, int factor, DownsampleMethod method) {
                [&](std::size_t zb, std::size_t ze) {
     const Box slab = mesh::z_slab(coarse_box, zb, ze);
     for (int c = 0; c < src.ncomp(); ++c) {
-      for (BoxIterator it(slab); it.ok(); ++it) {
-        const IntVect base = (*it).refine(rvec);
-        switch (method) {
-          case DownsampleMethod::Stride: {
-            // Sample the first child cell that lies inside the source box (the
-            // coarsened box can overhang when sizes are not multiples of X).
-            const IntVect probe = base.max(src.box().lo()).min(src.box().hi());
-            out(*it, c) = src(probe, c);
-            break;
+      mesh::for_each_row(slab, [&](int j, int k) {
+        if (method == DownsampleMethod::Stride) {
+          // Sample the first child cell that lies inside the source box (the
+          // coarsened box can overhang when sizes are not multiples of f).
+          const int pj = std::clamp(factor * j, slo[1], shi[1]);
+          const int pk = std::clamp(factor * k, slo[2], shi[2]);
+          const double* prow = src.row(c, pj, pk);
+          double* orow = out.row(c, j, k);
+          for (int cx = coarse_box.lo()[0]; cx <= coarse_box.hi()[0]; ++cx) {
+            const int px = std::clamp(factor * cx, slo[0], shi[0]);
+            orow[cx - coarse_box.lo()[0]] = prow[px - slo[0]];
           }
-          case DownsampleMethod::Average: {
-            const Box children = Box(base, base + (factor - 1)) & src.box();
-            double sum = 0.0;
-            for (BoxIterator fit(children); fit.ok(); ++fit) sum += src(*fit, c);
-            out(*it, c) = children.num_cells() == factor * factor * factor
-                              ? sum * inv_vol
-                              : sum / static_cast<double>(children.num_cells());
-            break;
-          }
+          return;
         }
-      }
+        // Average: rows whose child y/z planes are clipped fall back to the
+        // per-cell path wholesale; interior rows split into [lo-edge | fast
+        // interior | hi-edge] runs.
+        const bool yz_interior = factor * j >= slo[1] &&
+                                 factor * j + factor - 1 <= shi[1] &&
+                                 factor * k >= slo[2] &&
+                                 factor * k + factor - 1 <= shi[2];
+        double* orow = out.row(c, j, k);
+        const int clo = coarse_box.lo()[0], chi = coarse_box.hi()[0];
+        if (!yz_interior || cx_in_lo > cx_in_hi) {
+          for (int cx = clo; cx <= chi; ++cx) {
+            orow[cx - clo] =
+                average_cell_clipped(src, IntVect{cx, j, k}, c, factor, inv_vol);
+          }
+          return;
+        }
+        for (int cx = clo; cx < cx_in_lo; ++cx) {
+          orow[cx - clo] =
+              average_cell_clipped(src, IntVect{cx, j, k}, c, factor, inv_vol);
+        }
+        average_row_interior(src, out, c, j, k, cx_in_lo, cx_in_hi, factor,
+                             inv_vol);
+        for (int cx = cx_in_hi + 1; cx <= chi; ++cx) {
+          orow[cx - clo] =
+              average_cell_clipped(src, IntVect{cx, j, k}, c, factor, inv_vol);
+        }
+      });
     }
   });
   return out;
@@ -60,12 +159,18 @@ Fab downsample(const Fab& src, int factor, DownsampleMethod method) {
 Fab upsample_constant(const Fab& coarse, const Box& target, int factor) {
   XL_REQUIRE(factor >= 1, "upsample factor must be >= 1");
   Fab out(target, coarse.ncomp());
-  const IntVect rvec = IntVect::uniform(factor);
+  const IntVect clo = coarse.box().lo(), chi = coarse.box().hi();
   for (int c = 0; c < coarse.ncomp(); ++c) {
-    for (BoxIterator it(target); it.ok(); ++it) {
-      const IntVect parent = (*it).coarsen(rvec).max(coarse.box().lo()).min(coarse.box().hi());
-      out(*it, c) = coarse(parent, c);
-    }
+    mesh::for_each_row(target, [&](int j, int k) {
+      const int pj = std::clamp(floor_div(j, factor), clo[1], chi[1]);
+      const int pk = std::clamp(floor_div(k, factor), clo[2], chi[2]);
+      const double* prow = coarse.row(c, pj, pk);
+      double* orow = out.row(c, j, k);
+      for (int x = target.lo()[0]; x <= target.hi()[0]; ++x) {
+        const int px = std::clamp(floor_div(x, factor), clo[0], chi[0]);
+        orow[x - target.lo()[0]] = prow[px - clo[0]];
+      }
+    });
   }
   return out;
 }

@@ -7,6 +7,7 @@
 
 #include "common/buffer_pool.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "mesh/layout.hpp"
 
@@ -15,6 +16,35 @@ namespace xl::analysis {
 using mesh::Box;
 using mesh::BoxIterator;
 using mesh::Fab;
+
+namespace {
+
+/// Fold [r, r+n) into the running min/max with std::min/std::max selection
+/// semantics (NaN inputs leave the accumulators untouched). Lane-parallel
+/// under XLAYER_SIMD: min/max of a set is order-independent, so the folded
+/// VALUE matches the scalar left-to-right scan bit for bit — the one
+/// sanctioned lane-parallel reduction (see common/simd.hpp).
+void minmax_scan(const double* r, std::size_t n, double& l, double& h) {
+  using simd::dpack;
+  std::size_t i = 0;
+  if (n >= dpack::lanes) {
+    dpack vl = dpack::broadcast(l);
+    dpack vh = dpack::broadcast(h);
+    for (; i + dpack::lanes <= n; i += dpack::lanes) {
+      const dpack x = dpack::load(r + i);
+      vl = min(vl, x);
+      vh = max(vh, x);
+    }
+    l = std::min(l, vl.reduce_min());
+    h = std::max(h, vh.reduce_max());
+  }
+  for (; i < n; ++i) {
+    l = std::min(l, r[i]);
+    h = std::max(h, r[i]);
+  }
+}
+
+}  // namespace
 
 double block_entropy(const Fab& fab, const Box& region, const EntropyConfig& config) {
   XL_REQUIRE(config.bins >= 2, "entropy needs at least two bins");
@@ -33,15 +63,16 @@ double block_entropy(const Fab& fab, const Box& region, const EntropyConfig& con
     // merge reads it and recycled contents never matter.
     Scratch<double> slab_lo(nchunks);
     Scratch<double> slab_hi(nchunks);
+    const std::size_t xoff =
+        static_cast<std::size_t>(scan.lo()[0] - fab.box().lo()[0]);
+    const auto nx = static_cast<std::size_t>(scan.size()[0]);
     parallel_for_chunks(pool, 0, nz,
                         [&](std::size_t c, std::size_t zb, std::size_t ze) {
       double l = std::numeric_limits<double>::infinity();
       double h = -std::numeric_limits<double>::infinity();
-      for (BoxIterator it(mesh::z_slab(scan, zb, ze)); it.ok(); ++it) {
-        const double v = fab(*it, config.comp);
-        l = std::min(l, v);
-        h = std::max(h, v);
-      }
+      mesh::for_each_row(mesh::z_slab(scan, zb, ze), [&](int j, int k) {
+        minmax_scan(fab.row(config.comp, j, k) + xoff, nx, l, h);
+      });
       slab_lo[c] = l;
       slab_hi[c] = h;
     });
@@ -63,22 +94,29 @@ double block_entropy(const Fab& fab, const Box& region, const EntropyConfig& con
   // chunk zeroes its own row before counting into it.
   Scratch<std::size_t> slab_counts(nchunks * bins);
   Scratch<std::size_t> slab_total(nchunks);
+  const std::size_t xoff =
+      static_cast<std::size_t>(scan.lo()[0] - fab.box().lo()[0]);
+  const auto nx = static_cast<std::size_t>(scan.size()[0]);
   parallel_for_chunks(pool, 0, nz,
                       [&](std::size_t c, std::size_t zb, std::size_t ze) {
     std::size_t* counts = slab_counts.data() + c * bins;
     std::fill(counts, counts + bins, std::size_t{0});
     std::size_t total = 0;
-    for (BoxIterator it(mesh::z_slab(scan, zb, ze)); it.ok(); ++it) {
-      const double v = fab(*it, config.comp);
-      // Guard the bin cast: NaN (and inf-range artifacts) poison the
-      // float->int conversion with UB. NaN cells carry no bin and are
-      // dropped; ±inf clamps to the edge bins in floating point first.
-      const double idx = (v - lo) * scale;
-      if (std::isnan(idx)) continue;
-      // xl-lint: allow(float-cast): NaN dropped and range clamped above; per-cell hot loop.
-      ++counts[static_cast<std::size_t>(std::clamp(idx, 0.0, last_bin))];
-      ++total;
-    }
+    // Binning stays scalar by contract (the counts feed byte-compared
+    // output); the row walk removes the per-cell index arithmetic.
+    mesh::for_each_row(mesh::z_slab(scan, zb, ze), [&](int j, int k) {
+      const double* r = fab.row(config.comp, j, k) + xoff;
+      for (std::size_t i = 0; i < nx; ++i) {
+        // Guard the bin cast: NaN (and inf-range artifacts) poison the
+        // float->int conversion with UB. NaN cells carry no bin and are
+        // dropped; ±inf clamps to the edge bins in floating point first.
+        const double idx = (r[i] - lo) * scale;
+        if (std::isnan(idx)) continue;
+        // xl-lint: allow(float-cast): NaN dropped and range clamped above; per-cell hot loop.
+        ++counts[static_cast<std::size_t>(std::clamp(idx, 0.0, last_bin))];
+        ++total;
+      }
+    });
     slab_total[c] = total;
   });
 

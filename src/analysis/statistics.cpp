@@ -15,9 +15,17 @@ using mesh::Fab;
 RunningStats descriptive_stats(const Fab& fab, const Box& region, int comp) {
   XL_REQUIRE(comp >= 0 && comp < fab.ncomp(), "component out of range");
   RunningStats stats;
-  for (BoxIterator it(fab.box() & region); it.ok(); ++it) {
-    stats.add(fab(*it, comp));
-  }
+  const Box scan = fab.box() & region;
+  if (scan.empty()) return stats;
+  // Row order is BoxIterator order, so the sequential accumulation below is
+  // bit-identical to the seed per-cell loop. The reduction itself must stay
+  // scalar: RunningStats is an order-dependent FP recurrence.
+  const auto xoff = static_cast<std::size_t>(scan.lo()[0] - fab.box().lo()[0]);
+  const auto nx = static_cast<std::size_t>(scan.size()[0]);
+  mesh::for_each_row(scan, [&](int j, int k) {
+    const double* r = fab.row(comp, j, k) + xoff;
+    for (std::size_t i = 0; i < nx; ++i) stats.add(r[i]);
+  });
   return stats;
 }
 
@@ -32,14 +40,21 @@ Fab subset(const Fab& fab, const Box& region) {
 double rmse(const Fab& a, const Fab& b, int comp) {
   const Box common = a.box() & b.box();
   XL_REQUIRE(!common.empty(), "fabs do not overlap");
+  // Sequential sum in row (= BoxIterator) order: the accumulation order is
+  // part of the determinism contract, so no lane-parallel reduction here.
   double sum = 0.0;
-  std::int64_t n = 0;
-  for (BoxIterator it(common); it.ok(); ++it) {
-    const double d = a(*it, comp) - b(*it, comp);
-    sum += d * d;
-    ++n;
-  }
-  return std::sqrt(sum / static_cast<double>(n));
+  const auto axoff = static_cast<std::size_t>(common.lo()[0] - a.box().lo()[0]);
+  const auto bxoff = static_cast<std::size_t>(common.lo()[0] - b.box().lo()[0]);
+  const auto nx = static_cast<std::size_t>(common.size()[0]);
+  mesh::for_each_row(common, [&](int j, int k) {
+    const double* ra = a.row(comp, j, k) + axoff;
+    const double* rb = b.row(comp, j, k) + bxoff;
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double d = ra[i] - rb[i];
+      sum += d * d;
+    }
+  });
+  return std::sqrt(sum / static_cast<double>(common.num_cells()));
 }
 
 double psnr(const Fab& reference, const Fab& test, int comp) {

@@ -269,7 +269,7 @@ class EventQueue {
 
   // Handler arena: fixed-size slots in pooled slabs, LIFO free list. Slabs
   // are stable (never relocated) so slot pointers survive arena growth.
-  std::vector<std::vector<std::uint8_t>> slabs_;
+  std::vector<PoolVec<std::uint8_t>> slabs_;
   ArenaVec<std::uint32_t> free_slots_;
   std::uint32_t slab_used_ = 0;     ///< slots handed out from the last slab.
   std::size_t total_slots_ = 0;     ///< slots across all slabs.

@@ -69,9 +69,9 @@ template <>
 BufferPool::Shelf<std::size_t>& BufferPool::shelf<std::size_t>() { return sizes_; }
 
 template <typename T>
-std::vector<T> BufferPool::acquire(std::size_t n) {
+PoolVec<T> BufferPool::acquire(std::size_t n) {
   if (n == 0) return {};
-  std::vector<T> recycled;
+  PoolVec<T> recycled;
   {
     MutexLock lock(mutex_);
     if (enabled_) {
@@ -107,7 +107,7 @@ std::vector<T> BufferPool::acquire(std::size_t n) {
   // resize() touches the pages, so they fault in as hugepages where THP
   // policy is "madvise". The hint sticks to the mapping, so it survives
   // pool recycling.
-  std::vector<T> buf;
+  PoolVec<T> buf;
   buf.reserve(bucket_for_acquire(n));
   advise_hugepages(buf.data(), buf.capacity() * sizeof(T));
   buf.resize(n);
@@ -115,7 +115,7 @@ std::vector<T> BufferPool::acquire(std::size_t n) {
 }
 
 template <typename T>
-void BufferPool::release(std::vector<T>&& buf) {
+void BufferPool::release(PoolVec<T>&& buf) {
   if (buf.capacity() == 0) return;
   const std::size_t cached = buf.capacity() * sizeof(T);
   MutexLock lock(mutex_);
@@ -131,14 +131,14 @@ void BufferPool::release(std::vector<T>&& buf) {
   shelf<T>().free[bucket_for_release(buf.capacity())].push_back(std::move(buf));
 }
 
-template std::vector<double> BufferPool::acquire<double>(std::size_t);
-template std::vector<std::uint8_t> BufferPool::acquire<std::uint8_t>(std::size_t);
-template std::vector<std::uint32_t> BufferPool::acquire<std::uint32_t>(std::size_t);
-template std::vector<std::size_t> BufferPool::acquire<std::size_t>(std::size_t);
-template void BufferPool::release<double>(std::vector<double>&&);
-template void BufferPool::release<std::uint8_t>(std::vector<std::uint8_t>&&);
-template void BufferPool::release<std::uint32_t>(std::vector<std::uint32_t>&&);
-template void BufferPool::release<std::size_t>(std::vector<std::size_t>&&);
+template PoolVec<double> BufferPool::acquire<double>(std::size_t);
+template PoolVec<std::uint8_t> BufferPool::acquire<std::uint8_t>(std::size_t);
+template PoolVec<std::uint32_t> BufferPool::acquire<std::uint32_t>(std::size_t);
+template PoolVec<std::size_t> BufferPool::acquire<std::size_t>(std::size_t);
+template void BufferPool::release<double>(PoolVec<double>&&);
+template void BufferPool::release<std::uint8_t>(PoolVec<std::uint8_t>&&);
+template void BufferPool::release<std::uint32_t>(PoolVec<std::uint32_t>&&);
+template void BufferPool::release<std::size_t>(PoolVec<std::size_t>&&);
 
 void BufferPool::set_enabled(bool enabled) {
   MutexLock lock(mutex_);

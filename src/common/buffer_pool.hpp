@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -29,6 +30,45 @@
 #include "common/mutex.hpp"
 
 namespace xl {
+
+/// Every pooled buffer starts on a 64-byte boundary: one cache line, and wide
+/// enough for any current SIMD width (AVX-512 included). Fab rows, Scratch
+/// slabs, and ArenaVec records can therefore use aligned vector loads on lane
+/// zero of every buffer, and ArenaVec may hold records up to this alignment.
+inline constexpr std::size_t kPoolAlignment = 64;
+
+/// Minimal allocator handing out kPoolAlignment-aligned storage via the
+/// align_val_t forms of operator new/delete. Stateless, so all instances are
+/// interchangeable and PoolVec moves are pointer swaps, exactly like the
+/// default allocator. This is the "aligned bucket class" behind the pool's
+/// size buckets: buckets recycle whole PoolVecs, so every hand-out keeps the
+/// allocation-time alignment.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kPoolAlignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{kPoolAlignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// The pooled buffer type: a std::vector whose storage is always 64-byte
+/// aligned. Everything the BufferPool acquires, caches, and releases is a
+/// PoolVec; iterator/span interop with plain vectors is unchanged.
+template <typename T>
+using PoolVec = std::vector<T, AlignedAllocator<T>>;
 
 /// Snapshot of one pool's counters (monotonic except the byte gauges).
 struct PoolStats {
@@ -70,11 +110,12 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// A buffer of exactly n elements, recycled when a compatible bucket has
-  /// one cached. Contents are unspecified beyond vector resize semantics —
-  /// callers must fully overwrite before reading (see the determinism note
-  /// above). Supported T: double, std::uint8_t, std::uint32_t, std::size_t.
+  /// one cached, always starting on a kPoolAlignment boundary. Contents are
+  /// unspecified beyond vector resize semantics — callers must fully
+  /// overwrite before reading (see the determinism note above). Supported T:
+  /// double, std::uint8_t, std::uint32_t, std::size_t.
   template <typename T>
-  std::vector<T> acquire(std::size_t n);
+  PoolVec<T> acquire(std::size_t n);
 
   /// Return a buffer to the pool. Buffers beyond the byte cap (or when the
   /// pool is disabled) are dropped to the heap and counted as trims.
@@ -82,7 +123,7 @@ class BufferPool {
   /// from this pool) are welcome donations, but they skew the outstanding
   /// gauge — see PoolStats::outstanding_bytes.
   template <typename T>
-  void release(std::vector<T>&& buf);
+  void release(PoolVec<T>&& buf);
 
   /// Disabling makes every acquire a heap miss and every release a trim —
   /// the before/after switch bench_alloc_churn and the bit-identity tests
@@ -120,7 +161,7 @@ class BufferPool {
   template <typename T>
   struct Shelf {
     /// bucket capacity (elements) -> cached buffers of at least that capacity.
-    std::map<std::size_t, std::vector<std::vector<T>>> free;
+    std::map<std::size_t, std::vector<PoolVec<T>>> free;
   };
 
   template <typename T>
@@ -160,11 +201,11 @@ class Scratch {
   std::size_t size() const noexcept { return buf_.size(); }
   T& operator[](std::size_t i) { return buf_[i]; }
   const T& operator[](std::size_t i) const { return buf_[i]; }
-  std::vector<T>& vec() noexcept { return buf_; }
+  PoolVec<T>& vec() noexcept { return buf_; }
 
  private:
   BufferPool* pool_;
-  std::vector<T> buf_;
+  PoolVec<T> buf_;
 };
 
 /// Flat arena-backed array of trivially copyable records — the storage unit
@@ -184,15 +225,15 @@ template <typename T>
 class ArenaVec {
   static_assert(std::is_trivially_copyable_v<T>,
                 "ArenaVec records are relocated with memcpy");
-  // Alignment contract: pooled byte buffers are std::vector<std::uint8_t>
-  // storage, which libstdc++/libc++ obtain from operator new — aligned to
-  // __STDCPP_DEFAULT_NEW_ALIGNMENT__ >= alignof(std::max_align_t). The pool
-  // recycles whole vectors (it never offsets into them), so every bucket
-  // hand-out keeps that guarantee, and the static_assert below makes the
-  // reinterpret_cast in data() safe for every admissible T. grow() re-checks
-  // the invariant with XL_ASSERT each time the backing buffer changes.
-  static_assert(alignof(T) <= alignof(std::max_align_t),
-                "pooled byte buffers guarantee fundamental alignment only");
+  // Alignment contract: pooled byte buffers are PoolVec<std::uint8_t>
+  // storage, which AlignedAllocator obtains from the align_val_t operator new
+  // at kPoolAlignment (64 bytes). The pool recycles whole vectors (it never
+  // offsets into them), so every bucket hand-out keeps that guarantee, and
+  // the static_assert below makes the reinterpret_cast in data() safe for
+  // every admissible T. grow() re-checks the invariant with XL_ASSERT each
+  // time the backing buffer changes.
+  static_assert(alignof(T) <= kPoolAlignment,
+                "pooled buffers guarantee kPoolAlignment (64-byte) alignment only");
 
  public:
   /// Default-constructed arenas draw from the process-global pool.
@@ -221,7 +262,7 @@ class ArenaVec {
   void reset() noexcept {
     size_ = 0;
     if (!raw_.empty() || raw_.capacity() != 0) pool_->release(std::move(raw_));
-    raw_ = std::vector<std::uint8_t>();
+    raw_ = PoolVec<std::uint8_t>();
   }
 
   T* data() noexcept {
@@ -292,7 +333,7 @@ class ArenaVec {
     std::size_t want =
         capacity() == 0 ? BufferPool::kMinBucketElements : capacity() * 2;
     while (want < min_elems) want *= 2;
-    std::vector<std::uint8_t> bigger = pool_->acquire<std::uint8_t>(want * sizeof(T));
+    PoolVec<std::uint8_t> bigger = pool_->acquire<std::uint8_t>(want * sizeof(T));
     XL_ASSERT(reinterpret_cast<std::uintptr_t>(bigger.data()) % alignof(T) == 0,
               "pool handed back a buffer misaligned for T (alignof="
                   << alignof(T) << ")");
@@ -302,7 +343,7 @@ class ArenaVec {
   }
 
   BufferPool* pool_;
-  std::vector<std::uint8_t> raw_;  ///< pooled backing bytes (capacity in slots).
+  PoolVec<std::uint8_t> raw_;  ///< pooled backing bytes (capacity in slots).
   std::size_t size_ = 0;
 };
 

@@ -1,0 +1,213 @@
+// Portable SIMD layer for the analysis/sim hot loops.
+//
+// xl::simd::pack<double> wraps the GCC/Clang vector extensions (256-bit, four
+// doubles per pack) behind a type that also compiles as a plain fixed-size
+// array on any other toolchain. The XLAYER_SIMD CMake option selects the
+// vector path; without it (or on compilers without the extension) every
+// operation lowers to the identical per-lane scalar sequence, so both builds
+// compute the same bits.
+//
+// Determinism contract (DESIGN.md §3.10): SIMD is applied ONLY across
+// independent output elements — one lane per output cell, each lane executing
+// exactly the scalar per-cell operation sequence. Reductions whose FP
+// reassociation would change results (histogram binning, compressed-stream
+// residual ranges, RunningStats/rmse accumulation, linear fits) stay scalar.
+// min/max lane accumulators are the one sanctioned lane-parallel reduction:
+// the result is an element of the input selected by the same `(x < acc)`
+// predicate the scalar loop uses, so the reduced VALUE is order-independent
+// (the only ambiguity, which signed zero wins a tie, never reaches stored
+// bytes — see block_entropy). Nothing here may introduce FMA contraction:
+// the XLAYER_SIMD builds compile with -ffp-contract=off so vector and scalar
+// paths round identically.
+#pragma once
+
+#include <cstddef>
+
+#if defined(XLAYER_SIMD) && (defined(__GNUC__) || defined(__clang__))
+#define XLAYER_SIMD_ACTIVE 1
+#else
+#define XLAYER_SIMD_ACTIVE 0
+#endif
+
+namespace xl::simd {
+
+template <typename T>
+struct pack;
+
+/// Four doubles, elementwise semantics identical to four sequential scalar
+/// operations. Loads/stores are unaligned-safe; pooled buffers (BufferPool's
+/// 64-byte aligned buckets) additionally satisfy the aligned fast path on
+/// every full row.
+template <>
+struct pack<double> {
+  static constexpr std::size_t lanes = 4;
+
+#if XLAYER_SIMD_ACTIVE
+  using native = double __attribute__((vector_size(lanes * sizeof(double))));
+  using imask = long long __attribute__((vector_size(lanes * sizeof(long long))));
+  native v;
+#else
+  double v[lanes];
+#endif
+
+  static pack load(const double* p) noexcept {
+#if XLAYER_SIMD_ACTIVE
+    // Element-by-element init compiles to one unaligned vector load. The
+    // vector must be built as a named local: GCC rejects nested brace-init
+    // of a vector member inside an aggregate return list.
+    const native t = {p[0], p[1], p[2], p[3]};
+    return {t};
+#else
+    return {{p[0], p[1], p[2], p[3]}};
+#endif
+  }
+
+  static pack broadcast(double x) noexcept {
+#if XLAYER_SIMD_ACTIVE
+    const native t = {x, x, x, x};
+    return {t};
+#else
+    return {{x, x, x, x}};
+#endif
+  }
+
+  /// {0, 1, 2, 3} — the per-lane index offsets for i-dependent expressions
+  /// (the quantizer's `a + b * i` predictor).
+  static pack iota() noexcept {
+#if XLAYER_SIMD_ACTIVE
+    const native t = {0.0, 1.0, 2.0, 3.0};
+    return {t};
+#else
+    return {{0.0, 1.0, 2.0, 3.0}};
+#endif
+  }
+
+  void store(double* p) const noexcept {
+    p[0] = v[0];
+    p[1] = v[1];
+    p[2] = v[2];
+    p[3] = v[3];
+  }
+
+  double operator[](std::size_t i) const noexcept { return v[i]; }
+
+  friend pack operator+(pack a, pack b) noexcept {
+#if XLAYER_SIMD_ACTIVE
+    return {a.v + b.v};
+#else
+    return {{a.v[0] + b.v[0], a.v[1] + b.v[1], a.v[2] + b.v[2], a.v[3] + b.v[3]}};
+#endif
+  }
+
+  friend pack operator-(pack a, pack b) noexcept {
+#if XLAYER_SIMD_ACTIVE
+    return {a.v - b.v};
+#else
+    return {{a.v[0] - b.v[0], a.v[1] - b.v[1], a.v[2] - b.v[2], a.v[3] - b.v[3]}};
+#endif
+  }
+
+  friend pack operator*(pack a, pack b) noexcept {
+#if XLAYER_SIMD_ACTIVE
+    return {a.v * b.v};
+#else
+    return {{a.v[0] * b.v[0], a.v[1] * b.v[1], a.v[2] * b.v[2], a.v[3] * b.v[3]}};
+#endif
+  }
+
+  friend pack operator/(pack a, pack b) noexcept {
+#if XLAYER_SIMD_ACTIVE
+    return {a.v / b.v};
+#else
+    return {{a.v[0] / b.v[0], a.v[1] / b.v[1], a.v[2] / b.v[2], a.v[3] / b.v[3]}};
+#endif
+  }
+
+  pack& operator+=(pack o) noexcept { return *this = *this + o; }
+  pack& operator-=(pack o) noexcept { return *this = *this - o; }
+  pack& operator*=(pack o) noexcept { return *this = *this * o; }
+  pack& operator/=(pack o) noexcept { return *this = *this / o; }
+
+  /// Per-lane `(b < a) ? b : a` — exactly std::min's selection rule, so NaN
+  /// lanes in `b` are ignored just as the scalar scan ignores them.
+  friend pack min(pack a, pack b) noexcept {
+#if XLAYER_SIMD_ACTIVE
+    const imask lt = b.v < a.v;  // all-ones where b[i] < a[i]
+    return {select(lt, b.v, a.v)};
+#else
+    return {{b.v[0] < a.v[0] ? b.v[0] : a.v[0], b.v[1] < a.v[1] ? b.v[1] : a.v[1],
+             b.v[2] < a.v[2] ? b.v[2] : a.v[2], b.v[3] < a.v[3] ? b.v[3] : a.v[3]}};
+#endif
+  }
+
+  /// Per-lane `(a < b) ? b : a` — std::max's selection rule.
+  friend pack max(pack a, pack b) noexcept {
+#if XLAYER_SIMD_ACTIVE
+    const imask lt = a.v < b.v;
+    return {select(lt, b.v, a.v)};
+#else
+    return {{a.v[0] < b.v[0] ? b.v[0] : a.v[0], a.v[1] < b.v[1] ? b.v[1] : a.v[1],
+             a.v[2] < b.v[2] ? b.v[2] : a.v[2], a.v[3] < b.v[3] ? b.v[3] : a.v[3]}};
+#endif
+  }
+
+  /// Horizontal min over the lanes, folded in lane order with the scalar
+  /// predicate (the result is one of the lane values).
+  double reduce_min() const noexcept {
+    double m = v[0];
+    if (v[1] < m) m = v[1];
+    if (v[2] < m) m = v[2];
+    if (v[3] < m) m = v[3];
+    return m;
+  }
+
+  double reduce_max() const noexcept {
+    double m = v[0];
+    if (m < v[1]) m = v[1];
+    if (m < v[2]) m = v[2];
+    if (m < v[3]) m = v[3];
+    return m;
+  }
+
+  /// Deinterleave two consecutive packs (8 doubles) into even/odd lanes:
+  /// even = {p[0], p[2], p[4], p[6]}, odd = {p[1], p[3], p[5], p[7]}.
+  /// This is the factor-2 downsample gather.
+  static void deinterleave2(pack a, pack b, pack& even, pack& odd) noexcept {
+#if XLAYER_SIMD_ACTIVE && defined(__clang__)
+    even = {__builtin_shufflevector(a.v, b.v, 0, 2, 4, 6)};
+    odd = {__builtin_shufflevector(a.v, b.v, 1, 3, 5, 7)};
+#elif XLAYER_SIMD_ACTIVE
+    // GCC 12 has __builtin_shufflevector too; lane-init is kept as the
+    // conservative spelling — it compiles to the same unpck/perm sequence.
+    const native e = {a.v[0], a.v[2], b.v[0], b.v[2]};
+    const native o = {a.v[1], a.v[3], b.v[1], b.v[3]};
+    even = {e};
+    odd = {o};
+#else
+    even = {{a.v[0], a.v[2], b.v[0], b.v[2]}};
+    odd = {{a.v[1], a.v[3], b.v[1], b.v[3]}};
+#endif
+  }
+
+#if XLAYER_SIMD_ACTIVE
+ private:
+  /// Bitwise blend: lanes of `mask` are all-ones or all-zero (a vector
+  /// comparison result), picking `a` where set, `b` where clear. Same-size
+  /// vector casts reinterpret bits, so this is exact for any payload.
+  static native select(imask mask, native a, native b) noexcept {
+    const imask ai = reinterpret_cast<imask>(a);
+    const imask bi = reinterpret_cast<imask>(b);
+    return reinterpret_cast<native>((ai & mask) | (bi & ~mask));
+  }
+
+ public:
+#endif
+};
+
+using dpack = pack<double>;
+
+/// True in builds where pack<double> compiles to real vector instructions —
+/// reported by benches so speedup tables name the active path.
+constexpr bool active() noexcept { return XLAYER_SIMD_ACTIVE != 0; }
+
+}  // namespace xl::simd

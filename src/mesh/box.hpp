@@ -156,6 +156,21 @@ inline Box z_slab(const Box& b, std::size_t zlo, std::size_t zhi) {
   return Box(lo, hi);
 }
 
+/// Visit every contiguous x-row of `b` in Fortran order: fn(j, k) is called
+/// for y = j, z = k with j varying fastest, matching BoxIterator's traversal
+/// of the same box row by row. The row-based kernels pair this with
+/// Fab::row(c, j, k) so the inner x loop is a flat pointer walk — one bounds
+/// check per row instead of per cell — while preserving the serial visit
+/// order the determinism contract fixes.
+template <typename Fn>
+inline void for_each_row(const Box& b, Fn&& fn) {
+  for (int k = b.lo()[2]; k <= b.hi()[2]; ++k) {
+    for (int j = b.lo()[1]; j <= b.hi()[1]; ++j) {
+      fn(j, k);
+    }
+  }
+}
+
 /// Iterate the cells of a box in Fortran order. Usage:
 ///   for (BoxIterator it(b); it.ok(); ++it) { const IntVect& p = *it; ... }
 class BoxIterator {

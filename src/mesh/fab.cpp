@@ -1,22 +1,36 @@
 #include "mesh/fab.hpp"
 
+#include <cstring>
+
 namespace xl::mesh {
 
-std::vector<double> Fab::pack(const Box& region) const {
-  std::vector<double> buffer;
+PoolVec<double> Fab::pack(const Box& region) const {
+  const Box overlap = box_ & region;
+  // Acquire at wire size so the buffer comes from (and can recycle back to)
+  // the pool instead of a fresh heap vector per call; pack_into's resize then
+  // never reallocates.
+  PoolVec<double> buffer = BufferPool::global().acquire<double>(
+      static_cast<std::size_t>(overlap.num_cells()) *
+      static_cast<std::size_t>(ncomp_));
   pack_into(region, buffer);
   return buffer;
 }
 
-void Fab::pack_into(const Box& region, std::vector<double>& buffer) const {
+void Fab::pack_into(const Box& region, PoolVec<double>& buffer) const {
   const Box overlap = box_ & region;
   const std::size_t n = static_cast<std::size_t>(overlap.num_cells()) *
                         static_cast<std::size_t>(ncomp_);
   buffer.resize(n);
-  std::size_t i = 0;
-  for (int c = 0; c < ncomp_; ++c) {
-    for (BoxIterator it(overlap); it.ok(); ++it) {
-      buffer[i++] = (*this)(*it, c);
+  if (!overlap.empty()) {
+    const int x0 = overlap.lo()[0];
+    const std::size_t nx = static_cast<std::size_t>(overlap.size()[0]);
+    double* out = buffer.data();
+    for (int c = 0; c < ncomp_; ++c) {
+      for_each_row(overlap, [&](int j, int k) {
+        std::memcpy(out, data_.data() + offset(IntVect{x0, j, k}, c),
+                    nx * sizeof(double));
+        out += nx;
+      });
     }
   }
   BufferPool::global().add_copied_bytes(n * sizeof(double));
@@ -27,10 +41,16 @@ void Fab::unpack(const Box& region, std::span<const double> buffer) {
   const std::size_t expected = static_cast<std::size_t>(overlap.num_cells()) *
                                static_cast<std::size_t>(ncomp_);
   XL_REQUIRE(buffer.size() == expected, "unpack buffer size mismatch");
-  std::size_t i = 0;
-  for (int c = 0; c < ncomp_; ++c) {
-    for (BoxIterator it(overlap); it.ok(); ++it) {
-      (*this)(*it, c) = buffer[i++];
+  if (!overlap.empty()) {
+    const int x0 = overlap.lo()[0];
+    const std::size_t nx = static_cast<std::size_t>(overlap.size()[0]);
+    const double* in = buffer.data();
+    for (int c = 0; c < ncomp_; ++c) {
+      for_each_row(overlap, [&](int j, int k) {
+        std::memcpy(data_.data() + offset(IntVect{x0, j, k}, c), in,
+                    nx * sizeof(double));
+        in += nx;
+      });
     }
   }
   BufferPool::global().add_copied_bytes(expected * sizeof(double));

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <utility>
 #include <vector>
@@ -46,7 +47,7 @@ class Fab {
     if (this != &other) {
       // Acquire before releasing so self-sized assigns can recycle in place
       // and the pool high-water mark reflects the true overlap.
-      std::vector<double> fresh = BufferPool::global().acquire<double>(other.data_.size());
+      PoolVec<double> fresh = BufferPool::global().acquire<double>(other.data_.size());
       std::copy(other.data_.begin(), other.data_.end(), fresh.begin());
       BufferPool::global().add_copied_bytes(other.bytes());
       release_storage();
@@ -90,6 +91,25 @@ class Fab {
     return data_[offset(p, comp)];
   }
 
+  /// Pointer to the contiguous x-row of component `c` at y = j, z = k:
+  /// row(c, j, k)[i] is the cell (box().lo()[0] + i, j, k) for
+  /// 0 <= i < row_length(). Storage is Fortran-ordered, so the whole row is
+  /// one flat stretch of memory — the hot kernels walk it with a single
+  /// bounds check here instead of one per cell. Rows of a ghosted fab span
+  /// ghost and valid cells alike; callers clip with an x offset
+  /// (`row(...) + (sub.lo()[0] - box().lo()[0])`) to address a sub-box row.
+  double* row(int c, int j, int k) {
+    return data_.data() + offset(IntVect{box_.lo()[0], j, k}, c);
+  }
+  const double* row(int c, int j, int k) const {
+    return data_.data() + offset(IntVect{box_.lo()[0], j, k}, c);
+  }
+
+  /// Cells per x-row (the box x extent).
+  std::size_t row_length() const noexcept {
+    return static_cast<std::size_t>(box_.size()[0]);
+  }
+
   /// Flat view of one component, Fortran-ordered over the box.
   std::span<double> comp(int c) {
     XL_REQUIRE(c >= 0 && c < ncomp_, "component out of range");
@@ -108,13 +128,19 @@ class Fab {
   void set_all(double value) { std::fill(data_.begin(), data_.end(), value); }
 
   /// Copy the overlap of `src` (restricted to `region`) into this fab, all
-  /// components. Regions outside either box are ignored.
+  /// components, one memcpy per x-row. Regions outside either box are ignored.
   void copy_from(const Fab& src, const Box& region) {
     XL_REQUIRE(src.ncomp_ == ncomp_, "component count mismatch in copy");
     const Box overlap = box_ & src.box_ & region;
-    for (int c = 0; c < ncomp_; ++c) {
-      for (BoxIterator it(overlap); it.ok(); ++it) {
-        (*this)(*it, c) = src(*it, c);
+    if (!overlap.empty()) {
+      const int x0 = overlap.lo()[0];
+      const std::size_t nx = static_cast<std::size_t>(overlap.size()[0]);
+      for (int c = 0; c < ncomp_; ++c) {
+        for_each_row(overlap, [&](int j, int k) {
+          std::memcpy(data_.data() + offset(IntVect{x0, j, k}, c),
+                      src.data_.data() + src.offset(IntVect{x0, j, k}, c),
+                      nx * sizeof(double));
+        });
       }
     }
     BufferPool::global().add_copied_bytes(
@@ -123,26 +149,35 @@ class Fab {
   }
 
   /// Copy overlap of src shifted by `shift`: dest(p) = src(p - shift).
-  /// Used for periodic ghost exchange where the source box is wrapped.
+  /// Used for periodic ghost exchange where the source box is wrapped. The
+  /// per-cell contains() guard of the seed path is the intersection with the
+  /// shifted source box, so the active region is copied row by row.
   void copy_from_shifted(const Fab& src, const Box& dest_region, const IntVect& shift) {
     XL_REQUIRE(src.ncomp_ == ncomp_, "component count mismatch in copy");
-    const Box overlap = box_ & dest_region;
+    const Box active = box_ & dest_region & src.box_.shift(shift);
+    if (active.empty()) return;
+    const IntVect slo = active.lo() - shift;
+    const std::size_t nx = static_cast<std::size_t>(active.size()[0]);
     for (int c = 0; c < ncomp_; ++c) {
-      for (BoxIterator it(overlap); it.ok(); ++it) {
-        const IntVect sp = *it - shift;
-        if (src.box_.contains(sp)) (*this)(*it, c) = src(sp, c);
-      }
+      for_each_row(active, [&](int j, int k) {
+        std::memcpy(
+            data_.data() + offset(IntVect{active.lo()[0], j, k}, c),
+            src.data_.data() + src.offset(IntVect{slo[0], j - shift[1], k - shift[2]}, c),
+            nx * sizeof(double));
+      });
     }
   }
 
   /// Linearize the overlap of this fab with `region` (all components) into a
-  /// contiguous buffer — the wire format the transport layer ships.
-  std::vector<double> pack(const Box& region) const;
+  /// contiguous buffer — the wire format the transport layer ships. The
+  /// buffer is pool-acquired; callers that keep it only briefly should
+  /// release() it back so the wire scratch recycles (plotfile does).
+  PoolVec<double> pack(const Box& region) const;
 
   /// pack() into caller-owned scratch: `buffer` is resized (reusing its
   /// capacity when large enough) and fully overwritten. Callers looping over
   /// many boxes keep one buffer hot instead of allocating per box.
-  void pack_into(const Box& region, std::vector<double>& buffer) const;
+  void pack_into(const Box& region, PoolVec<double>& buffer) const;
 
   /// Inverse of pack(): scatter `buffer` into the overlap with `region`.
   void unpack(const Box& region, std::span<const double> buffer);
@@ -163,7 +198,7 @@ class Fab {
 
   Box box_;
   int ncomp_ = 0;
-  std::vector<double> data_;
+  PoolVec<double> data_;
 };
 
 }  // namespace xl::mesh

@@ -11,9 +11,7 @@
 namespace xl::viz {
 
 using mesh::Box;
-using mesh::BoxIterator;
 using mesh::Fab;
-using mesh::IntVect;
 
 namespace {
 
@@ -26,16 +24,31 @@ Vec3 interp_vertex(const Vec3& pa, const Vec3& pb, double va, double vb, double 
   return {pa.x + t * (pb.x - pa.x), pa.y + t * (pb.y - pa.y), pa.z + t * (pb.z - pa.z)};
 }
 
-/// Cube configuration index of the cell at `p` (corners sample cell centers
-/// p .. p+1). Returns -1 when any corner is outside the fab.
-int cube_index(const Fab& fab, const IntVect& p, double iso, int comp, double corner[8]) {
+/// Cells whose full corner cube (p .. p+1) lies inside the fab. The seed
+/// per-cell scan returned -1 (no output) for any cell with an out-of-fab
+/// corner, so clipping the scan to this box up front is output-identical.
+Box valid_corner_cells(const Fab& fab, const Box& region) {
+  return Box(fab.box().lo(), fab.box().hi() - 1) & region;
+}
+
+/// Load the 8 cube corners of cell x0+i from the four cached row pointers
+/// (PolyVox-style slice caching: the rows at (j,k), (j+1,k), (j,k+1),
+/// (j+1,k+1) serve every cell of the row; only the x index moves). Corner
+/// numbering follows kCornerOffset. Returns the cube configuration index.
+int cube_index_rows(const double* r00, const double* r10, const double* r01,
+                    const double* r11, std::size_t i, double iso,
+                    double corner[8]) {
+  corner[0] = r00[i];
+  corner[1] = r00[i + 1];
+  corner[2] = r10[i + 1];
+  corner[3] = r10[i];
+  corner[4] = r01[i];
+  corner[5] = r01[i + 1];
+  corner[6] = r11[i + 1];
+  corner[7] = r11[i];
   int index = 0;
-  for (int i = 0; i < 8; ++i) {
-    const IntVect c{p[0] + kCornerOffset[i][0], p[1] + kCornerOffset[i][1],
-                    p[2] + kCornerOffset[i][2]};
-    if (!fab.box().contains(c)) return -1;
-    corner[i] = fab(c, comp);
-    if (corner[i] < iso) index |= 1 << i;
+  for (int c = 0; c < 8; ++c) {
+    if (corner[c] < iso) index |= 1 << c;
   }
   return index;
 }
@@ -43,32 +56,44 @@ int cube_index(const Fab& fab, const IntVect& p, double iso, int comp, double co
 /// Serial triangulation over `region`, appended to `mesh` in iteration order.
 void extract_into(const Fab& fab, const Box& region, double isovalue, int comp,
                   double dx, const Vec3& origin, TriangleMesh& mesh) {
+  const Box scan = valid_corner_cells(fab, region);
+  if (scan.empty()) return;
+  const int x0 = scan.lo()[0];
+  const auto nx = static_cast<std::size_t>(scan.size()[0]);
+  const auto xoff = static_cast<std::size_t>(x0 - fab.box().lo()[0]);
   double corner[8];
   Vec3 edge_vertex[12];
-  for (BoxIterator it(region); it.ok(); ++it) {
-    const IntVect& p = *it;
-    const int index = cube_index(fab, p, isovalue, comp, corner);
-    if (index <= 0 || index == 255) continue;
-    const std::uint16_t edges = kEdgeTable[index];
-    if (edges == 0) continue;
-    for (int e = 0; e < 12; ++e) {
-      if (!(edges & (1u << e))) continue;
-      const int a = kEdgeCorners[e][0];
-      const int b = kEdgeCorners[e][1];
-      const Vec3 pa{origin.x + (p[0] + kCornerOffset[a][0] + 0.5) * dx,
-                    origin.y + (p[1] + kCornerOffset[a][1] + 0.5) * dx,
-                    origin.z + (p[2] + kCornerOffset[a][2] + 0.5) * dx};
-      const Vec3 pb{origin.x + (p[0] + kCornerOffset[b][0] + 0.5) * dx,
-                    origin.y + (p[1] + kCornerOffset[b][1] + 0.5) * dx,
-                    origin.z + (p[2] + kCornerOffset[b][2] + 0.5) * dx};
-      edge_vertex[e] = interp_vertex(pa, pb, corner[a], corner[b], isovalue);
+  mesh::for_each_row(scan, [&](int j, int k) {
+    const double* r00 = fab.row(comp, j, k) + xoff;
+    const double* r10 = fab.row(comp, j + 1, k) + xoff;
+    const double* r01 = fab.row(comp, j, k + 1) + xoff;
+    const double* r11 = fab.row(comp, j + 1, k + 1) + xoff;
+    for (std::size_t i = 0; i < nx; ++i) {
+      const int index =
+          cube_index_rows(r00, r10, r01, r11, i, isovalue, corner);
+      if (index == 0 || index == 255) continue;
+      const std::uint16_t edges = kEdgeTable[index];
+      if (edges == 0) continue;
+      const int px = x0 + static_cast<int>(i);
+      for (int e = 0; e < 12; ++e) {
+        if (!(edges & (1u << e))) continue;
+        const int a = kEdgeCorners[e][0];
+        const int b = kEdgeCorners[e][1];
+        const Vec3 pa{origin.x + (px + kCornerOffset[a][0] + 0.5) * dx,
+                      origin.y + (j + kCornerOffset[a][1] + 0.5) * dx,
+                      origin.z + (k + kCornerOffset[a][2] + 0.5) * dx};
+        const Vec3 pb{origin.x + (px + kCornerOffset[b][0] + 0.5) * dx,
+                      origin.y + (j + kCornerOffset[b][1] + 0.5) * dx,
+                      origin.z + (k + kCornerOffset[b][2] + 0.5) * dx};
+        edge_vertex[e] = interp_vertex(pa, pb, corner[a], corner[b], isovalue);
+      }
+      for (int t = 0; kTriTable[index][t] != -1; t += 3) {
+        mesh.vertices.push_back(edge_vertex[kTriTable[index][t]]);
+        mesh.vertices.push_back(edge_vertex[kTriTable[index][t + 1]]);
+        mesh.vertices.push_back(edge_vertex[kTriTable[index][t + 2]]);
+      }
     }
-    for (int t = 0; kTriTable[index][t] != -1; t += 3) {
-      mesh.vertices.push_back(edge_vertex[kTriTable[index][t]]);
-      mesh.vertices.push_back(edge_vertex[kTriTable[index][t + 1]]);
-      mesh.vertices.push_back(edge_vertex[kTriTable[index][t + 2]]);
-    }
-  }
+  });
 }
 
 }  // namespace
@@ -114,10 +139,21 @@ std::size_t count_active_cells(const Fab& fab, const Box& region, double isovalu
                       [&](std::size_t c, std::size_t zb, std::size_t ze) {
     std::size_t active = 0;
     double corner[8];
-    for (BoxIterator it(mesh::z_slab(region, zb, ze)); it.ok(); ++it) {
-      const int index = cube_index(fab, *it, isovalue, comp, corner);
-      if (index > 0 && index < 255) ++active;
-    }
+    const Box scan = valid_corner_cells(fab, mesh::z_slab(region, zb, ze));
+    if (scan.empty()) return;
+    const auto nx = static_cast<std::size_t>(scan.size()[0]);
+    const auto xoff = static_cast<std::size_t>(scan.lo()[0] - fab.box().lo()[0]);
+    mesh::for_each_row(scan, [&](int j, int k) {
+      const double* r00 = fab.row(comp, j, k) + xoff;
+      const double* r10 = fab.row(comp, j + 1, k) + xoff;
+      const double* r01 = fab.row(comp, j, k + 1) + xoff;
+      const double* r11 = fab.row(comp, j + 1, k + 1) + xoff;
+      for (std::size_t i = 0; i < nx; ++i) {
+        const int index =
+            cube_index_rows(r00, r10, r01, r11, i, isovalue, corner);
+        if (index > 0 && index < 255) ++active;
+      }
+    });
     slab_active[c] = active;
   });
   std::size_t active = 0;

@@ -3,6 +3,10 @@
 // the AMR library.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <utility>
+#include <vector>
+
 #include "common/error.hpp"
 #include "mesh/level_data.hpp"
 
@@ -50,7 +54,7 @@ TEST(Fab, PackUnpackRoundTrip) {
     for (BoxIterator it(src.box()); it.ok(); ++it) src(*it, c) = cell_value(*it, c);
   }
   const Box region({1, 0, 2}, {3, 3, 3});
-  const std::vector<double> wire = src.pack(region);
+  const PoolVec<double> wire = src.pack(region);
   EXPECT_EQ(wire.size(),
             static_cast<std::size_t>((region & src.box()).num_cells()) * 3);
 
@@ -72,6 +76,72 @@ TEST(Fab, UnpackRejectsWrongSize) {
 TEST(Fab, ContractChecks) {
   EXPECT_THROW(Fab(Box(), 1), ContractError);
   EXPECT_THROW(Fab(Box::cube({0, 0, 0}, 2), 0), ContractError);
+}
+
+// Fab::row is the flat-traversal primitive of the kernel rewrites: one bounds
+// check per row, then a raw pointer walk that must address exactly the cells
+// operator() addresses — ghost rows and negative coordinates included.
+TEST(Fab, RowMatchesPerCellAccessorIncludingGhosts) {
+  // Ghosted box with a negative low corner, as AMR fabs have.
+  const Box valid = Box::cube({0, 0, 0}, 4);
+  Fab f(valid.grow(2), 2);
+  for (BoxIterator it(f.box()); it.ok(); ++it) {
+    for (int c = 0; c < f.ncomp(); ++c) f(*it, c) = cell_value(*it, c);
+  }
+  EXPECT_EQ(f.row_length(), 8u);  // rows span the ghosts: 4 + 2*2
+  const int x0 = f.box().lo()[0];
+  for (int c = 0; c < f.ncomp(); ++c) {
+    for (int k = f.box().lo()[2]; k <= f.box().hi()[2]; ++k) {
+      for (int j = f.box().lo()[1]; j <= f.box().hi()[1]; ++j) {
+        const double* r = f.row(c, j, k);
+        for (std::size_t i = 0; i < f.row_length(); ++i) {
+          ASSERT_EQ(r[i], f(IntVect{x0 + static_cast<int>(i), j, k}, c))
+              << "row mismatch at c=" << c << " j=" << j << " k=" << k
+              << " i=" << i;
+        }
+      }
+    }
+  }
+  // Writes through the row pointer land in the same cells.
+  double* w = f.row(1, 0, 0);
+  w[2] = 123.5;  // x = lo + 2 = 0
+  EXPECT_EQ(f(IntVect{0, 0, 0}, 1), 123.5);
+}
+
+TEST(Fab, RowSubBoxOffsetAddressesTheSubRow) {
+  const Box valid = Box::cube({0, 0, 0}, 6);
+  Fab f(valid.grow(1), 1);
+  for (BoxIterator it(f.box()); it.ok(); ++it) f(*it) = cell_value(*it, 0);
+  // The documented sub-box idiom: row(...) + (sub.lo()[0] - box().lo()[0]).
+  const Box sub({2, 1, 3}, {4, 4, 5});
+  const int xoff = sub.lo()[0] - f.box().lo()[0];
+  for_each_row(sub, [&](int j, int k) {
+    const double* r = f.row(0, j, k) + xoff;
+    for (int i = 0; i < sub.size()[0]; ++i) {
+      ASSERT_EQ(r[i], f(IntVect{sub.lo()[0] + i, j, k}, 0));
+    }
+  });
+}
+
+TEST(Fab, RowOutsideBoxIsAContractViolation) {
+  Fab f(Box::cube({0, 0, 0}, 4), 1);
+  EXPECT_THROW(f.row(0, -1, 0), ContractError);  // j below the box
+  EXPECT_THROW(f.row(0, 0, 4), ContractError);   // k past the box
+  EXPECT_THROW(f.row(1, 0, 0), ContractError);   // component out of range
+  EXPECT_NO_THROW(f.row(0, 3, 3));
+}
+
+TEST(Box, ForEachRowVisitsRowsInBoxIteratorOrder) {
+  const Box b({-2, 1, 0}, {3, 4, 2});
+  // The (j, k) sequence BoxIterator produces, one entry per x-row.
+  std::vector<std::pair<int, int>> want;
+  for (BoxIterator it(b); it.ok(); ++it) {
+    if ((*it)[0] == b.lo()[0]) want.emplace_back((*it)[1], (*it)[2]);
+  }
+  std::vector<std::pair<int, int>> got;
+  for_each_row(b, [&](int j, int k) { got.emplace_back(j, k); });
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(b.size()[1] * b.size()[2]));
 }
 
 class ExchangeTest : public ::testing::TestWithParam<int> {};

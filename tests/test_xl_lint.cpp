@@ -316,6 +316,81 @@ void stage(Fab payload);
   EXPECT_EQ(count_rule(f, "fab-by-value"), 0);
 }
 
+// --- row-loop ----------------------------------------------------------------
+
+TEST(RowLoop, BadFlaggedInScopedLayers) {
+  const auto f = lint_text("src/analysis/foo.cpp", R"cpp(
+double sum_region(const Fab& fab, const Box& region) {
+  double sum = 0.0;
+  for (BoxIterator it(region); it.ok(); ++it) {
+    sum += fab(*it, 0);
+  }
+  return sum;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "row-loop"), 1);
+  EXPECT_EQ(f[0].line, 5);
+}
+
+TEST(RowLoop, SingleStatementBodyFlagged) {
+  const auto f = lint_text("src/viz/foo.cpp", R"cpp(
+void fill(Fab& fab, const Box& region) {
+  for (BoxIterator it(region); it.ok(); ++it) fab(*it, 0) = 1.0;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "row-loop"), 1);
+}
+
+TEST(RowLoop, OutOfScopeLayersPass) {
+  const auto f = lint_text("src/amr/foo.cpp", R"cpp(
+double sum_region(const Fab& fab, const Box& region) {
+  double sum = 0.0;
+  for (BoxIterator it(region); it.ok(); ++it) sum += fab(*it, 0);
+  return sum;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "row-loop"), 0);
+}
+
+TEST(RowLoop, DeclarationAndNonAccessorUsesPass) {
+  const auto f = lint_text("src/analysis/foo.cpp", R"cpp(
+void walk(const Hierarchy& h, const Box& region, std::vector<Box>& out) {
+  for (BoxIterator it(region); it.ok(); ++it) {
+    if (!h.is_finest_at(0, *it)) continue;
+    Box cell(*it, *it);
+    out.push_back(cell);
+  }
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "row-loop"), 0);
+}
+
+TEST(RowLoop, RowTraversalPasses) {
+  const auto f = lint_text("src/analysis/foo.cpp", R"cpp(
+double sum_region(const Fab& fab, const Box& region) {
+  double sum = 0.0;
+  mesh::for_each_row(region, [&](int j, int k) {
+    const double* r = fab.row(0, j, k);
+    for (std::size_t i = 0; i < nx; ++i) sum += r[i];
+  });
+  return sum;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "row-loop"), 0);
+}
+
+TEST(RowLoop, SuppressedPasses) {
+  const auto f = lint_text("src/analysis/foo.cpp", R"cpp(
+double sum_region(const Fab& fab, const Box& region) {
+  double sum = 0.0;
+  // xl-lint: allow(row-loop): ordered accumulation is the determinism contract
+  for (BoxIterator it(region); it.ok(); ++it) sum += fab(*it, 0);
+  return sum;
+}
+)cpp");
+  EXPECT_EQ(count_rule(f, "row-loop"), 0);
+}
+
 // --- suppression mechanics ---------------------------------------------------
 
 TEST(Suppression, FileWideCoversEveryLine) {

@@ -1,0 +1,45 @@
+// Seeded-bad fixture for the row-loop rule: a per-cell BoxIterator loop in an
+// analysis-scoped path feeding the dereferenced iterator into a Fab-style
+// accessor. Never compiled; the xl_lint.row_loop_fixture_fires test runs the
+// linter over it and requires the rule to fire.
+#include <cstddef>
+
+namespace fake {
+
+struct IntVect {
+  int v[3];
+};
+
+struct Box {
+  IntVect lo, hi;
+};
+
+struct BoxIterator {
+  explicit BoxIterator(const Box&) {}
+  bool ok() const { return false; }
+  BoxIterator& operator++() { return *this; }
+  IntVect operator*() const { return {}; }
+};
+
+struct Fab {
+  double operator()(const IntVect&, int) const { return 0.0; }
+};
+
+double hot_sum(const Fab& fab, const Box& region) {
+  double sum = 0.0;
+  for (BoxIterator it(region); it.ok(); ++it) {
+    sum += fab(*it, 0);  // row-loop: per-cell accessor in a hot path
+  }
+  return sum;
+}
+
+// Declaration shapes must NOT fire: the type name precedes the identifier.
+Box cell_of(const Box& region) {
+  for (BoxIterator it(region); it.ok(); ++it) {
+    Box cell(*it, *it);
+    return cell;
+  }
+  return region;
+}
+
+}  // namespace fake

@@ -602,6 +602,84 @@ void rule_fab_by_value(const Ctx& ctx) {
   }
 }
 
+// Rule: row-loop. A BoxIterator loop whose body feeds the dereferenced
+// iterator straight into a Fab-style accessor (`fab(*it, c)`) re-derives and
+// bounds-checks the flat index for every cell; in the analysis/viz hot paths
+// that arithmetic dominates the loop. Hoist row pointers (Fab::row +
+// mesh::for_each_row) instead. Advisory: deliberately scalar loops bound by
+// the determinism contract carry an allow(row-loop) marker with the reason.
+void rule_row_loop(const Ctx& ctx) {
+  const bool scoped = path_contains(ctx.path, "src/analysis") ||
+                      path_contains(ctx.path, "src/viz");
+  if (!scoped) return;
+  std::size_t pos = find_ident(ctx.scrubbed, "BoxIterator", 0);
+  while (pos != std::string::npos) {
+    const std::size_t next_from = pos + 11;
+    // Only loop declarations: "for (BoxIterator it(...); ...)".
+    std::size_t before = pos;
+    while (before > 0 &&
+           std::isspace(static_cast<unsigned char>(ctx.scrubbed[before - 1]))) {
+      --before;
+    }
+    if (before == 0 || ctx.scrubbed[before - 1] != '(') {
+      pos = find_ident(ctx.scrubbed, "BoxIterator", next_from);
+      continue;
+    }
+    const std::size_t for_open = before - 1;
+    std::size_t name = skip_spaces(ctx.scrubbed, next_from);
+    std::size_t name_end = name;
+    while (name_end < ctx.scrubbed.size() && ident_char(ctx.scrubbed[name_end])) {
+      ++name_end;
+    }
+    if (name_end == name) {
+      pos = find_ident(ctx.scrubbed, "BoxIterator", next_from);
+      continue;
+    }
+    const std::string it_name = ctx.scrubbed.substr(name, name_end - name);
+    const std::size_t for_close = match_pair(ctx.scrubbed, for_open, '(', ')');
+    if (for_close == std::string::npos) break;
+    // Loop body: a braced block, or a single statement up to ';'.
+    std::size_t body_begin = skip_spaces(ctx.scrubbed, for_close);
+    std::size_t body_end;
+    if (body_begin < ctx.scrubbed.size() && ctx.scrubbed[body_begin] == '{') {
+      body_end = match_pair(ctx.scrubbed, body_begin, '{', '}');
+    } else {
+      body_end = ctx.scrubbed.find(';', body_begin);
+      if (body_end != std::string::npos) ++body_end;
+    }
+    if (body_end == std::string::npos) break;
+    const std::string body =
+        ctx.scrubbed.substr(body_begin, body_end - body_begin);
+    // Accessor shape: `name(*it` where `name` is NOT preceded by another
+    // identifier (that shape is a declaration like `Box cell(*it, *it)`).
+    const std::regex access("([A-Za-z_]\\w*)\\s*\\(\\s*\\*\\s*" + it_name +
+                            "\\b");
+    std::smatch m;
+    std::string::const_iterator begin = body.begin();
+    while (std::regex_search(begin, body.cend(), m, access)) {
+      const auto at =
+          body_begin + static_cast<std::size_t>(m.position(0)) +
+          static_cast<std::size_t>(begin - body.begin());
+      std::size_t decl_check = at;
+      while (decl_check > 0 && std::isspace(static_cast<unsigned char>(
+                                   ctx.scrubbed[decl_check - 1]))) {
+        --decl_check;
+      }
+      if (decl_check == 0 || !ident_char(ctx.scrubbed[decl_check - 1])) {
+        ctx.add(line_of_offset(ctx.scrubbed, at), "row-loop",
+                "per-cell accessor '" + m[1].str() + "(*" + it_name +
+                    ", ...)' in a BoxIterator loop re-derives the flat index "
+                    "every cell; hoist Fab::row pointers with "
+                    "mesh::for_each_row (or suppress with the reason the loop "
+                    "must stay scalar)");
+        break;  // one finding per loop is enough to point at the rewrite
+      }
+      begin = m.suffix().first;
+    }
+    pos = find_ident(ctx.scrubbed, "BoxIterator", body_end);
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -616,6 +694,8 @@ const std::vector<RuleInfo>& rules() {
       {"missing-include", "use of a std symbol without its owning header"},
       {"banned-symbol", "environment/process escapes (getenv, system, sleeps)"},
       {"fab-by-value", "pass-by-value Fab/StagedObject parameters (payload deep-copy)"},
+      {"row-loop",
+       "per-cell fab(*it, c) accessors in analysis/viz hot loops (hoist Fab::row)"},
       // Semantic layer (declaration/scope model + cross-TU symbol table).
       {"unordered-escape",
        "hash-order iteration results escaping unsorted (returns, sinks, float sums)"},
@@ -670,6 +750,7 @@ std::vector<Finding> lint_texts(
     rule_missing_include(ctx, sources[i].second);
     rule_banned_symbol(ctx);
     rule_fab_by_value(ctx);
+    rule_row_loop(ctx);
     run_file_semantic_rules(models[i], table, pf.findings);
   }
 
